@@ -1,0 +1,44 @@
+// Fig. 12 of the paper: weak scaling of one VMC iteration — N_s grows
+// proportionally with the rank count so each rank keeps an approximately
+// constant number of unique samples.
+//
+// Default system: C2H4O/STO-3G; `--molecule benzene` for the paper-scale run.
+
+#include "scaling_common.hpp"
+
+using namespace nnqs;
+using namespace nnqs::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  quietLogs();
+  const int iters = static_cast<int>(args.getInt("iters", 2));
+  const std::uint64_t nsPerRank =
+      static_cast<std::uint64_t>(args.getInt("samples-per-rank", 1 << 12));
+
+  Timer build;
+  Pipeline p = scalingPipeline(args);
+  const auto packed = ops::PackedHamiltonian::fromHamiltonian(p.ham);
+  std::printf("Fig. 12: weak scaling, %s (%d qubits, Nh=%zu, build %.1fs), "
+              "Ns = %llu x ranks\n",
+              p.mol.formula().c_str(), p.nQubits, p.ham.nTerms(), build.seconds(),
+              static_cast<unsigned long long>(nsPerRank));
+  std::printf("%6s %10s %10s %10s %10s %8s %10s %10s\n", "ranks", "sample(s)",
+              "eloc(s)", "grad(s)", "total(s)", "eff", "Nu", "comm MB/it");
+
+  double baseline = 0;
+  for (int ranks : rankSweep(args)) {
+    const ScalingPoint pt =
+        scalingRun(packed, paperNetConfig(p), ranks,
+                   nsPerRank * static_cast<std::uint64_t>(ranks), iters);
+    if (baseline == 0) baseline = pt.total;
+    const double eff = 100.0 * baseline / pt.total;  // ideal weak scaling: flat
+    std::printf("%6d %10.3f %10.3f %10.3f %10.3f %7.1f%% %10zu %10.2f\n", ranks,
+                pt.sampling, pt.localEnergy, pt.gradient, pt.total, eff,
+                pt.nUnique, static_cast<double>(pt.commBytes) / 1e6);
+    std::fflush(stdout);
+  }
+  std::printf("\nPaper reference (benzene, 4->64 A100): 100%%, 96.9%%, 96.3%%, "
+              "93.4%%, 84.3%% weak efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks of the performance-critical kernels:
+// Pauli algebra, packed-Hamiltonian group coefficients, LUT search, the
+// transformer forward and a BAS expansion step.  These are the ablation-level
+// numbers behind Figs. 10-12.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "nqs/sampler.hpp"
+#include "vmc/local_energy.hpp"
+
+using namespace nnqs;
+using namespace nnqs::bench;
+
+namespace {
+
+const Pipeline& c2Pipeline() {
+  static Pipeline p = [] {
+    quietLogs();
+    return buildPipeline("C2", "sto-3g");
+  }();
+  return p;
+}
+
+void BM_PauliMultiply(benchmark::State& state) {
+  const auto a = ops::PauliString::fromString("XYZIXYZIXYZIXYZI");
+  const auto b = ops::PauliString::fromString("ZZXXYYIIZZXXYYII");
+  for (auto _ : state) benchmark::DoNotOptimize(ops::multiply(a, b));
+}
+BENCHMARK(BM_PauliMultiply);
+
+void BM_PackedGroupCoefficient(benchmark::State& state) {
+  const auto packed = ops::PackedHamiltonian::fromHamiltonian(c2Pipeline().ham);
+  Bits128 x = fromBitString("00000000111111111111");
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packed.groupCoefficient(k, x));
+    k = (k + 1) % packed.nGroups();
+  }
+}
+BENCHMARK(BM_PackedGroupCoefficient);
+
+void BM_LutBinarySearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bits128> keys(n);
+  std::vector<Complex> psi(n, Complex{1.0, 0.0});
+  Rng rng(3);
+  for (auto& k : keys) k = Bits128{rng.next(), 0};
+  const auto lut = vmc::WavefunctionLut::build(keys, psi);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.find(keys[i]));
+    i = (i + 7919) % n;
+  }
+}
+BENCHMARK(BM_LutBinarySearch)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_TransformerForward(benchmark::State& state) {
+  const auto& p = c2Pipeline();
+  nqs::QiankunNet net(paperNetConfig(p));
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<Bits128> samples;
+  Rng rng(5);
+  for (int b = 0; b < batch; ++b)
+    samples.push_back(nqs::autoregressiveSampleOne(net, rng));
+  std::vector<Real> la, ph;
+  for (auto _ : state) {
+    net.evaluate(samples, la, ph, false);
+    benchmark::DoNotOptimize(la.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TransformerForward)->Arg(64)->Arg(512);
+
+void BM_BasFullSweep(benchmark::State& state) {
+  const auto& p = c2Pipeline();
+  nqs::QiankunNet net(paperNetConfig(p));
+  nqs::SamplerOptions opts;
+  opts.nSamples = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const auto set = nqs::batchAutoregressiveSample(net, opts);
+    benchmark::DoNotOptimize(set.nUnique());
+  }
+}
+BENCHMARK(BM_BasFullSweep)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_LocalEnergySample(benchmark::State& state) {
+  const auto& p = c2Pipeline();
+  const auto packed = ops::PackedHamiltonian::fromHamiltonian(p.ham);
+  nqs::QiankunNet net(paperNetConfig(p));
+  nqs::SamplerOptions opts;
+  opts.nSamples = 1 << 14;
+  const auto set = nqs::batchAutoregressiveSample(net, opts);
+  const auto psi = net.psi(set.samples);
+  const auto lut = vmc::WavefunctionLut::build(set.samples, psi);
+  for (auto _ : state) {
+    const auto eloc =
+        vmc::localEnergies(packed, set.samples, lut, vmc::ElocMode::kSaFuseLut);
+    benchmark::DoNotOptimize(eloc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(set.nUnique()));
+}
+BENCHMARK(BM_LocalEnergySample);
+
+void BM_EriShellQuartets(benchmark::State& state) {
+  const auto mol = chem::makeMolecule("H2O");
+  const auto basis = chem::buildBasis(mol, "sto-3g");
+  for (auto _ : state) {
+    const auto eri = integrals::computeEri(basis);
+    benchmark::DoNotOptimize(eri.nStored());
+  }
+}
+BENCHMARK(BM_EriShellQuartets);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,371 @@
+#include "cc/ccsd.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace nnqs::cc {
+
+namespace {
+
+/// Dense spin-orbital antisymmetrized integrals <pq||rs> and Fock matrix,
+/// plus the occ/virt index partition of the reference determinant.
+struct SpinOrbitalSpace {
+  int nso = 0;
+  std::vector<int> occ, vir;
+  std::vector<Real> f;     ///< nso x nso Fock
+  std::vector<Real> anti;  ///< nso^4 <pq||rs>
+
+  [[nodiscard]] Real fock(int p, int q) const {
+    return f[static_cast<std::size_t>(p) * nso + q];
+  }
+  [[nodiscard]] Real v(int p, int q, int r, int s) const {
+    return anti[((static_cast<std::size_t>(p) * nso + q) * nso + r) * nso + s];
+  }
+};
+
+SpinOrbitalSpace buildSpace(const scf::MoIntegrals& mo) {
+  SpinOrbitalSpace sp;
+  sp.nso = mo.nSpinOrbitals();
+  const int n = sp.nso;
+  for (int p = 0; p < mo.nOrb; ++p) {
+    if (p < mo.nAlpha) sp.occ.push_back(2 * p); else sp.vir.push_back(2 * p);
+    if (p < mo.nBeta) sp.occ.push_back(2 * p + 1); else sp.vir.push_back(2 * p + 1);
+  }
+  sp.anti.resize(static_cast<std::size_t>(n) * n * n * n);
+#pragma omp parallel for schedule(dynamic)
+  for (int p = 0; p < n; ++p)
+    for (int q = 0; q < n; ++q)
+      for (int r = 0; r < n; ++r)
+        for (int s = 0; s < n; ++s)
+          sp.anti[((static_cast<std::size_t>(p) * n + q) * n + r) * n + s] =
+              mo.eriSoAnti(p, q, r, s);
+  sp.f.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int p = 0; p < n; ++p)
+    for (int q = 0; q < n; ++q) {
+      Real fpq = mo.hSo(p, q);
+      for (int k : sp.occ) fpq += sp.v(p, k, q, k);
+      sp.f[static_cast<std::size_t>(p) * n + q] = fpq;
+    }
+  return sp;
+}
+
+/// DIIS over flattened amplitude vectors.
+class AmplitudeDiis {
+ public:
+  explicit AmplitudeDiis(int maxSize) : maxSize_(maxSize) {}
+  void push(const std::vector<Real>& amp, const std::vector<Real>& err) {
+    amps_.push_back(amp);
+    errs_.push_back(err);
+    if (static_cast<int>(amps_.size()) > maxSize_) {
+      amps_.pop_front();
+      errs_.pop_front();
+    }
+  }
+  bool extrapolate(std::vector<Real>& amp) {
+    const int m = static_cast<int>(amps_.size());
+    if (m < 2) return false;
+    linalg::Matrix b(m + 1, m + 1);
+    std::vector<Real> rhs(static_cast<std::size_t>(m) + 1, 0.0);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j)
+        b(i, j) = linalg::dot(errs_[static_cast<std::size_t>(i)],
+                              errs_[static_cast<std::size_t>(j)]);
+      b(i, m) = b(m, i) = -1.0;
+    }
+    rhs[static_cast<std::size_t>(m)] = -1.0;
+    std::vector<Real> c;
+    try {
+      c = linalg::solveLinear(b, rhs);
+    } catch (const std::exception&) {
+      amps_.clear();
+      errs_.clear();
+      return false;
+    }
+    std::fill(amp.begin(), amp.end(), 0.0);
+    for (int i = 0; i < m; ++i)
+      linalg::axpy(c[static_cast<std::size_t>(i)], amps_[static_cast<std::size_t>(i)], amp);
+    return true;
+  }
+
+ private:
+  int maxSize_;
+  std::deque<std::vector<Real>> amps_, errs_;
+};
+
+}  // namespace
+
+CcsdResult runCcsd(const scf::MoIntegrals& mo, Real eHf, const CcsdOptions& opts) {
+  const SpinOrbitalSpace sp = buildSpace(mo);
+  const int no = static_cast<int>(sp.occ.size());
+  const int nv = static_cast<int>(sp.vir.size());
+  const auto& O = sp.occ;
+  const auto& V = sp.vir;
+
+  auto t1i = [&](int i, int a) { return static_cast<std::size_t>(i) * nv + a; };
+  auto t2i = [&](int i, int j, int a, int b) {
+    return ((static_cast<std::size_t>(i) * no + j) * nv + a) * nv + b;
+  };
+
+  std::vector<Real> t1(static_cast<std::size_t>(no) * nv, 0.0);
+  std::vector<Real> t2(static_cast<std::size_t>(no) * no * nv * nv, 0.0);
+  std::vector<Real> d1(t1.size()), d2(t2.size());
+  for (int i = 0; i < no; ++i)
+    for (int a = 0; a < nv; ++a)
+      d1[t1i(i, a)] = sp.fock(O[i], O[i]) - sp.fock(V[a], V[a]);
+  for (int i = 0; i < no; ++i)
+    for (int j = 0; j < no; ++j)
+      for (int a = 0; a < nv; ++a)
+        for (int b = 0; b < nv; ++b) {
+          const Real d = sp.fock(O[i], O[i]) + sp.fock(O[j], O[j]) -
+                         sp.fock(V[a], V[a]) - sp.fock(V[b], V[b]);
+          d2[t2i(i, j, a, b)] = d;
+          t2[t2i(i, j, a, b)] = sp.v(O[i], O[j], V[a], V[b]) / d;
+        }
+
+  auto tau = [&](int i, int j, int a, int b) {
+    return t2[t2i(i, j, a, b)] + t1[t1i(i, a)] * t1[t1i(j, b)] -
+           t1[t1i(i, b)] * t1[t1i(j, a)];
+  };
+  auto tauTilde = [&](int i, int j, int a, int b) {
+    return t2[t2i(i, j, a, b)] +
+           0.5 * (t1[t1i(i, a)] * t1[t1i(j, b)] - t1[t1i(i, b)] * t1[t1i(j, a)]);
+  };
+
+  auto energy = [&]() {
+    Real e = 0;
+    for (int i = 0; i < no; ++i)
+      for (int a = 0; a < nv; ++a) e += sp.fock(O[i], V[a]) * t1[t1i(i, a)];
+    for (int i = 0; i < no; ++i)
+      for (int j = 0; j < no; ++j)
+        for (int a = 0; a < nv; ++a)
+          for (int b = 0; b < nv; ++b) {
+            const Real vij = sp.v(O[i], O[j], V[a], V[b]);
+            e += 0.25 * vij * t2[t2i(i, j, a, b)] +
+                 0.5 * vij * t1[t1i(i, a)] * t1[t1i(j, b)];
+          }
+    return e;
+  };
+
+  CcsdResult res;
+  AmplitudeDiis diis(opts.diisSize);
+  Real eOld = 0;
+
+  std::vector<Real> fae(static_cast<std::size_t>(nv) * nv),
+      fmi(static_cast<std::size_t>(no) * no), fme(static_cast<std::size_t>(no) * nv);
+  std::vector<Real> wmnij(static_cast<std::size_t>(no) * no * no * no),
+      wabef(static_cast<std::size_t>(nv) * nv * nv * nv),
+      wmbej(static_cast<std::size_t>(no) * nv * nv * no);
+  auto wmnijI = [&](int m, int n, int i, int j) {
+    return ((static_cast<std::size_t>(m) * no + n) * no + i) * no + j;
+  };
+  auto wabefI = [&](int a, int b, int e, int f) {
+    return ((static_cast<std::size_t>(a) * nv + b) * nv + e) * nv + f;
+  };
+  auto wmbejI = [&](int m, int b, int e, int j) {
+    return ((static_cast<std::size_t>(m) * nv + b) * nv + e) * no + j;
+  };
+
+  for (int it = 0; it < opts.maxIterations; ++it) {
+    // ---- F intermediates ----
+#pragma omp parallel for collapse(2)
+    for (int a = 0; a < nv; ++a)
+      for (int e = 0; e < nv; ++e) {
+        Real s = (a == e) ? 0.0 : sp.fock(V[a], V[e]);
+        for (int m = 0; m < no; ++m) {
+          s -= 0.5 * sp.fock(O[m], V[e]) * t1[t1i(m, a)];
+          for (int f = 0; f < nv; ++f) {
+            s += t1[t1i(m, f)] * sp.v(O[m], V[a], V[f], V[e]);
+            for (int n = 0; n < no; ++n)
+              s -= 0.5 * tauTilde(m, n, a, f) * sp.v(O[m], O[n], V[e], V[f]);
+          }
+        }
+        fae[static_cast<std::size_t>(a) * nv + e] = s;
+      }
+#pragma omp parallel for collapse(2)
+    for (int m = 0; m < no; ++m)
+      for (int i = 0; i < no; ++i) {
+        Real s = (m == i) ? 0.0 : sp.fock(O[m], O[i]);
+        for (int e = 0; e < nv; ++e) {
+          s += 0.5 * t1[t1i(i, e)] * sp.fock(O[m], V[e]);
+          for (int n = 0; n < no; ++n) {
+            s += t1[t1i(n, e)] * sp.v(O[m], O[n], O[i], V[e]);
+            for (int f = 0; f < nv; ++f)
+              s += 0.5 * tauTilde(i, n, e, f) * sp.v(O[m], O[n], V[e], V[f]);
+          }
+        }
+        fmi[static_cast<std::size_t>(m) * no + i] = s;
+      }
+#pragma omp parallel for collapse(2)
+    for (int m = 0; m < no; ++m)
+      for (int e = 0; e < nv; ++e) {
+        Real s = sp.fock(O[m], V[e]);
+        for (int n = 0; n < no; ++n)
+          for (int f = 0; f < nv; ++f)
+            s += t1[t1i(n, f)] * sp.v(O[m], O[n], V[e], V[f]);
+        fme[static_cast<std::size_t>(m) * nv + e] = s;
+      }
+
+    // ---- W intermediates ----
+#pragma omp parallel for collapse(2)
+    for (int m = 0; m < no; ++m)
+      for (int n = 0; n < no; ++n)
+        for (int i = 0; i < no; ++i)
+          for (int j = 0; j < no; ++j) {
+            Real s = sp.v(O[m], O[n], O[i], O[j]);
+            for (int e = 0; e < nv; ++e) {
+              s += t1[t1i(j, e)] * sp.v(O[m], O[n], O[i], V[e]) -
+                   t1[t1i(i, e)] * sp.v(O[m], O[n], O[j], V[e]);
+              for (int f = 0; f < nv; ++f)
+                s += 0.25 * tau(i, j, e, f) * sp.v(O[m], O[n], V[e], V[f]);
+            }
+            wmnij[wmnijI(m, n, i, j)] = s;
+          }
+#pragma omp parallel for collapse(2)
+    for (int a = 0; a < nv; ++a)
+      for (int b = 0; b < nv; ++b)
+        for (int e = 0; e < nv; ++e)
+          for (int f = 0; f < nv; ++f) {
+            Real s = sp.v(V[a], V[b], V[e], V[f]);
+            for (int m = 0; m < no; ++m) {
+              s += -t1[t1i(m, b)] * sp.v(V[a], O[m], V[e], V[f]) +
+                   t1[t1i(m, a)] * sp.v(V[b], O[m], V[e], V[f]);
+              for (int n = 0; n < no; ++n)
+                s += 0.25 * tau(m, n, a, b) * sp.v(O[m], O[n], V[e], V[f]);
+            }
+            wabef[wabefI(a, b, e, f)] = s;
+          }
+#pragma omp parallel for collapse(2)
+    for (int m = 0; m < no; ++m)
+      for (int b = 0; b < nv; ++b)
+        for (int e = 0; e < nv; ++e)
+          for (int j = 0; j < no; ++j) {
+            Real s = sp.v(O[m], V[b], V[e], O[j]);
+            for (int f = 0; f < nv; ++f) s += t1[t1i(j, f)] * sp.v(O[m], V[b], V[e], V[f]);
+            for (int n = 0; n < no; ++n) {
+              s -= t1[t1i(n, b)] * sp.v(O[m], O[n], V[e], O[j]);
+              for (int f = 0; f < nv; ++f)
+                s -= (0.5 * t2[t2i(j, n, f, b)] + t1[t1i(j, f)] * t1[t1i(n, b)]) *
+                     sp.v(O[m], O[n], V[e], V[f]);
+            }
+            wmbej[wmbejI(m, b, e, j)] = s;
+          }
+
+    // ---- T1 update ----
+    std::vector<Real> t1New(t1.size());
+#pragma omp parallel for collapse(2)
+    for (int i = 0; i < no; ++i)
+      for (int a = 0; a < nv; ++a) {
+        Real s = sp.fock(O[i], V[a]);
+        for (int e = 0; e < nv; ++e) s += t1[t1i(i, e)] * fae[static_cast<std::size_t>(a) * nv + e];
+        for (int m = 0; m < no; ++m) {
+          s -= t1[t1i(m, a)] * fmi[static_cast<std::size_t>(m) * no + i];
+          for (int e = 0; e < nv; ++e) {
+            s += t2[t2i(i, m, a, e)] * fme[static_cast<std::size_t>(m) * nv + e];
+            s -= t1[t1i(m, e)] * sp.v(O[m], V[a], O[i], V[e]);
+            for (int f = 0; f < nv; ++f)
+              s -= 0.5 * t2[t2i(i, m, e, f)] * sp.v(O[m], V[a], V[e], V[f]);
+            for (int n = 0; n < no; ++n)
+              s -= 0.5 * t2[t2i(m, n, a, e)] * sp.v(O[n], O[m], V[e], O[i]);
+          }
+        }
+        t1New[t1i(i, a)] = s / d1[t1i(i, a)];
+      }
+
+    // ---- T2 update ----
+    std::vector<Real> t2New(t2.size());
+#pragma omp parallel for collapse(2)
+    for (int i = 0; i < no; ++i)
+      for (int j = 0; j < no; ++j)
+        for (int a = 0; a < nv; ++a)
+          for (int b = 0; b < nv; ++b) {
+            Real s = sp.v(O[i], O[j], V[a], V[b]);
+            for (int e = 0; e < nv; ++e) {
+              Real gb = fae[static_cast<std::size_t>(b) * nv + e];
+              Real ga = fae[static_cast<std::size_t>(a) * nv + e];
+              for (int m = 0; m < no; ++m) {
+                gb -= 0.5 * t1[t1i(m, b)] * fme[static_cast<std::size_t>(m) * nv + e];
+                ga -= 0.5 * t1[t1i(m, a)] * fme[static_cast<std::size_t>(m) * nv + e];
+              }
+              s += t2[t2i(i, j, a, e)] * gb - t2[t2i(i, j, b, e)] * ga;
+            }
+            for (int m = 0; m < no; ++m) {
+              Real gj = fmi[static_cast<std::size_t>(m) * no + j];
+              Real gi = fmi[static_cast<std::size_t>(m) * no + i];
+              for (int e = 0; e < nv; ++e) {
+                gj += 0.5 * t1[t1i(j, e)] * fme[static_cast<std::size_t>(m) * nv + e];
+                gi += 0.5 * t1[t1i(i, e)] * fme[static_cast<std::size_t>(m) * nv + e];
+              }
+              s += -t2[t2i(i, m, a, b)] * gj + t2[t2i(j, m, a, b)] * gi;
+            }
+            for (int m = 0; m < no; ++m)
+              for (int n = 0; n < no; ++n)
+                s += 0.5 * tau(m, n, a, b) * wmnij[wmnijI(m, n, i, j)];
+            for (int e = 0; e < nv; ++e)
+              for (int f = 0; f < nv; ++f)
+                s += 0.5 * tau(i, j, e, f) * wabef[wabefI(a, b, e, f)];
+            for (int m = 0; m < no; ++m)
+              for (int e = 0; e < nv; ++e) {
+                s += t2[t2i(i, m, a, e)] * wmbej[wmbejI(m, b, e, j)] -
+                     t1[t1i(i, e)] * t1[t1i(m, a)] * sp.v(O[m], V[b], V[e], O[j]);
+                s -= t2[t2i(j, m, a, e)] * wmbej[wmbejI(m, b, e, i)] -
+                     t1[t1i(j, e)] * t1[t1i(m, a)] * sp.v(O[m], V[b], V[e], O[i]);
+                s -= t2[t2i(i, m, b, e)] * wmbej[wmbejI(m, a, e, j)] -
+                     t1[t1i(i, e)] * t1[t1i(m, b)] * sp.v(O[m], V[a], V[e], O[j]);
+                s += t2[t2i(j, m, b, e)] * wmbej[wmbejI(m, a, e, i)] -
+                     t1[t1i(j, e)] * t1[t1i(m, b)] * sp.v(O[m], V[a], V[e], O[i]);
+              }
+            for (int e = 0; e < nv; ++e)
+              s += t1[t1i(i, e)] * sp.v(V[a], V[b], V[e], O[j]) -
+                   t1[t1i(j, e)] * sp.v(V[a], V[b], V[e], O[i]);
+            for (int m = 0; m < no; ++m)
+              s += -t1[t1i(m, a)] * sp.v(O[m], V[b], O[i], O[j]) +
+                   t1[t1i(m, b)] * sp.v(O[m], V[a], O[i], O[j]);
+            t2New[t2i(i, j, a, b)] = s / d2[t2i(i, j, a, b)];
+          }
+
+    // ---- Convergence / DIIS ----
+    Real rms = 0;
+    std::vector<Real> flat(t1New.size() + t2New.size()), err(flat.size());
+    for (std::size_t k = 0; k < t1New.size(); ++k) {
+      err[k] = t1New[k] - t1[k];
+      flat[k] = t1New[k];
+      rms += err[k] * err[k];
+    }
+    for (std::size_t k = 0; k < t2New.size(); ++k) {
+      err[t1New.size() + k] = t2New[k] - t2[k];
+      flat[t1New.size() + k] = t2New[k];
+      rms += err[t1New.size() + k] * err[t1New.size() + k];
+    }
+    rms = std::sqrt(rms / static_cast<Real>(flat.size()));
+    diis.push(flat, err);
+    if (diis.extrapolate(flat)) {
+      std::copy(flat.begin(), flat.begin() + static_cast<std::ptrdiff_t>(t1.size()), t1.begin());
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(t1.size()), flat.end(), t2.begin());
+    } else {
+      t1 = std::move(t1New);
+      t2 = std::move(t2New);
+    }
+
+    const Real eCorr = energy();
+    res.iterations = it + 1;
+    if (opts.verbose)
+      log::info("ccsd it=%d Ecorr=%.10f dE=%.2e rms=%.2e", it, eCorr, eCorr - eOld, rms);
+    if (std::abs(eCorr - eOld) < opts.amplitudeTol && rms < 1e2 * opts.amplitudeTol) {
+      res.converged = true;
+      res.correlationEnergy = eCorr;
+      res.energy = eHf + eCorr;
+      return res;
+    }
+    eOld = eCorr;
+    res.correlationEnergy = eCorr;
+    res.energy = eHf + eCorr;
+  }
+  log::warn("ccsd: not converged after %d iterations", res.iterations);
+  return res;
+}
+
+}  // namespace nnqs::cc

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "scf/mo_integrals.hpp"
+
+namespace nnqs::cc {
+
+struct CcsdOptions {
+  int maxIterations = 200;
+  Real amplitudeTol = 1e-8;
+  int diisSize = 8;
+  bool verbose = false;
+};
+
+struct CcsdResult {
+  Real energy = 0;            ///< total energy (HF + correlation)
+  Real correlationEnergy = 0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Spin-orbital CCSD (Stanton-Gauss-Bartlett working equations) with DIIS.
+/// Works for closed-shell RHF references and, with non-diagonal Fock terms
+/// retained, for high-spin ROHF references (ROHF-CCSD).  `eHf` is the
+/// reference energy the correlation is added to.
+CcsdResult runCcsd(const scf::MoIntegrals& mo, Real eHf, const CcsdOptions& opts = {});
+
+}  // namespace nnqs::cc

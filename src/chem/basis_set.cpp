@@ -1,0 +1,203 @@
+#include "chem/basis_set.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+#include <stdexcept>
+
+#include "chem/element.hpp"
+#include "chem/sto_fit.hpp"
+
+namespace nnqs::chem {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+Shell makeShell(int l, std::vector<Real> exps, std::vector<Real> coeffs) {
+  Shell s;
+  s.l = l;
+  s.exps = std::move(exps);
+  s.coeffs = std::move(coeffs);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// STO-3G.  Universal zeta=1 Gaussian expansions (Stewart 1970 / Hehre-Stewart-
+// Pople 1969) scaled per element by zeta^2.  The published universal 1s and
+// 2sp fits are hardcoded; the 3sp fit (needed for P, S, Cl) is regenerated at
+// startup by the same least-squares construction (chem/sto_fit) and verified
+// against the hardcoded fits in tests.
+// ---------------------------------------------------------------------------
+
+constexpr Real kU1sExp[3] = {2.227660584, 0.4057711562, 0.1098175104};
+constexpr Real kU1sCoef[3] = {0.1543289673, 0.5353281423, 0.4446345422};
+constexpr Real kU2spExp[3] = {0.9942030428, 0.2310313338, 0.0751386016};
+constexpr Real kU2sCoef[3] = {-0.09996722919, 0.3995128261, 0.7001154689};
+constexpr Real kU2pCoef[3] = {0.1559162750, 0.6076837186, 0.3919573931};
+
+struct StoZeta {
+  Real z1s = 0, z2sp = 0, z3sp = 0;
+};
+
+/// STO-3G Slater exponents.  Rows 1-2: the published best-atom/standard
+/// molecular values; row 3 (P,S,Cl): Slater-rule values (documented
+/// substitution, see DESIGN.md).
+StoZeta stoZeta(int z) {
+  switch (z) {
+    case 1: return {1.24, 0, 0};
+    case 2: return {1.69, 0, 0};
+    case 3: return {2.69, 0.80, 0};
+    case 4: return {3.68, 1.15, 0};
+    case 5: return {4.68, 1.45, 0};
+    case 6: return {5.67, 1.72, 0};
+    case 7: return {6.67, 1.95, 0};
+    case 8: return {7.66, 2.25, 0};
+    case 9: return {8.65, 2.55, 0};
+    case 15: return {14.70, 5.425, 1.60};
+    case 16: return {15.70, 5.75, 1.8167};
+    case 17: return {16.70, 6.075, 2.0333};
+    default:
+      throw std::invalid_argument("STO-3G: element not in built-in table: " +
+                                  elementSymbol(z));
+  }
+}
+
+/// Cached universal 3sp fit (zeta = 1), produced by the STO-3G construction.
+const StoFit& universal3sp() {
+  static StoFit fit;
+  static std::once_flag once;
+  std::call_once(once, [] { fit = fitStoSP(3, 3); });
+  return fit;
+}
+
+std::vector<Shell> sto3gShells(int z) {
+  const StoZeta zeta = stoZeta(z);
+  std::vector<Shell> shells;
+  auto scaled = [](const Real* src, Real z2, int n) {
+    std::vector<Real> out(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = src[i] * z2;
+    return out;
+  };
+  shells.push_back(makeShell(0, scaled(kU1sExp, zeta.z1s * zeta.z1s, 3),
+                             {kU1sCoef[0], kU1sCoef[1], kU1sCoef[2]}));
+  if (zeta.z2sp > 0) {
+    auto exps = scaled(kU2spExp, zeta.z2sp * zeta.z2sp, 3);
+    shells.push_back(makeShell(0, exps, {kU2sCoef[0], kU2sCoef[1], kU2sCoef[2]}));
+    shells.push_back(makeShell(1, exps, {kU2pCoef[0], kU2pCoef[1], kU2pCoef[2]}));
+  }
+  if (zeta.z3sp > 0) {
+    const StoFit& u = universal3sp();
+    std::vector<Real> exps(u.exps);
+    for (auto& e : exps) e *= zeta.z3sp * zeta.z3sp;
+    shells.push_back(makeShell(0, exps, u.sCoeffs));
+    shells.push_back(makeShell(1, exps, u.pCoeffs));
+  }
+  return shells;
+}
+
+// ---------------------------------------------------------------------------
+// 6-31G for H and C (benzene, Figs. 11-12).
+// ---------------------------------------------------------------------------
+
+std::vector<Shell> basis631gShells(int z) {
+  std::vector<Shell> shells;
+  if (z == 1) {
+    shells.push_back(makeShell(0, {18.7311370, 2.8253937, 0.6401217},
+                               {0.03349460, 0.23472695, 0.81375733}));
+    shells.push_back(makeShell(0, {0.1612778}, {1.0}));
+    return shells;
+  }
+  if (z == 6) {
+    shells.push_back(makeShell(0,
+                               {3047.5249000, 457.3695100, 103.9486900,
+                                29.2101550, 9.2866630, 3.1639270},
+                               {0.0018347, 0.0140373, 0.0688426, 0.2321844,
+                                0.4679413, 0.3623120}));
+    shells.push_back(makeShell(0, {7.8682724, 1.8812885, 0.5442493},
+                               {-0.1193324, -0.1608542, 1.1434564}));
+    shells.push_back(makeShell(1, {7.8682724, 1.8812885, 0.5442493},
+                               {0.0689991, 0.3164240, 0.7443083}));
+    shells.push_back(makeShell(0, {0.1687144}, {1.0}));
+    shells.push_back(makeShell(1, {0.1687144}, {1.0}));
+    return shells;
+  }
+  throw std::invalid_argument("6-31G: element not in built-in table: " +
+                              elementSymbol(z));
+}
+
+// ---------------------------------------------------------------------------
+// cc-pVTZ / aug-cc-pVTZ for H (Fig. 13: 56- and 92-qubit H2).
+// ---------------------------------------------------------------------------
+
+std::vector<Shell> ccpvtzHShells(bool augmented) {
+  std::vector<Shell> shells;
+  shells.push_back(makeShell(0, {33.8700000, 5.0950000, 1.1590000},
+                             {0.0060680, 0.0453080, 0.2028220}));
+  shells.push_back(makeShell(0, {0.3258000}, {1.0}));
+  shells.push_back(makeShell(0, {0.1027000}, {1.0}));
+  shells.push_back(makeShell(1, {1.4070000}, {1.0}));
+  shells.push_back(makeShell(1, {0.3880000}, {1.0}));
+  shells.push_back(makeShell(2, {1.0570000}, {1.0}));
+  if (augmented) {
+    shells.push_back(makeShell(0, {0.0252600}, {1.0}));
+    shells.push_back(makeShell(1, {0.1020000}, {1.0}));
+    shells.push_back(makeShell(2, {0.2470000}, {1.0}));
+  }
+  return shells;
+}
+
+}  // namespace
+
+std::vector<Shell> elementShells(int z, const std::string& basisName) {
+  const std::string b = lower(basisName);
+  if (b == "sto-3g" || b == "sto3g") return sto3gShells(z);
+  if (b == "6-31g" || b == "631g") return basis631gShells(z);
+  if (b == "cc-pvtz") {
+    if (z != 1) throw std::invalid_argument("cc-pVTZ: built-in data covers H only");
+    return ccpvtzHShells(false);
+  }
+  if (b == "aug-cc-pvtz") {
+    if (z != 1) throw std::invalid_argument("aug-cc-pVTZ: built-in data covers H only");
+    return ccpvtzHShells(true);
+  }
+  throw std::invalid_argument("unknown basis set: " + basisName);
+}
+
+int BasisSet::nCartesian() const {
+  int n = 0;
+  for (const auto& s : shells) n += s.nCartesian();
+  return n;
+}
+
+int BasisSet::nAO() const {
+  int n = 0;
+  for (const auto& s : shells) n += spherical ? s.nSpherical() : s.nCartesian();
+  return n;
+}
+
+int BasisSet::maxL() const {
+  int l = 0;
+  for (const auto& s : shells) l = std::max(l, s.l);
+  return l;
+}
+
+BasisSet buildBasis(const Molecule& mol, const std::string& basisName) {
+  BasisSet basis;
+  basis.name = basisName;
+  for (std::size_t ia = 0; ia < mol.atoms().size(); ++ia) {
+    const Atom& atom = mol.atoms()[ia];
+    for (Shell s : elementShells(atom.z, basisName)) {
+      s.center = atom.xyz;
+      s.normalize();
+      basis.shells.push_back(std::move(s));
+      basis.shellAtom.push_back(static_cast<int>(ia));
+    }
+  }
+  return basis;
+}
+
+}  // namespace nnqs::chem

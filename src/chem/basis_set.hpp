@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "chem/shell.hpp"
+
+namespace nnqs::chem {
+
+/// Molecule-specific basis: the list of normalized shells placed on atoms.
+/// Integrals are evaluated in the cartesian Gaussian basis; `spherical`
+/// selects whether the AO basis exposed downstream is the spherical-harmonic
+/// one (required for d shells, e.g. cc-pVTZ).
+struct BasisSet {
+  std::vector<Shell> shells;
+  std::vector<int> shellAtom;  ///< atom index of each shell
+  bool spherical = true;
+  std::string name;
+
+  [[nodiscard]] int nCartesian() const;
+  [[nodiscard]] int nAO() const;  ///< spherical count if spherical, else cartesian
+  [[nodiscard]] int maxL() const;
+};
+
+/// Build a basis for `mol`.  Supported names: "sto-3g", "6-31g", "cc-pvtz",
+/// "aug-cc-pvtz" (the latter two for H only, as used in the paper's Fig. 13).
+BasisSet buildBasis(const Molecule& mol, const std::string& basisName);
+
+/// Raw (un-normalized-coefficient) shells of one element in a named basis,
+/// centered at origin.  Exposed for tests.
+std::vector<Shell> elementShells(int z, const std::string& basisName);
+
+}  // namespace nnqs::chem

@@ -1,0 +1,26 @@
+#include "chem/element.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace nnqs::chem {
+
+namespace {
+constexpr std::array<const char*, 19> kSymbols = {
+    "X",  "H",  "He", "Li", "Be", "B",  "C",  "N",  "O", "F",
+    "Ne", "Na", "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar"};
+}
+
+int atomicNumber(const std::string& symbol) {
+  for (std::size_t z = 1; z < kSymbols.size(); ++z)
+    if (symbol == kSymbols[z]) return static_cast<int>(z);
+  throw std::invalid_argument("unknown element symbol: " + symbol);
+}
+
+std::string elementSymbol(int z) {
+  if (z < 1 || z >= static_cast<int>(kSymbols.size()))
+    throw std::invalid_argument("element symbol: Z out of range");
+  return kSymbols[static_cast<std::size_t>(z)];
+}
+
+}  // namespace nnqs::chem

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nnqs::chem {
+
+/// Atomic number from an element symbol ("H", "He", ... "Ar"); throws on
+/// unknown symbols.
+int atomicNumber(const std::string& symbol);
+
+/// Element symbol from atomic number.
+std::string elementSymbol(int z);
+
+/// Number of electrons of the neutral atom (== Z, provided for readability).
+inline int neutralElectrons(int z) { return z; }
+
+}  // namespace nnqs::chem

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace nnqs::chem {
+
+/// Built-in equilibrium geometries for every molecular system used in the
+/// paper's evaluation (Table 1, Figs. 8-13).  Names are case-insensitive
+/// formulas: H2, LiH, BeH2, H2O, NH3, N2, O2, C2, H2S, PH3, LiCl, Li2O,
+/// C2H4O (oxirane), C3H6 (cyclopropane), C6H6 (benzene).
+Molecule makeMolecule(const std::string& name);
+
+/// Names available from makeMolecule (for sweeps/tests).
+std::vector<std::string> moleculeLibraryNames();
+
+/// Parameterized geometries for the potential-energy-surface figures.
+Molecule makeH2(Real rAngstrom);     ///< Fig. 13
+Molecule makeBeH2(Real rAngstrom);   ///< Fig. 8 (linear, r = Be-H distance)
+
+}  // namespace nnqs::chem

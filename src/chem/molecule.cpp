@@ -1,0 +1,55 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "chem/element.hpp"
+
+namespace nnqs::chem {
+
+Molecule::Molecule(std::vector<Atom> atoms, int charge, int multiplicity)
+    : atoms_(std::move(atoms)), charge_(charge), multiplicity_(multiplicity) {
+  const int ne = nElectrons();
+  if ((ne + multiplicity_ - 1) % 2 != 0)
+    throw std::invalid_argument("Molecule: electron count incompatible with multiplicity");
+}
+
+int Molecule::nElectrons() const {
+  int n = -charge_;
+  for (const auto& a : atoms_) n += a.z;
+  return n;
+}
+
+int Molecule::nAlpha() const { return (nElectrons() + multiplicity_ - 1) / 2; }
+int Molecule::nBeta() const { return nElectrons() - nAlpha(); }
+
+Real Molecule::nuclearRepulsion() const {
+  Real e = 0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i)
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const Real dx = atoms_[i].xyz[0] - atoms_[j].xyz[0];
+      const Real dy = atoms_[i].xyz[1] - atoms_[j].xyz[1];
+      const Real dz = atoms_[i].xyz[2] - atoms_[j].xyz[2];
+      e += atoms_[i].z * atoms_[j].z / std::sqrt(dx * dx + dy * dy + dz * dz);
+    }
+  return e;
+}
+
+std::string Molecule::formula() const {
+  std::map<std::string, int> counts;
+  for (const auto& a : atoms_) counts[elementSymbol(a.z)]++;
+  std::string f;
+  for (const auto& [sym, n] : counts) {
+    f += sym;
+    if (n > 1) f += std::to_string(n);
+  }
+  return f;
+}
+
+void Molecule::addAtomAngstrom(const std::string& symbol, Real x, Real y, Real z) {
+  atoms_.push_back(Atom{atomicNumber(symbol),
+                        {x * kBohrPerAngstrom, y * kBohrPerAngstrom, z * kBohrPerAngstrom}});
+}
+
+}  // namespace nnqs::chem

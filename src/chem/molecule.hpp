@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nnqs::chem {
+
+struct Atom {
+  int z = 0;
+  std::array<Real, 3> xyz{};  ///< bohr
+};
+
+/// A molecular system: geometry + charge + spin multiplicity (2S+1).
+class Molecule {
+ public:
+  Molecule() = default;
+  Molecule(std::vector<Atom> atoms, int charge = 0, int multiplicity = 1);
+
+  [[nodiscard]] const std::vector<Atom>& atoms() const { return atoms_; }
+  [[nodiscard]] int charge() const { return charge_; }
+  [[nodiscard]] int multiplicity() const { return multiplicity_; }
+
+  [[nodiscard]] int nElectrons() const;
+  [[nodiscard]] int nAlpha() const;
+  [[nodiscard]] int nBeta() const;
+  [[nodiscard]] Real nuclearRepulsion() const;
+  [[nodiscard]] std::string formula() const;
+
+  /// Add an atom by symbol at xyz given in Angstrom.
+  void addAtomAngstrom(const std::string& symbol, Real x, Real y, Real z);
+
+ private:
+  std::vector<Atom> atoms_;
+  int charge_ = 0;
+  int multiplicity_ = 1;
+};
+
+}  // namespace nnqs::chem

@@ -1,0 +1,46 @@
+#include "chem/shell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nnqs::chem {
+
+Real doubleFactorial(int n) {
+  Real r = 1.0;
+  for (int k = n; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+std::vector<std::array<int, 3>> cartesianComponents(int l) {
+  std::vector<std::array<int, 3>> comps;
+  for (int lx = l; lx >= 0; --lx)
+    for (int ly = l - lx; ly >= 0; --ly) comps.push_back({lx, ly, l - lx - ly});
+  return comps;
+}
+
+void Shell::normalize() {
+  if (exps.size() != coeffs.size() || exps.empty())
+    throw std::invalid_argument("Shell::normalize: bad primitive data");
+  // Primitive norm of the (l,0,0) cartesian component:
+  //   N = (2a/pi)^{3/4} (4a)^{l/2} / sqrt((2l-1)!!)
+  const Real dfl = doubleFactorial(2 * l - 1);
+  for (int i = 0; i < nPrimitives(); ++i) {
+    const Real a = exps[static_cast<std::size_t>(i)];
+    const Real norm = std::pow(2.0 * a / kPi, 0.75) *
+                      std::pow(4.0 * a, 0.5 * l) / std::sqrt(dfl);
+    coeffs[static_cast<std::size_t>(i)] *= norm;
+  }
+  // Contracted self-overlap of the (l,0,0) component:
+  //   <i|j> = (pi/(ai+aj))^{3/2} (2l-1)!! / (2(ai+aj))^l
+  Real s = 0;
+  for (int i = 0; i < nPrimitives(); ++i)
+    for (int j = 0; j < nPrimitives(); ++j) {
+      const Real p = exps[static_cast<std::size_t>(i)] + exps[static_cast<std::size_t>(j)];
+      s += coeffs[static_cast<std::size_t>(i)] * coeffs[static_cast<std::size_t>(j)] *
+           std::pow(kPi / p, 1.5) * dfl / std::pow(2.0 * p, l);
+    }
+  const Real scale = 1.0 / std::sqrt(s);
+  for (auto& c : coeffs) c *= scale;
+}
+
+}  // namespace nnqs::chem

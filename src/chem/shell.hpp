@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nnqs::chem {
+
+/// Contracted Gaussian shell: sum_i c_i * x^a y^b z^c * exp(-alpha_i r^2) at a
+/// center, for all cartesian components of total angular momentum `l`.
+struct Shell {
+  int l = 0;                    ///< 0=s, 1=p, 2=d
+  std::array<Real, 3> center{}; ///< bohr
+  std::vector<Real> exps;
+  std::vector<Real> coeffs;     ///< after normalize(): includes primitive norms
+
+  [[nodiscard]] int nPrimitives() const { return static_cast<int>(exps.size()); }
+  /// Number of cartesian components: (l+1)(l+2)/2.
+  [[nodiscard]] int nCartesian() const { return (l + 1) * (l + 2) / 2; }
+  /// Number of spherical components: 2l+1.
+  [[nodiscard]] int nSpherical() const { return 2 * l + 1; }
+
+  /// Folds the (l,0,0)-component primitive norms into the coefficients and
+  /// rescales so the contracted (l,0,0) cartesian function has unit norm.
+  void normalize();
+};
+
+/// (2n-1)!! with (-1)!! = 1.
+Real doubleFactorial(int n);
+
+/// Cartesian component exponents (lx,ly,lz) of shell `l` in canonical order
+/// (lexicographic descending in lx, then ly): s:(000); p:(100)(010)(001);
+/// d:(200)(110)(101)(020)(011)(002).
+std::vector<std::array<int, 3>> cartesianComponents(int l);
+
+}  // namespace nnqs::chem

@@ -1,0 +1,210 @@
+#include "chem/sto_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "chem/shell.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nnqs::chem {
+
+namespace {
+
+/// 64-point Gauss-Legendre nodes/weights on [0,1], generated once by
+/// Newton iteration on the Legendre polynomial.
+struct GaussLegendre {
+  std::vector<Real> x, w;
+  explicit GaussLegendre(int n) {
+    x.resize(static_cast<std::size_t>(n));
+    w.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // Initial guess (Chebyshev) for root of P_n on [-1,1].
+      Real z = std::cos(kPi * (i + 0.75) / (n + 0.5));
+      Real pp = 0;
+      for (int it = 0; it < 100; ++it) {
+        Real p0 = 1.0, p1 = 0.0;
+        for (int j = 0; j < n; ++j) {
+          const Real p2 = p1;
+          p1 = p0;
+          p0 = ((2.0 * j + 1.0) * z * p1 - j * p2) / (j + 1);
+        }
+        pp = n * (z * p0 - p1) / (z * z - 1.0);
+        const Real dz = p0 / pp;
+        z -= dz;
+        if (std::abs(dz) < 1e-15) break;
+      }
+      // Map [-1,1] -> [0,1].
+      x[static_cast<std::size_t>(i)] = 0.5 * (1.0 - z);
+      w[static_cast<std::size_t>(i)] = 1.0 / ((1.0 - z * z) * pp * pp);
+    }
+  }
+};
+
+/// Integrate f(r) r^2 dr on [0, inf) via r = t/(1-t) substitution.
+Real radialIntegral(const std::function<Real(Real)>& f) {
+  static const GaussLegendre gl(200);
+  Real sum = 0;
+  for (std::size_t i = 0; i < gl.x.size(); ++i) {
+    const Real t = gl.x[i];
+    const Real r = t / (1.0 - t);
+    const Real jac = 1.0 / ((1.0 - t) * (1.0 - t));
+    sum += gl.w[i] * f(r) * r * r * jac;
+  }
+  return sum;
+}
+
+Real stoNorm(int n, Real zeta) {
+  // N^2 int r^{2n-2} e^{-2 zeta r} r^2 dr = 1 ; int r^{2n} e^{-2z r} = (2n)!/(2z)^{2n+1}
+  Real fact = 1;
+  for (int k = 2; k <= 2 * n; ++k) fact *= k;
+  return std::sqrt(std::pow(2.0 * zeta, 2 * n + 1) / fact);
+}
+
+Real gaussRadialNorm(int l, Real alpha) {
+  // N^2 int r^{2l+2} e^{-2 a r^2} dr = 1 ;
+  // int_0^inf r^{2k} e^{-b r^2} dr = (2k-1)!! sqrt(pi/b) / (2^{k+1} b^k)
+  const int k = l + 1;
+  const Real b = 2.0 * alpha;
+  const Real integral =
+      doubleFactorial(2 * k - 1) * std::sqrt(kPi / b) / (std::pow(2.0, k + 1) * std::pow(b, k));
+  return 1.0 / std::sqrt(integral);
+}
+
+/// Best overlap of STO(n,l,zeta=1) with span of Gaussians {alpha_i} (l fixed),
+/// and the corresponding coefficients in the normalized-primitive convention.
+std::pair<Real, std::vector<Real>> bestOverlap(int n, int l,
+                                               const std::vector<Real>& exps) {
+  const int m = static_cast<int>(exps.size());
+  linalg::Matrix s(m, m);
+  std::vector<Real> v(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    v[static_cast<std::size_t>(i)] = stoGaussOverlap(n, l, 1.0, exps[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < m; ++j)
+      s(i, j) = gaussGaussOverlap(l, exps[static_cast<std::size_t>(i)],
+                                  exps[static_cast<std::size_t>(j)]);
+  }
+  std::vector<Real> c = linalg::solveLinear(s, v);
+  const Real ov2 = linalg::dot(c, v);  // = v^T S^{-1} v
+  if (ov2 <= 0) return {0.0, std::vector<Real>(static_cast<std::size_t>(m), 0.0)};
+  const Real scale = 1.0 / std::sqrt(ov2);
+  for (auto& ci : c) ci *= scale;  // now c^T S c = 1
+  return {std::sqrt(ov2), c};
+}
+
+/// Nelder-Mead maximization of `objective` over log-exponents.
+std::vector<Real> nelderMeadMax(const std::function<Real(const std::vector<Real>&)>& objective,
+                                std::vector<Real> start, int maxIter) {
+  const std::size_t dim = start.size();
+  struct Pt {
+    std::vector<Real> x;
+    Real f;
+  };
+  std::vector<Pt> simplex;
+  auto eval = [&](std::vector<Real> x) { return Pt{x, -objective(x)}; };
+  simplex.push_back(eval(start));
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto x = start;
+    x[d] += 0.4;
+    simplex.push_back(eval(x));
+  }
+  for (int it = 0; it < maxIter; ++it) {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Pt& a, const Pt& b) { return a.f < b.f; });
+    if (std::abs(simplex.back().f - simplex.front().f) < 1e-14) break;
+    std::vector<Real> centroid(dim, 0.0);
+    for (std::size_t i = 0; i < dim; ++i)
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[i].x[d] / dim;
+    const Pt& worst = simplex.back();
+    auto mix = [&](Real t) {
+      std::vector<Real> x(dim);
+      for (std::size_t d = 0; d < dim; ++d) x[d] = centroid[d] + t * (worst.x[d] - centroid[d]);
+      return x;
+    };
+    Pt refl = eval(mix(-1.0));
+    if (refl.f < simplex.front().f) {
+      Pt exp_ = eval(mix(-2.0));
+      simplex.back() = (exp_.f < refl.f) ? exp_ : refl;
+    } else if (refl.f < simplex[dim - 1].f) {
+      simplex.back() = refl;
+    } else {
+      Pt contr = eval(mix(0.5));
+      if (contr.f < worst.f) {
+        simplex.back() = contr;
+      } else {
+        for (std::size_t i = 1; i <= dim; ++i) {
+          for (std::size_t d = 0; d < dim; ++d)
+            simplex[i].x[d] = 0.5 * (simplex[i].x[d] + simplex[0].x[d]);
+          simplex[i] = eval(simplex[i].x);
+        }
+      }
+    }
+  }
+  std::sort(simplex.begin(), simplex.end(),
+            [](const Pt& a, const Pt& b) { return a.f < b.f; });
+  return simplex.front().x;
+}
+
+}  // namespace
+
+Real stoGaussOverlap(int n, int l, Real zeta, Real alpha) {
+  const Real ns = stoNorm(n, zeta);
+  const Real ng = gaussRadialNorm(l, alpha);
+  return radialIntegral([&](Real r) {
+    return ns * std::pow(r, n - 1) * std::exp(-zeta * r) * ng * std::pow(r, l) *
+           std::exp(-alpha * r * r);
+  });
+}
+
+Real gaussGaussOverlap(int l, Real a, Real b) {
+  const int k = l + 1;
+  const Real p = a + b;
+  const Real integral =
+      doubleFactorial(2 * k - 1) * std::sqrt(kPi / p) / (std::pow(2.0, k + 1) * std::pow(p, k));
+  return gaussRadialNorm(l, a) * gaussRadialNorm(l, b) * integral;
+}
+
+StoFit fitSto(int n, int l, int nGauss) {
+  std::vector<Real> logStart(static_cast<std::size_t>(nGauss));
+  for (int i = 0; i < nGauss; ++i)
+    logStart[static_cast<std::size_t>(i)] = std::log(2.5 / (n * n)) + 1.5 * (nGauss / 2 - i);
+  auto objective = [&](const std::vector<Real>& logExps) {
+    std::vector<Real> exps(logExps.size());
+    for (std::size_t i = 0; i < exps.size(); ++i) exps[i] = std::exp(logExps[i]);
+    return bestOverlap(n, l, exps).first;
+  };
+  auto best = nelderMeadMax(objective, logStart, 4000);
+  StoFit fit;
+  fit.exps.resize(static_cast<std::size_t>(nGauss));
+  for (std::size_t i = 0; i < fit.exps.size(); ++i) fit.exps[i] = std::exp(best[i]);
+  std::sort(fit.exps.rbegin(), fit.exps.rend());
+  auto [ov, c] = bestOverlap(n, l, fit.exps);
+  fit.sCoeffs = c;
+  fit.overlapS = ov;
+  return fit;
+}
+
+StoFit fitStoSP(int n, int nGauss) {
+  std::vector<Real> logStart(static_cast<std::size_t>(nGauss));
+  for (int i = 0; i < nGauss; ++i)
+    logStart[static_cast<std::size_t>(i)] = std::log(2.5 / (n * n)) + 1.5 * (nGauss / 2 - i);
+  auto objective = [&](const std::vector<Real>& logExps) {
+    std::vector<Real> exps(logExps.size());
+    for (std::size_t i = 0; i < exps.size(); ++i) exps[i] = std::exp(logExps[i]);
+    return bestOverlap(n, 0, exps).first + bestOverlap(n, 1, exps).first;
+  };
+  auto best = nelderMeadMax(objective, logStart, 4000);
+  StoFit fit;
+  fit.exps.resize(static_cast<std::size_t>(nGauss));
+  for (std::size_t i = 0; i < fit.exps.size(); ++i) fit.exps[i] = std::exp(best[i]);
+  std::sort(fit.exps.rbegin(), fit.exps.rend());
+  auto [ovS, cS] = bestOverlap(n, 0, fit.exps);
+  auto [ovP, cP] = bestOverlap(n, 1, fit.exps);
+  fit.sCoeffs = cS;
+  fit.pCoeffs = cP;
+  fit.overlapS = ovS;
+  fit.overlapP = ovP;
+  return fit;
+}
+
+}  // namespace nnqs::chem

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nnqs::chem {
+
+/// Result of an STO-nG least-squares fit: expansion of a Slater-type orbital
+/// with zeta = 1 in `nGauss` normalized Gaussian primitives.  Scaling to an
+/// arbitrary zeta multiplies the exponents by zeta^2 (coefficients invariant).
+struct StoFit {
+  std::vector<Real> exps;     ///< shared Gaussian exponents (zeta = 1)
+  std::vector<Real> sCoeffs;  ///< coefficients for the ns STO
+  std::vector<Real> pCoeffs;  ///< coefficients for the np STO (empty if sOnly)
+  Real overlapS = 0;          ///< <STO_ns | fit> achieved
+  Real overlapP = 0;
+};
+
+/// Radial overlap <STO_{n,l,zeta} | G_{l,alpha}> between unit-normalized
+/// functions (numerical quadrature; ~1e-12 accurate).
+Real stoGaussOverlap(int n, int l, Real zeta, Real alpha);
+
+/// Radial overlap between two unit-normalized Gaussians of angular momentum l.
+Real gaussGaussOverlap(int l, Real a, Real b);
+
+/// Fit an isolated STO (principal quantum number n, angular momentum l,
+/// zeta = 1) with nGauss Gaussians, maximizing the overlap.  This is exactly
+/// the construction of STO-nG (Stewart, JCP 52, 431 (1970)); it reproduces the
+/// published universal 1s / 2sp expansions and generates the 3sp expansion
+/// used for the third-row elements P, S, Cl.
+StoFit fitSto(int n, int l, int nGauss);
+
+/// Pople-style joint ns/np fit with *shared* exponents (equal weights).
+StoFit fitStoSP(int n, int nGauss);
+
+}  // namespace nnqs::chem

@@ -1,0 +1,28 @@
+#include "common/bits.hpp"
+
+#include <stdexcept>
+
+namespace nnqs {
+
+std::string toBitString(Bits128 b, int nQubits) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(nQubits));
+  for (int j = nQubits - 1; j >= 0; --j) s.push_back(b.get(j) ? '1' : '0');
+  return s;
+}
+
+Bits128 fromBitString(const std::string& s) {
+  Bits128 b;
+  int j = 0;
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    char c = *it;
+    if (c == ' ' || c == '_') continue;
+    if (c != '0' && c != '1') throw std::invalid_argument("fromBitString: bad char");
+    if (j >= 128) throw std::invalid_argument("fromBitString: >128 bits");
+    if (c == '1') b.set(j);
+    ++j;
+  }
+  return b;
+}
+
+}  // namespace nnqs

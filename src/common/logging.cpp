@@ -1,0 +1,29 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace nnqs::log {
+namespace {
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_mutex;
+const char* prefix(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "[debug] ";
+    case Level::kInfo: return "[info ] ";
+    case Level::kWarn: return "[warn ] ";
+    case Level::kError: return "[error] ";
+    default: return "";
+  }
+}
+}  // namespace
+
+void setLevel(Level level) { g_level.store(level); }
+Level level() { return g_level.load(); }
+
+void write(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "%s%s\n", prefix(lvl), msg.c_str());
+}
+
+}  // namespace nnqs::log

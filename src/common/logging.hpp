@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace nnqs::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; benches lower it to kWarn to keep stdout clean.
+void setLevel(Level level);
+Level level();
+
+void write(Level level, const std::string& msg);
+
+template <typename... Args>
+void logf(Level lvl, const char* fmt, Args... args) {
+  if (lvl < level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  write(lvl, buf);
+}
+
+template <typename... Args>
+void debug(const char* fmt, Args... args) {
+  logf(Level::kDebug, fmt, args...);
+}
+template <typename... Args>
+void info(const char* fmt, Args... args) {
+  logf(Level::kInfo, fmt, args...);
+}
+template <typename... Args>
+void warn(const char* fmt, Args... args) {
+  logf(Level::kWarn, fmt, args...);
+}
+template <typename... Args>
+void error(const char* fmt, Args... args) {
+  logf(Level::kError, fmt, args...);
+}
+
+}  // namespace nnqs::log

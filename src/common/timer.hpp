@@ -1,0 +1,36 @@
+#pragma once
+
+#include <chrono>
+
+namespace nnqs {
+
+/// Steady-clock stopwatch used for all the per-phase timings reported by the
+/// scaling benches (sampling / local energy / gradient, Figs. 11–12).
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double ms() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time across many start/stop windows for one phase.
+class PhaseTimer {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_ += t_.seconds(); }
+  [[nodiscard]] double totalSeconds() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+};
+
+}  // namespace nnqs

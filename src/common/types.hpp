@@ -1,0 +1,21 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace nnqs {
+
+using Real = double;
+using Complex = std::complex<double>;
+
+/// Index type used for basis functions, orbitals and qubits.
+using Index = std::int64_t;
+
+inline constexpr Real kPi = 3.14159265358979323846;
+
+/// Hartree -> common conversion constants.
+inline constexpr Real kBohrPerAngstrom = 1.0 / 0.52917721092;
+inline constexpr Real kChemicalAccuracyHa = 1.6e-3;
+
+}  // namespace nnqs

@@ -1,0 +1,56 @@
+#include "fci/determinant.hpp"
+
+namespace nnqs::fci {
+
+std::vector<std::uint64_t> combinations(int nOrb, int nElec) {
+  std::vector<std::uint64_t> out;
+  if (nElec < 0 || nElec > nOrb) return out;
+  if (nElec == 0) {
+    out.push_back(0);
+    return out;
+  }
+  // Gosper's hack enumerates fixed-popcount words in increasing value.
+  std::uint64_t v = (std::uint64_t{1} << nElec) - 1;
+  const std::uint64_t limit = std::uint64_t{1} << nOrb;
+  while (v < limit) {
+    out.push_back(v);
+    const std::uint64_t t = v | (v - 1);
+    v = (t + 1) | (((~t & -(~t)) - 1) >> (__builtin_ctzll(v) + 1));
+    if (v == 0) break;
+  }
+  return out;
+}
+
+Bits128 interleave(std::uint64_t alpha, std::uint64_t beta) {
+  Bits128 det;
+  for (int p = 0; p < 64; ++p) {
+    if ((alpha >> p) & 1) det.set(2 * p);
+    if ((beta >> p) & 1) det.set(2 * p + 1);
+  }
+  return det;
+}
+
+Bits128 hartreeFockDeterminant(int nAlpha, int nBeta) {
+  Bits128 det;
+  for (int p = 0; p < nAlpha; ++p) det.set(2 * p);
+  for (int p = 0; p < nBeta; ++p) det.set(2 * p + 1);
+  return det;
+}
+
+int excitationSign(Bits128 occ, int p, int q) {
+  const int lo = p < q ? p : q;
+  const int hi = p < q ? q : p;
+  // Mask of bits strictly between lo and hi.
+  Bits128 between = Bits128::lowMask(hi) ^ Bits128::lowMask(lo + 1);
+  return parityAnd(occ, between) ? -1 : 1;
+}
+
+std::vector<int> occupiedList(Bits128 det, int nSpinOrbitals) {
+  std::vector<int> occ;
+  occ.reserve(static_cast<std::size_t>(det.popcount()));
+  for (int j = 0; j < nSpinOrbitals; ++j)
+    if (det.get(j)) occ.push_back(j);
+  return occ;
+}
+
+}  // namespace nnqs::fci

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace nnqs::fci {
+
+/// Determinants are occupation bitstrings over *interleaved spin orbitals*
+/// (bit 2P = up spin of spatial orbital P, bit 2P+1 = down spin) — the same
+/// convention the Jordan-Wigner qubits use, so FCI determinants and NNQS
+/// samples live in the same space.
+
+/// All C(nOrb, nElec) combinations as spatial-orbital bitmasks, in
+/// lexicographic order.
+std::vector<std::uint64_t> combinations(int nOrb, int nElec);
+
+/// Interleave an (alpha, beta) spatial pair into a spin-orbital bitstring.
+Bits128 interleave(std::uint64_t alpha, std::uint64_t beta);
+
+/// Hartree-Fock reference determinant: lowest nAlpha/nBeta orbitals occupied.
+Bits128 hartreeFockDeterminant(int nAlpha, int nBeta);
+
+/// Fermionic sign of the single excitation p -> q on occupancy `occ`
+/// (p occupied, q empty): (-1)^{#occupied strictly between p and q}.
+int excitationSign(Bits128 occ, int p, int q);
+
+/// Occupied spin-orbital list of a determinant (ascending).
+std::vector<int> occupiedList(Bits128 det, int nSpinOrbitals);
+
+}  // namespace nnqs::fci

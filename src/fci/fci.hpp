@@ -1,0 +1,34 @@
+#pragma once
+
+#include "fci/determinant.hpp"
+#include "linalg/davidson.hpp"
+#include "scf/mo_integrals.hpp"
+
+namespace nnqs::fci {
+
+/// Slater-Condon matrix element <A|H|B> between spin-orbital occupation
+/// bitstrings (electronic part only; add mo.coreEnergy for totals).
+Real slaterCondon(const scf::MoIntegrals& mo, Bits128 a, Bits128 b);
+
+struct FciOptions {
+  std::size_t maxDeterminants = 2'000'000;  ///< refuse larger spaces
+  linalg::DavidsonOptions davidson{};
+};
+
+struct FciResult {
+  Real energy = 0;  ///< total (includes core energy)
+  bool converged = false;
+  std::size_t nDeterminants = 0;
+  int iterations = 0;
+  std::vector<Bits128> basis;      ///< determinant bitstrings
+  std::vector<Real> groundState;   ///< CI coefficients (same order as basis)
+};
+
+/// Determinant-basis full CI with Davidson diagonalization (fixed n_alpha /
+/// n_beta sector, the paper's FCI reference column).
+FciResult runFci(const scf::MoIntegrals& mo, const FciOptions& opts = {});
+
+/// Number of determinants C(nOrb,nAlpha) * C(nOrb,nBeta) without building them.
+std::size_t fciDimension(int nOrb, int nAlpha, int nBeta);
+
+}  // namespace nnqs::fci

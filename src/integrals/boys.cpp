@@ -1,0 +1,45 @@
+#include "integrals/boys.hpp"
+
+#include <cmath>
+
+namespace nnqs::integrals {
+
+void boys(int mMax, Real t, Real* out) {
+  if (t < 1e-13) {
+    for (int m = 0; m <= mMax; ++m) out[m] = 1.0 / (2.0 * m + 1.0);
+    return;
+  }
+  if (t < 35.0) {
+    // Series for F_mMax:  F_m(T) = exp(-T)/2 sum_k (2m-1)!!/(2m+2k+1)!! (2T)^k
+    // written as e^{-T} sum_{k>=0} term_k with term_0 = 1/(2m+1),
+    // term_{k+1} = term_k * 2T/(2m+2k+3).
+    const Real expT = std::exp(-t);
+    Real term = 1.0 / (2.0 * mMax + 1.0);
+    Real sum = term;
+    for (int k = 0; k < 400; ++k) {
+      term *= 2.0 * t / (2.0 * mMax + 2.0 * k + 3.0);
+      sum += term;
+      if (term < 1e-17 * sum) break;
+    }
+    out[mMax] = 0.5 * expT * sum * 2.0 / 1.0;  // = expT * sum / 1 ... see note
+    // Note: F_m(T) = e^{-T} sum_{k} (2T)^k (2m-1)!!/(2m+2k+1)!!  (exact identity)
+    out[mMax] = expT * sum;
+    // Downward recursion: F_m = (2T F_{m+1} + e^{-T}) / (2m+1).
+    for (int m = mMax - 1; m >= 0; --m)
+      out[m] = (2.0 * t * out[m + 1] + expT) / (2.0 * m + 1.0);
+    return;
+  }
+  // Large T: F_0 = 0.5 sqrt(pi/T); upward recursion stable here.
+  const Real expT = (t < 700.0) ? std::exp(-t) : 0.0;
+  out[0] = 0.5 * std::sqrt(kPi / t);
+  for (int m = 0; m < mMax; ++m)
+    out[m + 1] = ((2.0 * m + 1.0) * out[m] - expT) / (2.0 * t);
+}
+
+Real boys(int m, Real t) {
+  std::vector<Real> buf(static_cast<std::size_t>(m + 1));
+  boys(m, t, buf.data());
+  return buf[static_cast<std::size_t>(m)];
+}
+
+}  // namespace nnqs::integrals

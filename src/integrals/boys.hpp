@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nnqs::integrals {
+
+/// Boys function F_m(T) = int_0^1 t^{2m} exp(-T t^2) dt for m = 0..mMax,
+/// written into `out` (size >= mMax+1).  Series + downward recursion for
+/// small T, asymptotic + upward recursion for large T; ~1e-14 accurate.
+void boys(int mMax, Real t, Real* out);
+
+/// Convenience single-value form.
+Real boys(int m, Real t);
+
+}  // namespace nnqs::integrals

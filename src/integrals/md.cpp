@@ -1,0 +1,79 @@
+#include "integrals/md.hpp"
+
+#include <cmath>
+
+#include "integrals/boys.hpp"
+
+namespace nnqs::integrals {
+
+HermiteE::HermiteE(int iMax, int jMax, Real a, Real b, Real ab)
+    : jMax_(jMax), tMax_(iMax + jMax) {
+  const Real p = a + b;
+  const Real q = a * b / p;
+  const Real xpa = -b * ab / p;  // P_x - A_x
+  const Real xpb = a * ab / p;   // P_x - B_x
+  table_.assign(static_cast<std::size_t>((iMax + 1) * (jMax + 1) * (tMax_ + 1)), 0.0);
+
+  auto at = [&](int i, int j, int t) -> Real& { return table_[idx(i, j, t)]; };
+  auto get = [&](int i, int j, int t) -> Real {
+    if (i < 0 || j < 0 || t < 0 || t > i + j) return 0.0;
+    return table_[idx(i, j, t)];
+  };
+
+  at(0, 0, 0) = std::exp(-q * ab * ab);
+  // Fill increasing i first (j = 0), then increasing j for each i.
+  for (int i = 1; i <= iMax; ++i)
+    for (int t = 0; t <= i; ++t)
+      at(i, 0, t) = get(i - 1, 0, t - 1) / (2.0 * p) + xpa * get(i - 1, 0, t) +
+                    (t + 1) * get(i - 1, 0, t + 1);
+  for (int j = 1; j <= jMax; ++j)
+    for (int i = 0; i <= iMax; ++i)
+      for (int t = 0; t <= i + j; ++t)
+        at(i, j, t) = get(i, j - 1, t - 1) / (2.0 * p) + xpb * get(i, j - 1, t) +
+                      (t + 1) * get(i, j - 1, t + 1);
+}
+
+HermiteR::HermiteR(int lTotal, Real p, const std::array<Real, 3>& pc)
+    : l_(lTotal) {
+  const Real r2 = pc[0] * pc[0] + pc[1] * pc[1] + pc[2] * pc[2];
+  std::vector<Real> f(static_cast<std::size_t>(lTotal + 1));
+  boys(lTotal, p * r2, f.data());
+
+  // r[n][t][u][v]; we roll n into a working array and keep only n=0 at the end.
+  const int dim = lTotal + 1;
+  auto flat = [dim](int t, int u, int v) {
+    return static_cast<std::size_t>((t * dim + u) * dim + v);
+  };
+  std::vector<Real> cur(static_cast<std::size_t>(dim * dim * dim), 0.0);
+  std::vector<Real> next(cur.size(), 0.0);
+
+  // Start from n = lTotal (only R^n_000 needed) and recur down to n = 0,
+  // extending the reachable t+u+v range by one at each step.
+  cur[flat(0, 0, 0)] = std::pow(-2.0 * p, lTotal) * f[static_cast<std::size_t>(lTotal)];
+  for (int n = lTotal - 1; n >= 0; --n) {
+    const int reach = lTotal - n;
+    std::fill(next.begin(), next.end(), 0.0);
+    next[flat(0, 0, 0)] = std::pow(-2.0 * p, n) * f[static_cast<std::size_t>(n)];
+    for (int t = 0; t <= reach; ++t)
+      for (int u = 0; u + t <= reach; ++u)
+        for (int v = 0; v + t + u <= reach; ++v) {
+          if (t + u + v == 0) continue;
+          Real val;
+          if (t > 0) {
+            val = pc[0] * cur[flat(t - 1, u, v)];
+            if (t > 1) val += (t - 1) * cur[flat(t - 2, u, v)];
+          } else if (u > 0) {
+            val = pc[1] * cur[flat(t, u - 1, v)];
+            if (u > 1) val += (u - 1) * cur[flat(t, u - 2, v)];
+          } else {
+            val = pc[2] * cur[flat(t, u, v - 1)];
+            if (v > 1) val += (v - 1) * cur[flat(t, u, v - 2)];
+          }
+          next[flat(t, u, v)] = val;
+        }
+    std::swap(cur, next);
+  }
+  table_ = std::move(cur);
+}
+
+}  // namespace nnqs::integrals

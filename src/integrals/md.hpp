@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nnqs::integrals {
+
+/// McMurchie-Davidson Hermite expansion coefficients E_t^{ij} for one
+/// cartesian direction of a primitive Gaussian product.  Table layout:
+/// e(i, j, t) with 0 <= i <= iMax, 0 <= j <= jMax, 0 <= t <= i + j.
+class HermiteE {
+ public:
+  /// a, b: exponents; ab = A_x - B_x (one component of the center separation).
+  HermiteE(int iMax, int jMax, Real a, Real b, Real ab);
+
+  [[nodiscard]] Real operator()(int i, int j, int t) const {
+    if (t < 0 || t > i + j) return 0.0;
+    return table_[idx(i, j, t)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int j, int t) const {
+    return static_cast<std::size_t>((i * (jMax_ + 1) + j) * (tMax_ + 1) + t);
+  }
+  int jMax_, tMax_;
+  std::vector<Real> table_;
+};
+
+/// Hermite Coulomb auxiliary integrals R^0_{tuv}(p, PC) for all
+/// t+u+v <= lTotal.  r(t,u,v) includes the Boys-function contraction.
+class HermiteR {
+ public:
+  HermiteR(int lTotal, Real p, const std::array<Real, 3>& pc);
+
+  [[nodiscard]] Real operator()(int t, int u, int v) const {
+    return table_[idx(t, u, v)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int t, int u, int v) const {
+    return static_cast<std::size_t>((t * (l_ + 1) + u) * (l_ + 1) + v);
+  }
+  int l_;
+  std::vector<Real> table_;
+};
+
+}  // namespace nnqs::integrals

@@ -1,0 +1,167 @@
+#include "integrals/one_electron.hpp"
+
+#include <cmath>
+
+#include "integrals/md.hpp"
+
+namespace nnqs::integrals {
+
+namespace {
+
+using chem::Shell;
+
+/// 1D primitive overlap <i|j> for exponents a,b separated by ab along one axis
+/// (without the Gaussian-product prefactor, which E already contains):
+/// s1d = E_0^{ij} * sqrt(pi/p).
+Real s1d(const HermiteE& e, int i, int j, Real p) {
+  return e(i, j, 0) * std::sqrt(kPi / p);
+}
+
+/// 1D kinetic matrix element via the standard relation to overlaps:
+/// t_{ij} = -2 b^2 S_{i,j+2} + b (2j+1) S_{ij} - j(j-1)/2 S_{i,j-2}.
+Real t1d(const HermiteE& e, int i, int j, Real p, Real b) {
+  Real t = -2.0 * b * b * s1d(e, i, j + 2, p) + b * (2.0 * j + 1.0) * s1d(e, i, j, p);
+  if (j >= 2) t -= 0.5 * j * (j - 1) * s1d(e, i, j - 2, p);
+  return t;
+}
+
+template <typename PairFn>
+void forShellPairs(const chem::BasisSet& basis, const PairFn& fn) {
+  const auto offs = shellCartOffsets(basis);
+  const int ns = static_cast<int>(basis.shells.size());
+  for (int s1 = 0; s1 < ns; ++s1)
+    for (int s2 = 0; s2 <= s1; ++s2) fn(s1, s2, offs[static_cast<std::size_t>(s1)], offs[static_cast<std::size_t>(s2)]);
+}
+
+}  // namespace
+
+std::vector<int> shellCartOffsets(const chem::BasisSet& basis) {
+  std::vector<int> offs;
+  offs.reserve(basis.shells.size());
+  int off = 0;
+  for (const auto& s : basis.shells) {
+    offs.push_back(off);
+    off += s.nCartesian();
+  }
+  return offs;
+}
+
+Matrix overlapMatrix(const chem::BasisSet& basis) {
+  Matrix s(basis.nCartesian(), basis.nCartesian());
+  forShellPairs(basis, [&](int s1, int s2, int o1, int o2) {
+    const Shell& a = basis.shells[static_cast<std::size_t>(s1)];
+    const Shell& b = basis.shells[static_cast<std::size_t>(s2)];
+    const auto compsA = chem::cartesianComponents(a.l);
+    const auto compsB = chem::cartesianComponents(b.l);
+    for (int ia = 0; ia < a.nPrimitives(); ++ia)
+      for (int ib = 0; ib < b.nPrimitives(); ++ib) {
+        const Real ea = a.exps[static_cast<std::size_t>(ia)], eb = b.exps[static_cast<std::size_t>(ib)];
+        const Real cc = a.coeffs[static_cast<std::size_t>(ia)] * b.coeffs[static_cast<std::size_t>(ib)];
+        const Real p = ea + eb;
+        HermiteE ex(a.l, b.l, ea, eb, a.center[0] - b.center[0]);
+        HermiteE ey(a.l, b.l, ea, eb, a.center[1] - b.center[1]);
+        HermiteE ez(a.l, b.l, ea, eb, a.center[2] - b.center[2]);
+        for (std::size_t ca = 0; ca < compsA.size(); ++ca)
+          for (std::size_t cb = 0; cb < compsB.size(); ++cb) {
+            const auto& la = compsA[ca];
+            const auto& lb = compsB[cb];
+            const Real v = cc * s1d(ex, la[0], lb[0], p) * s1d(ey, la[1], lb[1], p) *
+                           s1d(ez, la[2], lb[2], p);
+            s(o1 + static_cast<int>(ca), o2 + static_cast<int>(cb)) += v;
+          }
+      }
+    if (s1 != s2)
+      for (int ca = 0; ca < a.nCartesian(); ++ca)
+        for (int cb = 0; cb < b.nCartesian(); ++cb)
+          s(o2 + cb, o1 + ca) = s(o1 + ca, o2 + cb);
+  });
+  return s;
+}
+
+Matrix kineticMatrix(const chem::BasisSet& basis) {
+  Matrix t(basis.nCartesian(), basis.nCartesian());
+  forShellPairs(basis, [&](int s1, int s2, int o1, int o2) {
+    const Shell& a = basis.shells[static_cast<std::size_t>(s1)];
+    const Shell& b = basis.shells[static_cast<std::size_t>(s2)];
+    const auto compsA = chem::cartesianComponents(a.l);
+    const auto compsB = chem::cartesianComponents(b.l);
+    for (int ia = 0; ia < a.nPrimitives(); ++ia)
+      for (int ib = 0; ib < b.nPrimitives(); ++ib) {
+        const Real ea = a.exps[static_cast<std::size_t>(ia)], eb = b.exps[static_cast<std::size_t>(ib)];
+        const Real cc = a.coeffs[static_cast<std::size_t>(ia)] * b.coeffs[static_cast<std::size_t>(ib)];
+        const Real p = ea + eb;
+        // j+2 needed in t1d -> extend jMax by 2.
+        HermiteE ex(a.l, b.l + 2, ea, eb, a.center[0] - b.center[0]);
+        HermiteE ey(a.l, b.l + 2, ea, eb, a.center[1] - b.center[1]);
+        HermiteE ez(a.l, b.l + 2, ea, eb, a.center[2] - b.center[2]);
+        for (std::size_t ca = 0; ca < compsA.size(); ++ca)
+          for (std::size_t cb = 0; cb < compsB.size(); ++cb) {
+            const auto& la = compsA[ca];
+            const auto& lb = compsB[cb];
+            const Real sx = s1d(ex, la[0], lb[0], p), sy = s1d(ey, la[1], lb[1], p),
+                       sz = s1d(ez, la[2], lb[2], p);
+            const Real tx = t1d(ex, la[0], lb[0], p, eb), ty = t1d(ey, la[1], lb[1], p, eb),
+                       tz = t1d(ez, la[2], lb[2], p, eb);
+            t(o1 + static_cast<int>(ca), o2 + static_cast<int>(cb)) +=
+                cc * (tx * sy * sz + sx * ty * sz + sx * sy * tz);
+          }
+      }
+    if (s1 != s2)
+      for (int ca = 0; ca < a.nCartesian(); ++ca)
+        for (int cb = 0; cb < b.nCartesian(); ++cb)
+          t(o2 + cb, o1 + ca) = t(o1 + ca, o2 + cb);
+  });
+  return t;
+}
+
+Matrix nuclearMatrix(const chem::BasisSet& basis, const chem::Molecule& mol) {
+  Matrix v(basis.nCartesian(), basis.nCartesian());
+  forShellPairs(basis, [&](int s1, int s2, int o1, int o2) {
+    const Shell& a = basis.shells[static_cast<std::size_t>(s1)];
+    const Shell& b = basis.shells[static_cast<std::size_t>(s2)];
+    const auto compsA = chem::cartesianComponents(a.l);
+    const auto compsB = chem::cartesianComponents(b.l);
+    const int lsum = a.l + b.l;
+    for (int ia = 0; ia < a.nPrimitives(); ++ia)
+      for (int ib = 0; ib < b.nPrimitives(); ++ib) {
+        const Real ea = a.exps[static_cast<std::size_t>(ia)], eb = b.exps[static_cast<std::size_t>(ib)];
+        const Real cc = a.coeffs[static_cast<std::size_t>(ia)] * b.coeffs[static_cast<std::size_t>(ib)];
+        const Real p = ea + eb;
+        std::array<Real, 3> pCenter;
+        for (int d = 0; d < 3; ++d)
+          pCenter[static_cast<std::size_t>(d)] =
+              (ea * a.center[static_cast<std::size_t>(d)] + eb * b.center[static_cast<std::size_t>(d)]) / p;
+        HermiteE ex(a.l, b.l, ea, eb, a.center[0] - b.center[0]);
+        HermiteE ey(a.l, b.l, ea, eb, a.center[1] - b.center[1]);
+        HermiteE ez(a.l, b.l, ea, eb, a.center[2] - b.center[2]);
+        const Real pref = 2.0 * kPi / p;
+        for (const auto& atom : mol.atoms()) {
+          std::array<Real, 3> pc;
+          for (int d = 0; d < 3; ++d)
+            pc[static_cast<std::size_t>(d)] =
+                pCenter[static_cast<std::size_t>(d)] - atom.xyz[static_cast<std::size_t>(d)];
+          HermiteR r(lsum, p, pc);
+          for (std::size_t ca = 0; ca < compsA.size(); ++ca)
+            for (std::size_t cb = 0; cb < compsB.size(); ++cb) {
+              const auto& la = compsA[ca];
+              const auto& lb = compsB[cb];
+              Real sum = 0;
+              for (int t = 0; t <= la[0] + lb[0]; ++t)
+                for (int u = 0; u <= la[1] + lb[1]; ++u)
+                  for (int w = 0; w <= la[2] + lb[2]; ++w)
+                    sum += ex(la[0], lb[0], t) * ey(la[1], lb[1], u) *
+                           ez(la[2], lb[2], w) * r(t, u, w);
+              v(o1 + static_cast<int>(ca), o2 + static_cast<int>(cb)) -=
+                  cc * pref * atom.z * sum;
+            }
+        }
+      }
+    if (s1 != s2)
+      for (int ca = 0; ca < a.nCartesian(); ++ca)
+        for (int cb = 0; cb < b.nCartesian(); ++cb)
+          v(o2 + cb, o1 + ca) = v(o1 + ca, o2 + cb);
+  });
+  return v;
+}
+
+}  // namespace nnqs::integrals

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "chem/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nnqs::integrals {
+
+using linalg::Matrix;
+
+/// Overlap matrix in the *cartesian* AO basis.
+Matrix overlapMatrix(const chem::BasisSet& basis);
+/// Kinetic-energy matrix in the cartesian AO basis.
+Matrix kineticMatrix(const chem::BasisSet& basis);
+/// Nuclear-attraction matrix (negative definite-ish) in the cartesian basis.
+Matrix nuclearMatrix(const chem::BasisSet& basis, const chem::Molecule& mol);
+
+/// Offsets of each shell's first cartesian AO.
+std::vector<int> shellCartOffsets(const chem::BasisSet& basis);
+
+}  // namespace nnqs::integrals

@@ -1,0 +1,43 @@
+#include "integrals/spherical.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nnqs::integrals {
+
+linalg::Matrix sphericalBlock(int l) {
+  using linalg::Matrix;
+  if (l == 0) return Matrix::identity(1);
+  if (l == 1) return Matrix::identity(3);
+  if (l == 2) {
+    // Cartesian order: xx, xy, xz, yy, yz, zz (chem::cartesianComponents).
+    // Spherical order: m = -2 (xy), -1 (yz), 0 (z2), +1 (xz), +2 (x2-y2).
+    // Coefficients for (2,0,0)-normalized cartesians.
+    const Real s3 = std::sqrt(3.0);
+    Matrix t(6, 5);
+    t(1, 0) = s3;                       // d_xy
+    t(4, 1) = s3;                       // d_yz
+    t(0, 2) = -0.5; t(3, 2) = -0.5; t(5, 2) = 1.0;  // d_z2
+    t(2, 3) = s3;                       // d_xz
+    t(0, 4) = 0.5 * s3; t(3, 4) = -0.5 * s3;        // d_x2-y2
+    return t;
+  }
+  throw std::invalid_argument("sphericalBlock: only l <= 2 supported");
+}
+
+linalg::Matrix sphericalProjection(const chem::BasisSet& basis) {
+  int nSph = 0;
+  for (const auto& shell : basis.shells) nSph += shell.nSpherical();
+  linalg::Matrix t(basis.nCartesian(), nSph);
+  int rc = 0, cc = 0;
+  for (const auto& shell : basis.shells) {
+    const linalg::Matrix block = sphericalBlock(shell.l);
+    for (Index i = 0; i < block.rows(); ++i)
+      for (Index j = 0; j < block.cols(); ++j) t(rc + i, cc + j) = block(i, j);
+    rc += shell.nCartesian();
+    cc += shell.nSpherical();
+  }
+  return t;
+}
+
+}  // namespace nnqs::integrals

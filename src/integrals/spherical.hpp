@@ -1,0 +1,18 @@
+#pragma once
+
+#include "chem/basis_set.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nnqs::integrals {
+
+/// Block-diagonal cartesian -> real-spherical-harmonic projection matrix
+/// T (nCartesian x nSpherical) for the whole basis.  For s and p shells the
+/// blocks are identities; for d shells the standard 6->5 solid-harmonic
+/// combination (assuming (l,0,0)-normalized cartesian components, which is
+/// what Shell::normalize produces).  Spherical AO matrices are T^T M T.
+linalg::Matrix sphericalProjection(const chem::BasisSet& basis);
+
+/// Per-l transformation block (nCart(l) x nSph(l)); exposed for tests.
+linalg::Matrix sphericalBlock(int l);
+
+}  // namespace nnqs::integrals

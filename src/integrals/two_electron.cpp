@@ -1,0 +1,253 @@
+#include "integrals/two_electron.hpp"
+
+#include <cmath>
+
+#include "integrals/md.hpp"
+#include "integrals/one_electron.hpp"
+
+namespace nnqs::integrals {
+
+namespace {
+
+using chem::Shell;
+
+/// All primitive-pair data of a shell pair, precomputed once.
+struct ShellPair {
+  const Shell* a;
+  const Shell* b;
+  int offA, offB;
+};
+
+/// Compute the full cartesian component block of a contracted shell quartet
+/// (ab|cd) into `out` with layout [ca][cb][cc][cd].
+void quartet(const Shell& a, const Shell& b, const Shell& c, const Shell& d,
+             std::vector<Real>& out) {
+  const auto compsA = chem::cartesianComponents(a.l);
+  const auto compsB = chem::cartesianComponents(b.l);
+  const auto compsC = chem::cartesianComponents(c.l);
+  const auto compsD = chem::cartesianComponents(d.l);
+  const std::size_t na = compsA.size(), nb = compsB.size(), nc = compsC.size(),
+                    nd = compsD.size();
+  out.assign(na * nb * nc * nd, 0.0);
+  const int lBra = a.l + b.l, lKet = c.l + d.l;
+
+  for (int ia = 0; ia < a.nPrimitives(); ++ia)
+    for (int ib = 0; ib < b.nPrimitives(); ++ib) {
+      const Real ea = a.exps[static_cast<std::size_t>(ia)], eb = b.exps[static_cast<std::size_t>(ib)];
+      const Real p = ea + eb;
+      const Real cab = a.coeffs[static_cast<std::size_t>(ia)] * b.coeffs[static_cast<std::size_t>(ib)];
+      HermiteE exAB(a.l, b.l, ea, eb, a.center[0] - b.center[0]);
+      HermiteE eyAB(a.l, b.l, ea, eb, a.center[1] - b.center[1]);
+      HermiteE ezAB(a.l, b.l, ea, eb, a.center[2] - b.center[2]);
+      std::array<Real, 3> pCtr;
+      for (int dim = 0; dim < 3; ++dim)
+        pCtr[static_cast<std::size_t>(dim)] =
+            (ea * a.center[static_cast<std::size_t>(dim)] + eb * b.center[static_cast<std::size_t>(dim)]) / p;
+
+      for (int ic = 0; ic < c.nPrimitives(); ++ic)
+        for (int id = 0; id < d.nPrimitives(); ++id) {
+          const Real ec = c.exps[static_cast<std::size_t>(ic)], ed = d.exps[static_cast<std::size_t>(id)];
+          const Real q = ec + ed;
+          const Real ccd = c.coeffs[static_cast<std::size_t>(ic)] * d.coeffs[static_cast<std::size_t>(id)];
+          HermiteE exCD(c.l, d.l, ec, ed, c.center[0] - d.center[0]);
+          HermiteE eyCD(c.l, d.l, ec, ed, c.center[1] - d.center[1]);
+          HermiteE ezCD(c.l, d.l, ec, ed, c.center[2] - d.center[2]);
+          std::array<Real, 3> qCtr, pq;
+          for (int dim = 0; dim < 3; ++dim) {
+            qCtr[static_cast<std::size_t>(dim)] =
+                (ec * c.center[static_cast<std::size_t>(dim)] + ed * d.center[static_cast<std::size_t>(dim)]) / q;
+            pq[static_cast<std::size_t>(dim)] =
+                pCtr[static_cast<std::size_t>(dim)] - qCtr[static_cast<std::size_t>(dim)];
+          }
+          const Real alpha = p * q / (p + q);
+          HermiteR r(lBra + lKet, alpha, pq);
+          const Real pref =
+              2.0 * std::pow(kPi, 2.5) / (p * q * std::sqrt(p + q)) * cab * ccd;
+
+          std::size_t outIdx = 0;
+          for (std::size_t ka = 0; ka < na; ++ka)
+            for (std::size_t kb = 0; kb < nb; ++kb) {
+              const auto& la = compsA[ka];
+              const auto& lb = compsB[kb];
+              // Hermite charge distribution of the bra for this component.
+              // (small loops: cache E products on the fly)
+              for (std::size_t kc = 0; kc < nc; ++kc)
+                for (std::size_t kd = 0; kd < nd; ++kd, ++outIdx) {
+                  const auto& lc = compsC[kc];
+                  const auto& ld = compsD[kd];
+                  Real sum = 0;
+                  for (int t = 0; t <= la[0] + lb[0]; ++t) {
+                    const Real ext = exAB(la[0], lb[0], t);
+                    if (ext == 0.0) continue;
+                    for (int u = 0; u <= la[1] + lb[1]; ++u) {
+                      const Real eyu = eyAB(la[1], lb[1], u);
+                      if (eyu == 0.0) continue;
+                      for (int v = 0; v <= la[2] + lb[2]; ++v) {
+                        const Real ezv = ezAB(la[2], lb[2], v);
+                        if (ezv == 0.0) continue;
+                        const Real braE = ext * eyu * ezv;
+                        Real ketSum = 0;
+                        for (int tt = 0; tt <= lc[0] + ld[0]; ++tt) {
+                          const Real ex2 = exCD(lc[0], ld[0], tt);
+                          if (ex2 == 0.0) continue;
+                          for (int uu = 0; uu <= lc[1] + ld[1]; ++uu) {
+                            const Real ey2 = eyCD(lc[1], ld[1], uu);
+                            if (ey2 == 0.0) continue;
+                            for (int vv = 0; vv <= lc[2] + ld[2]; ++vv) {
+                              const Real ez2 = ezCD(lc[2], ld[2], vv);
+                              if (ez2 == 0.0) continue;
+                              const Real sign = ((tt + uu + vv) & 1) ? -1.0 : 1.0;
+                              ketSum += sign * ex2 * ey2 * ez2 * r(t + tt, u + uu, v + vv);
+                            }
+                          }
+                        }
+                        sum += braE * ketSum;
+                      }
+                    }
+                  }
+                  out[outIdx] += pref * sum;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+EriTensor::EriTensor(int nBasis) : n_(nBasis) {
+  const std::size_t nPair = static_cast<std::size_t>(nBasis) * (nBasis + 1) / 2;
+  data_.assign(nPair * (nPair + 1) / 2, 0.0);
+}
+
+EriTensor computeEri(const chem::BasisSet& basis, Real screen) {
+  const int ns = static_cast<int>(basis.shells.size());
+  const auto offs = shellCartOffsets(basis);
+  EriTensor eri(basis.nCartesian());
+
+  // Shell-pair list (s1 >= s2).
+  std::vector<std::pair<int, int>> pairs;
+  for (int s1 = 0; s1 < ns; ++s1)
+    for (int s2 = 0; s2 <= s1; ++s2) pairs.emplace_back(s1, s2);
+
+  // Schwarz factors Q_ab = sqrt(max |(ab|ab)|).
+  std::vector<Real> schwarz(pairs.size(), 0.0);
+#pragma omp parallel
+  {
+    std::vector<Real> block;
+#pragma omp for schedule(dynamic)
+    for (std::size_t ip = 0; ip < pairs.size(); ++ip) {
+      const Shell& a = basis.shells[static_cast<std::size_t>(pairs[ip].first)];
+      const Shell& b = basis.shells[static_cast<std::size_t>(pairs[ip].second)];
+      quartet(a, b, a, b, block);
+      Real mx = 0;
+      const std::size_t na = static_cast<std::size_t>(a.nCartesian()),
+                        nb = static_cast<std::size_t>(b.nCartesian());
+      for (std::size_t ka = 0; ka < na; ++ka)
+        for (std::size_t kb = 0; kb < nb; ++kb) {
+          const std::size_t diag = ((ka * nb + kb) * na + ka) * nb + kb;
+          mx = std::max(mx, std::abs(block[diag]));
+        }
+      schwarz[ip] = std::sqrt(mx);
+    }
+  }
+
+#pragma omp parallel
+  {
+    std::vector<Real> block;
+#pragma omp for schedule(dynamic)
+    for (std::size_t ip = 0; ip < pairs.size(); ++ip) {
+      for (std::size_t jp = 0; jp <= ip; ++jp) {
+        if (schwarz[ip] * schwarz[jp] < screen) continue;
+        const auto [s1, s2] = pairs[ip];
+        const auto [s3, s4] = pairs[jp];
+        const Shell& a = basis.shells[static_cast<std::size_t>(s1)];
+        const Shell& b = basis.shells[static_cast<std::size_t>(s2)];
+        const Shell& c = basis.shells[static_cast<std::size_t>(s3)];
+        const Shell& d = basis.shells[static_cast<std::size_t>(s4)];
+        quartet(a, b, c, d, block);
+        const int na = a.nCartesian(), nb = b.nCartesian(), nc = c.nCartesian(),
+                  nd = d.nCartesian();
+        std::size_t idx = 0;
+        for (int ka = 0; ka < na; ++ka)
+          for (int kb = 0; kb < nb; ++kb)
+            for (int kc = 0; kc < nc; ++kc)
+              for (int kd = 0; kd < nd; ++kd, ++idx) {
+                const int i = offs[static_cast<std::size_t>(s1)] + ka;
+                const int j = offs[static_cast<std::size_t>(s2)] + kb;
+                const int k = offs[static_cast<std::size_t>(s3)] + kc;
+                const int l = offs[static_cast<std::size_t>(s4)] + kd;
+                // Each canonical slot is touched by exactly one (ip, jp,
+                // component) combination except for the equivalent
+                // in-quartet permutations; writing (not accumulating) the
+                // value makes duplicates harmless.
+                eri.set(i, j, k, l, block[idx]);
+              }
+      }
+    }
+  }
+  return eri;
+}
+
+EriTensor transformEri(const EriTensor& eri, const linalg::Matrix& c) {
+  const int nOld = static_cast<int>(c.rows());
+  const int nNew = static_cast<int>(c.cols());
+  const std::size_t nPairOld = static_cast<std::size_t>(nOld) * (nOld + 1) / 2;
+  const std::size_t nPairNew = static_cast<std::size_t>(nNew) * (nNew + 1) / 2;
+
+  // Stage 1: for each old pair (la >= si), transform the bra:
+  // half[pq][lasi] = sum_{mu nu} C_mu_p C_nu_q (mu nu | la si)
+  std::vector<Real> half(nPairNew * nPairOld, 0.0);
+#pragma omp parallel
+  {
+    linalg::Matrix m(nOld, nOld);
+#pragma omp for schedule(dynamic)
+    for (std::size_t ls = 0; ls < nPairOld; ++ls) {
+      // Decode pair index.
+      int la = static_cast<int>((std::sqrt(8.0 * static_cast<double>(ls) + 1.0) - 1.0) / 2.0);
+      while (EriTensor::pairIndex(la + 1, 0) <= ls) ++la;
+      while (EriTensor::pairIndex(la, 0) > ls) --la;
+      const int si = static_cast<int>(ls - EriTensor::pairIndex(la, 0));
+      for (int mu = 0; mu < nOld; ++mu)
+        for (int nu = 0; nu <= mu; ++nu) {
+          const Real v = eri(mu, nu, la, si);
+          m(mu, nu) = v;
+          m(nu, mu) = v;
+        }
+      const linalg::Matrix t = matmul(matmulTN(c, m), c);  // C^T M C
+      for (int p = 0; p < nNew; ++p)
+        for (int q = 0; q <= p; ++q)
+          half[EriTensor::pairIndex(p, q) * nPairOld + ls] = t(p, q);
+    }
+  }
+
+  // Stage 2: transform the ket for each new pair.
+  EriTensor out(nNew);
+#pragma omp parallel
+  {
+    linalg::Matrix m(nOld, nOld);
+#pragma omp for schedule(dynamic)
+    for (std::size_t pq = 0; pq < nPairNew; ++pq) {
+      for (int la = 0; la < nOld; ++la)
+        for (int si = 0; si <= la; ++si) {
+          const Real v = half[pq * nPairOld + EriTensor::pairIndex(la, si)];
+          m(la, si) = v;
+          m(si, la) = v;
+        }
+      const linalg::Matrix t = matmul(matmulTN(c, m), c);
+      int p = static_cast<int>((std::sqrt(8.0 * static_cast<double>(pq) + 1.0) - 1.0) / 2.0);
+      while (EriTensor::pairIndex(p + 1, 0) <= pq) ++p;
+      while (EriTensor::pairIndex(p, 0) > pq) --p;
+      const int q = static_cast<int>(pq - EriTensor::pairIndex(p, 0));
+      for (int r = 0; r < nNew; ++r)
+        for (int s = 0; s <= r; ++s)
+          if (EriTensor::pairIndex(r, s) <= pq) out.set(p, q, r, s, t(r, s));
+    }
+  }
+  return out;
+}
+
+linalg::Matrix transformOneElectron(const linalg::Matrix& m, const linalg::Matrix& c) {
+  return matmul(matmulTN(c, m), c);
+}
+
+}  // namespace nnqs::integrals

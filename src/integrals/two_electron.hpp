@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/basis_set.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nnqs::integrals {
+
+/// Two-electron repulsion integrals (mu nu | la si) in chemist notation with
+/// 8-fold permutational symmetry, stored over compound indices.
+class EriTensor {
+ public:
+  EriTensor() = default;
+  explicit EriTensor(int nBasis);
+
+  [[nodiscard]] int nBasis() const { return n_; }
+  [[nodiscard]] std::size_t nStored() const { return data_.size(); }
+
+  [[nodiscard]] Real operator()(int i, int j, int k, int l) const {
+    return data_[index(i, j, k, l)];
+  }
+  void set(int i, int j, int k, int l, Real v) { data_[index(i, j, k, l)] = v; }
+
+  [[nodiscard]] static std::size_t pairIndex(int i, int j) {
+    if (i < j) std::swap(i, j);
+    return static_cast<std::size_t>(i) * (static_cast<std::size_t>(i) + 1) / 2 +
+           static_cast<std::size_t>(j);
+  }
+  [[nodiscard]] std::size_t index(int i, int j, int k, int l) const {
+    std::size_t ij = pairIndex(i, j), kl = pairIndex(k, l);
+    if (ij < kl) std::swap(ij, kl);
+    return ij * (ij + 1) / 2 + kl;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<Real> data_;
+};
+
+/// Compute all ERIs of the basis in the cartesian AO representation
+/// (OpenMP-parallel over shell-pair tasks, Schwarz screening below `screen`).
+EriTensor computeEri(const chem::BasisSet& basis, Real screen = 1e-14);
+
+/// General 4-index transform: (pq|rs) = sum C_mu_p C_nu_q C_la_r C_si_s
+/// (mu nu|la si).  `c` may be rectangular (nAOold x nNew); used both for the
+/// cartesian->spherical projection and the AO->MO transformation.
+EriTensor transformEri(const EriTensor& eri, const linalg::Matrix& c);
+
+/// One-electron analogue: C^T M C.
+linalg::Matrix transformOneElectron(const linalg::Matrix& m, const linalg::Matrix& c);
+
+}  // namespace nnqs::integrals

@@ -1,0 +1,121 @@
+#include "linalg/davidson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "linalg/eigen.hpp"
+
+namespace nnqs::linalg {
+
+namespace {
+/// Modified Gram-Schmidt of v against basis; returns false if v vanished.
+bool orthonormalize(std::vector<Real>& v,
+                    const std::vector<std::vector<Real>>& basis) {
+  for (int pass = 0; pass < 2; ++pass)
+    for (const auto& b : basis) axpy(-dot(b, v), b, v);
+  const Real n = norm2(v);
+  if (n < 1e-10) return false;
+  for (auto& x : v) x /= n;
+  return true;
+}
+}  // namespace
+
+DavidsonResult davidsonLowest(const SigmaFn& sigma,
+                              const std::vector<Real>& diagonal,
+                              const DavidsonOptions& opts) {
+  const std::size_t dim = diagonal.size();
+  DavidsonResult res;
+  if (dim == 0) return res;
+  if (dim == 1) {
+    res.eigenvalue = diagonal[0];
+    res.eigenvector = {1.0};
+    res.converged = true;
+    return res;
+  }
+
+  // Initial guess: unit vector on the lowest diagonal entry.
+  std::vector<std::vector<Real>> basis, sigmas;
+  {
+    std::vector<Real> v(dim, 0.0);
+    const std::size_t imin = static_cast<std::size_t>(
+        std::min_element(diagonal.begin(), diagonal.end()) - diagonal.begin());
+    v[imin] = 1.0;
+    basis.push_back(std::move(v));
+  }
+
+  std::vector<Real> current(dim, 0.0);
+  Real theta = 0;
+
+  for (int it = 0; it < opts.maxIterations; ++it) {
+    // Extend sigma vectors for new basis vectors.
+    while (sigmas.size() < basis.size()) {
+      std::vector<Real> hv(dim, 0.0);
+      sigma(basis[sigmas.size()], hv);
+      sigmas.push_back(std::move(hv));
+    }
+    const int m = static_cast<int>(basis.size());
+
+    // Rayleigh quotient matrix in the subspace.
+    Matrix h(m, m);
+    for (int i = 0; i < m; ++i)
+      for (int j = i; j < m; ++j)
+        h(i, j) = h(j, i) = dot(basis[static_cast<std::size_t>(i)],
+                                sigmas[static_cast<std::size_t>(j)]);
+    EigenResult sub = eighSymmetric(h);
+    theta = sub.values[0];
+
+    // Ritz vector and residual r = (H - theta) v.
+    std::fill(current.begin(), current.end(), 0.0);
+    std::vector<Real> resid(dim, 0.0);
+    for (int i = 0; i < m; ++i) {
+      const Real c = sub.vectors(i, 0);
+      axpy(c, basis[static_cast<std::size_t>(i)], current);
+      axpy(c, sigmas[static_cast<std::size_t>(i)], resid);
+    }
+    axpy(-theta, current, resid);
+    const Real rnorm = norm2(resid);
+    res.iterations = it + 1;
+    res.residualNorm = rnorm;
+    if (opts.verbose)
+      log::info("davidson it=%d theta=%.10f |r|=%.3e m=%d", it, theta, rnorm, m);
+    if (rnorm < opts.residualTol) {
+      res.converged = true;
+      break;
+    }
+
+    // Restart when the subspace is full.
+    if (m >= opts.maxSubspace) {
+      basis.clear();
+      sigmas.clear();
+      std::vector<Real> v = current;
+      const Real n = norm2(v);
+      for (auto& x : v) x /= n;
+      basis.push_back(std::move(v));
+      continue;
+    }
+
+    // Davidson preconditioner: t_i = r_i / (theta - d_i).
+    std::vector<Real> t(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      Real denom = theta - diagonal[i];
+      if (std::abs(denom) < 1e-8) denom = (denom >= 0 ? 1e-8 : -1e-8);
+      t[i] = resid[i] / denom;
+    }
+    if (!orthonormalize(t, basis)) {
+      // Linear dependence: perturb with the residual itself.
+      t = resid;
+      if (!orthonormalize(t, basis)) break;
+    }
+    basis.push_back(std::move(t));
+  }
+
+  res.eigenvalue = theta;
+  res.eigenvector = std::move(current);
+  const Real n = norm2(res.eigenvector);
+  if (n > 0)
+    for (auto& x : res.eigenvector) x /= n;
+  return res;
+}
+
+}  // namespace nnqs::linalg

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace nnqs::linalg {
+
+/// Matrix-free symmetric operator: y = H x.
+using SigmaFn =
+    std::function<void(const std::vector<Real>& x, std::vector<Real>& y)>;
+
+struct DavidsonOptions {
+  int maxIterations = 200;
+  int maxSubspace = 24;
+  Real residualTol = 1e-8;
+  bool verbose = false;
+};
+
+struct DavidsonResult {
+  Real eigenvalue = 0;
+  std::vector<Real> eigenvector;
+  int iterations = 0;
+  Real residualNorm = 0;
+  bool converged = false;
+};
+
+/// Davidson iteration for the lowest eigenpair of a large symmetric operator.
+/// `diagonal` is the operator diagonal, used for the preconditioner and the
+/// initial unit-vector guess (lowest diagonal entry).
+DavidsonResult davidsonLowest(const SigmaFn& sigma,
+                              const std::vector<Real>& diagonal,
+                              const DavidsonOptions& opts = {});
+
+}  // namespace nnqs::linalg

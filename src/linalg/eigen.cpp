@@ -1,0 +1,98 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nnqs::linalg {
+
+EigenResult eighSymmetric(const Matrix& a0, Real tol, int maxSweeps) {
+  const Index n = a0.rows();
+  if (a0.cols() != n) throw std::invalid_argument("eighSymmetric: not square");
+  Matrix a = a0;
+  Matrix v = Matrix::identity(n);
+
+  auto offdiag = [&]() {
+    Real s = 0;
+    for (Index i = 0; i < n; ++i)
+      for (Index j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(s);
+  };
+
+  const Real scale = std::max<Real>(a.maxAbs(), 1.0);
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    if (offdiag() <= tol * scale) break;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const Real apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const Real theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const Real t = (theta >= 0 ? 1.0 : -1.0) /
+                       (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const Real c = 1.0 / std::sqrt(t * t + 1.0);
+        const Real s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (Index k = 0; k < n; ++k) {
+          const Real akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const Real apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const Real vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending.
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(),
+            [&](Index i, Index j) { return a(i, i) < a(j, j); });
+
+  EigenResult res;
+  res.values.resize(static_cast<std::size_t>(n));
+  res.vectors = Matrix(n, n);
+  for (Index k = 0; k < n; ++k) {
+    const Index src = order[static_cast<std::size_t>(k)];
+    res.values[static_cast<std::size_t>(k)] = a(src, src);
+    for (Index i = 0; i < n; ++i) res.vectors(i, k) = v(i, src);
+  }
+  return res;
+}
+
+Matrix invSqrtSymmetric(const Matrix& s, Real linDepTol) {
+  EigenResult es = eighSymmetric(s);
+  const Index n = s.rows();
+  for (Real ev : es.values)
+    if (ev < linDepTol)
+      throw std::runtime_error("invSqrtSymmetric: near-singular overlap");
+  Matrix x(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) {
+      Real sum = 0;
+      for (Index k = 0; k < n; ++k)
+        sum += es.vectors(i, k) * es.vectors(j, k) /
+               std::sqrt(es.values[static_cast<std::size_t>(k)]);
+      x(i, j) = sum;
+    }
+  return x;
+}
+
+EigenResult eighGeneralized(const Matrix& f, const Matrix& s) {
+  const Matrix x = invSqrtSymmetric(s);
+  const Matrix fp = matmul(matmul(x, f), x);  // X is symmetric, X^T = X
+  EigenResult es = eighSymmetric(fp);
+  es.vectors = matmul(x, es.vectors);
+  return es;
+}
+
+}  // namespace nnqs::linalg

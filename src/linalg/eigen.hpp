@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace nnqs::linalg {
+
+struct EigenResult {
+  std::vector<Real> values;  ///< ascending
+  Matrix vectors;            ///< column k is the eigenvector of values[k]
+};
+
+/// Cyclic Jacobi diagonalization of a real symmetric matrix.  Robust and
+/// accurate; O(n^3) per sweep which is ample for the AO/MO dimensions used
+/// here (n <= a few hundred).
+EigenResult eighSymmetric(const Matrix& a, Real tol = 1e-12, int maxSweeps = 100);
+
+/// Generalized symmetric eigenproblem  F C = S C e  via symmetric (Löwdin)
+/// orthogonalization X = S^{-1/2}.  Columns of `vectors` satisfy C^T S C = 1.
+EigenResult eighGeneralized(const Matrix& f, const Matrix& s);
+
+/// S^{-1/2} (Löwdin).  Throws if S has an eigenvalue below `linDepTol`.
+Matrix invSqrtSymmetric(const Matrix& s, Real linDepTol = 1e-9);
+
+}  // namespace nnqs::linalg

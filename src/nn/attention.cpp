@@ -1,0 +1,131 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nnqs::nn {
+
+CausalSelfAttention::CausalSelfAttention(Index dModel, Index nHeads, Index seqLen,
+                                         Rng& rng, std::string name)
+    : d_(dModel), heads_(nHeads), headDim_(dModel / nHeads), seqLen_(seqLen),
+      window_(seqLen),
+      qkv_(dModel, 3 * dModel, rng, name + ".qkv"),
+      proj_(dModel, dModel, rng, name + ".proj") {
+  if (dModel % nHeads != 0)
+    throw std::invalid_argument("attention: dModel must be divisible by nHeads");
+}
+
+Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
+  const Index L = window_;
+  const Index rows = x.numel() / d_;
+  const Index batch = rows / L;
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
+
+  Tensor qkv = qkv_.forward(x, cache);  // [B*L, 3D]: q | k | v per row
+  Tensor attn({batch, heads_, L, L});
+  Tensor ctx({rows, d_});
+
+#pragma omp parallel for collapse(2) schedule(static) if (batch * heads_ > 8)
+  for (Index b = 0; b < batch; ++b)
+    for (Index h = 0; h < heads_; ++h) {
+      const Index qOff = h * headDim_;
+      const Index kOff = d_ + h * headDim_;
+      const Index vOff = 2 * d_ + h * headDim_;
+      Real* aRow = attn.data.data() + ((b * heads_ + h) * L) * L;
+      for (Index i = 0; i < L; ++i) {
+        const Real* qi = qkv.data.data() + (b * L + i) * 3 * d_ + qOff;
+        Real* ai = aRow + i * L;
+        Real mx = -1e300;
+        for (Index j = 0; j <= i; ++j) {
+          const Real* kj = qkv.data.data() + (b * L + j) * 3 * d_ + kOff;
+          Real s = 0;
+          for (Index t = 0; t < headDim_; ++t) s += qi[t] * kj[t];
+          ai[j] = s * scale;
+          mx = std::max(mx, ai[j]);
+        }
+        Real denom = 0;
+        for (Index j = 0; j <= i; ++j) {
+          ai[j] = std::exp(ai[j] - mx);
+          denom += ai[j];
+        }
+        for (Index j = 0; j <= i; ++j) ai[j] /= denom;
+        for (Index j = i + 1; j < L; ++j) ai[j] = 0.0;  // causal mask
+        // Context = sum_j a_ij v_j.
+        Real* ci = ctx.data.data() + (b * L + i) * d_ + qOff;
+        for (Index j = 0; j <= i; ++j) {
+          const Real a = ai[j];
+          if (a == 0.0) continue;
+          const Real* vj = qkv.data.data() + (b * L + j) * 3 * d_ + vOff;
+          for (Index t = 0; t < headDim_; ++t) ci[t] += a * vj[t];
+        }
+      }
+    }
+
+  if (cache) {
+    cachedQkv_ = qkv;
+    cachedAttn_ = attn;
+    cachedBatch_ = batch;
+    cachedWindow_ = L;
+  }
+  return proj_.forward(ctx, cache);
+}
+
+Tensor CausalSelfAttention::backward(const Tensor& dy) {
+  if (cachedQkv_.empty()) throw std::logic_error("attention backward without cache");
+  const Index batch = cachedBatch_;
+  const Index Lc = cachedWindow_;
+  const Index rows = batch * Lc;
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
+
+  Tensor dCtx = proj_.backward(dy);  // [B*L, D]
+  Tensor dQkv({rows, 3 * d_});
+
+#pragma omp parallel for collapse(2) schedule(static) if (batch * heads_ > 8)
+  for (Index b = 0; b < batch; ++b)
+    for (Index h = 0; h < heads_; ++h) {
+      const Index qOff = h * headDim_;
+      const Index kOff = d_ + h * headDim_;
+      const Index vOff = 2 * d_ + h * headDim_;
+      const Real* aRow = cachedAttn_.data.data() + ((b * heads_ + h) * Lc) * Lc;
+      std::vector<Real> dA(static_cast<std::size_t>(Lc));
+      for (Index i = 0; i < Lc; ++i) {
+        const Real* ai = aRow + i * Lc;
+        const Real* dci = dCtx.data.data() + (b * Lc + i) * d_ + qOff;
+        // dV_j += a_ij dC_i ; dA_ij = dC_i . V_j
+        for (Index j = 0; j <= i; ++j) {
+          const Real* vj = cachedQkv_.data.data() + (b * Lc + j) * 3 * d_ + vOff;
+          Real* dvj = dQkv.data.data() + (b * Lc + j) * 3 * d_ + vOff;
+          Real da = 0;
+          for (Index t = 0; t < headDim_; ++t) {
+            dvj[t] += ai[j] * dci[t];
+            da += dci[t] * vj[t];
+          }
+          dA[static_cast<std::size_t>(j)] = da;
+        }
+        // Softmax backward: dS_ij = a_ij (dA_ij - sum_k a_ik dA_ik).
+        Real dot = 0;
+        for (Index j = 0; j <= i; ++j) dot += ai[j] * dA[static_cast<std::size_t>(j)];
+        const Real* qi = cachedQkv_.data.data() + (b * Lc + i) * 3 * d_ + qOff;
+        Real* dqi = dQkv.data.data() + (b * Lc + i) * 3 * d_ + qOff;
+        for (Index j = 0; j <= i; ++j) {
+          const Real ds = ai[j] * (dA[static_cast<std::size_t>(j)] - dot) * scale;
+          if (ds == 0.0) continue;
+          const Real* kj = cachedQkv_.data.data() + (b * Lc + j) * 3 * d_ + kOff;
+          Real* dkj = dQkv.data.data() + (b * Lc + j) * 3 * d_ + kOff;
+          for (Index t = 0; t < headDim_; ++t) {
+            dqi[t] += ds * kj[t];
+            dkj[t] += ds * qi[t];
+          }
+        }
+      }
+    }
+
+  return qkv_.backward(dQkv);
+}
+
+void CausalSelfAttention::collectParameters(std::vector<Parameter*>& out) {
+  qkv_.collectParameters(out);
+  proj_.collectParameters(out);
+}
+
+}  // namespace nnqs::nn

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "nn/modules.hpp"
+
+namespace nnqs::nn {
+
+/// Masked (causal) multi-head self-attention, the core of the paper's
+/// amplitude transformer (Fig. 2).  Input/output [B*L, D]; B inferred from
+/// the row count and the fixed sequence length.
+class CausalSelfAttention : public Module {
+ public:
+  CausalSelfAttention(Index dModel, Index nHeads, Index seqLen, Rng& rng,
+                      std::string name);
+
+  Tensor forward(const Tensor& x, bool cache) override;
+  Tensor backward(const Tensor& dy) override;
+  void collectParameters(std::vector<Parameter*>& out) override;
+
+  /// Sequence length of the next forward call (sampling uses growing
+  /// prefix windows; the causal mask keeps shorter windows consistent).
+  void setWindow(Index w) { window_ = w; }
+
+ private:
+  Index d_, heads_, headDim_, seqLen_;
+  Index window_;
+  Linear qkv_;   ///< D -> 3D
+  Linear proj_;  ///< D -> D
+  // Caches for backward.
+  Tensor cachedQkv_;   ///< [B*L, 3D]
+  Tensor cachedAttn_;  ///< [B, heads, L, L] row-softmaxed weights
+  Index cachedBatch_ = 0;
+  Index cachedWindow_ = 0;
+};
+
+}  // namespace nnqs::nn

@@ -1,0 +1,242 @@
+#include "nn/modules.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nnqs::nn {
+
+namespace {
+constexpr Real kGeluC = 0.7978845608028654;  // sqrt(2/pi)
+}
+
+// ---------------------------------------------------------------- Linear ---
+
+Linear::Linear(Index in, Index out, Rng& rng, std::string name)
+    : w({out, in}, name + ".w"), b({out}, name + ".b"), in_(in), out_(out) {
+  w.value.randn(rng, std::sqrt(2.0 / static_cast<Real>(in + out)));
+}
+
+Tensor Linear::forward(const Tensor& x, bool cache) {
+  const Index rows = x.numel() / in_;
+  Tensor y({rows, out_});
+  const Real* xd = x.data.data();
+  const Real* wd = w.value.data.data();
+  const Real* bd = b.value.data.data();
+  Real* yd = y.data.data();
+#pragma omp parallel for schedule(static) if (rows * in_ * out_ > 1 << 15)
+  for (Index r = 0; r < rows; ++r) {
+    const Real* xr = xd + r * in_;
+    Real* yr = yd + r * out_;
+    for (Index o = 0; o < out_; ++o) {
+      const Real* wo = wd + o * in_;
+      Real s = bd[o];
+      for (Index i = 0; i < in_; ++i) s += wo[i] * xr[i];
+      yr[o] = s;
+    }
+  }
+  if (cache) cachedX_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  if (cachedX_.empty()) throw std::logic_error("Linear::backward without cache");
+  const Index rows = dy.numel() / out_;
+  Tensor dx({rows, in_});
+  const Real* dyd = dy.data.data();
+  const Real* xd = cachedX_.data.data();
+  const Real* wd = w.value.data.data();
+  Real* dxd = dx.data.data();
+  // dX = dY W
+#pragma omp parallel for schedule(static) if (rows * in_ * out_ > 1 << 15)
+  for (Index r = 0; r < rows; ++r) {
+    const Real* dyr = dyd + r * out_;
+    Real* dxr = dxd + r * in_;
+    for (Index o = 0; o < out_; ++o) {
+      const Real g = dyr[o];
+      if (g == 0.0) continue;
+      const Real* wo = wd + o * in_;
+      for (Index i = 0; i < in_; ++i) dxr[i] += g * wo[i];
+    }
+  }
+  // dW += dY^T X ; db += colsum(dY)   (serial: params are shared state)
+  Real* dwd = w.grad.data.data();
+  Real* dbd = b.grad.data.data();
+  for (Index r = 0; r < rows; ++r) {
+    const Real* dyr = dyd + r * out_;
+    const Real* xr = xd + r * in_;
+    for (Index o = 0; o < out_; ++o) {
+      const Real g = dyr[o];
+      if (g == 0.0) continue;
+      dbd[o] += g;
+      Real* dwo = dwd + o * in_;
+      for (Index i = 0; i < in_; ++i) dwo[i] += g * xr[i];
+    }
+  }
+  return dx;
+}
+
+void Linear::collectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&w);
+  out.push_back(&b);
+}
+
+// ------------------------------------------------------------- LayerNorm ---
+
+LayerNorm::LayerNorm(Index dim, std::string name)
+    : gamma({dim}, name + ".gamma"), beta({dim}, name + ".beta"), dim_(dim) {
+  for (auto& v : gamma.value.data) v = 1.0;
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool cache) {
+  const Index rows = x.numel() / dim_;
+  Tensor y({rows, dim_});
+  Tensor xhat({rows, dim_});
+  std::vector<Real> invStd(static_cast<std::size_t>(rows));
+  for (Index r = 0; r < rows; ++r) {
+    const Real* xr = x.data.data() + r * dim_;
+    Real mean = 0;
+    for (Index i = 0; i < dim_; ++i) mean += xr[i];
+    mean /= static_cast<Real>(dim_);
+    Real var = 0;
+    for (Index i = 0; i < dim_; ++i) var += (xr[i] - mean) * (xr[i] - mean);
+    var /= static_cast<Real>(dim_);
+    const Real is = 1.0 / std::sqrt(var + 1e-5);
+    invStd[static_cast<std::size_t>(r)] = is;
+    for (Index i = 0; i < dim_; ++i) {
+      const Real xh = (xr[i] - mean) * is;
+      xhat.data[static_cast<std::size_t>(r * dim_ + i)] = xh;
+      y.data[static_cast<std::size_t>(r * dim_ + i)] =
+          gamma.value[static_cast<std::size_t>(i)] * xh + beta.value[static_cast<std::size_t>(i)];
+    }
+  }
+  if (cache) {
+    cachedXhat_ = std::move(xhat);
+    cachedInvStd_ = std::move(invStd);
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy) {
+  if (cachedXhat_.empty()) throw std::logic_error("LayerNorm::backward without cache");
+  const Index rows = dy.numel() / dim_;
+  Tensor dx({rows, dim_});
+  for (Index r = 0; r < rows; ++r) {
+    const Real* dyr = dy.data.data() + r * dim_;
+    const Real* xh = cachedXhat_.data.data() + r * dim_;
+    // dxhat = dy * gamma ; accumulate param grads.
+    Real sumDxh = 0, sumDxhXh = 0;
+    std::vector<Real> dxh(static_cast<std::size_t>(dim_));
+    for (Index i = 0; i < dim_; ++i) {
+      gamma.grad[static_cast<std::size_t>(i)] += dyr[i] * xh[i];
+      beta.grad[static_cast<std::size_t>(i)] += dyr[i];
+      dxh[static_cast<std::size_t>(i)] = dyr[i] * gamma.value[static_cast<std::size_t>(i)];
+      sumDxh += dxh[static_cast<std::size_t>(i)];
+      sumDxhXh += dxh[static_cast<std::size_t>(i)] * xh[i];
+    }
+    const Real is = cachedInvStd_[static_cast<std::size_t>(r)];
+    for (Index i = 0; i < dim_; ++i)
+      dx.data[static_cast<std::size_t>(r * dim_ + i)] =
+          is * (dxh[static_cast<std::size_t>(i)] -
+                sumDxh / static_cast<Real>(dim_) -
+                xh[i] * sumDxhXh / static_cast<Real>(dim_));
+  }
+  return dx;
+}
+
+void LayerNorm::collectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma);
+  out.push_back(&beta);
+}
+
+// ------------------------------------------------------------------ Gelu ---
+
+Tensor Gelu::forward(const Tensor& x, bool cache) {
+  Tensor y = x;
+  for (auto& v : y.data) {
+    const Real t = std::tanh(kGeluC * (v + 0.044715 * v * v * v));
+    v = 0.5 * v * (1.0 + t);
+  }
+  if (cache) cachedX_ = x;
+  return y;
+}
+
+Tensor Gelu::backward(const Tensor& dy) {
+  if (cachedX_.empty()) throw std::logic_error("Gelu::backward without cache");
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.data.size(); ++i) {
+    const Real v = cachedX_.data[i];
+    const Real u = kGeluC * (v + 0.044715 * v * v * v);
+    const Real t = std::tanh(u);
+    const Real du = kGeluC * (1.0 + 3.0 * 0.044715 * v * v);
+    const Real grad = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+    dx.data[i] *= grad;
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------------ Tanh ---
+
+Tensor TanhAct::forward(const Tensor& x, bool cache) {
+  Tensor y = x;
+  for (auto& v : y.data) v = std::tanh(v);
+  if (cache) cachedY_ = y;
+  return y;
+}
+
+Tensor TanhAct::backward(const Tensor& dy) {
+  if (cachedY_.empty()) throw std::logic_error("TanhAct::backward without cache");
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.data.size(); ++i)
+    dx.data[i] *= 1.0 - cachedY_.data[i] * cachedY_.data[i];
+  return dx;
+}
+
+// ------------------------------------------------------------- Embedding ---
+
+Embedding::Embedding(Index vocab, Index maxLen, Index dim, Rng& rng, std::string name)
+    : token({vocab, dim}, name + ".tok"), position({maxLen, dim}, name + ".pos"),
+      dim_(dim) {
+  token.value.randn(rng, 0.02);
+  position.value.randn(rng, 0.02);
+}
+
+Tensor Embedding::forward(const std::vector<int>& tokens, Index seqLen, bool cache) {
+  const Index rows = static_cast<Index>(tokens.size());
+  Tensor y({rows, dim_});
+  for (Index r = 0; r < rows; ++r) {
+    const Index t = tokens[static_cast<std::size_t>(r)];
+    const Index pos = r % seqLen;
+    const Real* te = token.value.data.data() + t * dim_;
+    const Real* pe = position.value.data.data() + pos * dim_;
+    Real* yr = y.data.data() + r * dim_;
+    for (Index i = 0; i < dim_; ++i) yr[i] = te[i] + pe[i];
+  }
+  if (cache) {
+    cachedTokens_ = tokens;
+    cachedSeqLen_ = seqLen;
+  }
+  return y;
+}
+
+void Embedding::backward(const Tensor& dy) {
+  if (cachedTokens_.empty()) throw std::logic_error("Embedding::backward without cache");
+  const Index rows = static_cast<Index>(cachedTokens_.size());
+  for (Index r = 0; r < rows; ++r) {
+    const Index t = cachedTokens_[static_cast<std::size_t>(r)];
+    const Index pos = r % cachedSeqLen_;
+    const Real* dyr = dy.data.data() + r * dim_;
+    Real* tg = token.grad.data.data() + t * dim_;
+    Real* pg = position.grad.data.data() + pos * dim_;
+    for (Index i = 0; i < dim_; ++i) {
+      tg[i] += dyr[i];
+      pg[i] += dyr[i];
+    }
+  }
+}
+
+void Embedding::collectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&token);
+  out.push_back(&position);
+}
+
+}  // namespace nnqs::nn

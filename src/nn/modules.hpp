@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nnqs::nn {
+
+/// Base class of all layers.  Convention: `forward(x, cache)` computes the
+/// output; when `cache` is true the module stores whatever it needs so that a
+/// single subsequent `backward(dy)` can return dx and accumulate parameter
+/// gradients.  (The VMC driver runs exactly one cached forward + one backward
+/// per iteration; sampling uses cache=false inference calls.)
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual Tensor forward(const Tensor& x, bool cache) = 0;
+  virtual Tensor backward(const Tensor& dy) = 0;
+  virtual void collectParameters(std::vector<Parameter*>& out) = 0;
+};
+
+/// Y = X W^T + b with W[out,in].
+class Linear : public Module {
+ public:
+  Linear(Index in, Index out, Rng& rng, std::string name);
+  Tensor forward(const Tensor& x, bool cache) override;
+  Tensor backward(const Tensor& dy) override;
+  void collectParameters(std::vector<Parameter*>& out) override;
+
+  Parameter w, b;
+
+ private:
+  Index in_, out_;
+  Tensor cachedX_;
+};
+
+/// LayerNorm over the last dimension.
+class LayerNorm : public Module {
+ public:
+  LayerNorm(Index dim, std::string name);
+  Tensor forward(const Tensor& x, bool cache) override;
+  Tensor backward(const Tensor& dy) override;
+  void collectParameters(std::vector<Parameter*>& out) override;
+
+  Parameter gamma, beta;
+
+ private:
+  Index dim_;
+  Tensor cachedXhat_;
+  std::vector<Real> cachedInvStd_;
+};
+
+/// GELU (tanh approximation), elementwise.
+class Gelu : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool cache) override;
+  Tensor backward(const Tensor& dy) override;
+  void collectParameters(std::vector<Parameter*>&) override {}
+
+ private:
+  Tensor cachedX_;
+};
+
+/// Tanh, elementwise (phase network).
+class TanhAct : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool cache) override;
+  Tensor backward(const Tensor& dy) override;
+  void collectParameters(std::vector<Parameter*>&) override {}
+
+ private:
+  Tensor cachedY_;
+};
+
+/// Token + learned positional embedding: tokens[R] (R = B*L) -> [R, d].
+class Embedding {
+ public:
+  Embedding(Index vocab, Index maxLen, Index dim, Rng& rng, std::string name);
+  Tensor forward(const std::vector<int>& tokens, Index seqLen, bool cache);
+  void backward(const Tensor& dy);
+  void collectParameters(std::vector<Parameter*>& out);
+
+  Parameter token, position;
+
+ private:
+  Index dim_;
+  std::vector<int> cachedTokens_;
+  Index cachedSeqLen_ = 0;
+};
+
+}  // namespace nnqs::nn

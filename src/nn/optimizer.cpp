@@ -1,0 +1,49 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace nnqs::nn {
+
+AdamW::AdamW(std::vector<Parameter*> params, AdamWOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape);
+    v_.emplace_back(p->value.shape);
+  }
+}
+
+void AdamW::step(Real lrScale) {
+  ++t_;
+  const Real lr = opts_.lr * lrScale;
+  const Real bc1 = 1.0 - std::pow(opts_.beta1, static_cast<Real>(t_));
+  const Real bc2 = 1.0 - std::pow(opts_.beta2, static_cast<Real>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::size_t i = 0; i < p.value.data.size(); ++i) {
+      const Real g = p.grad.data[i];
+      m.data[i] = opts_.beta1 * m.data[i] + (1.0 - opts_.beta1) * g;
+      v.data[i] = opts_.beta2 * v.data[i] + (1.0 - opts_.beta2) * g * g;
+      const Real mhat = m.data[i] / bc1;
+      const Real vhat = v.data[i] / bc2;
+      p.value.data[i] -= lr * (mhat / (std::sqrt(vhat) + opts_.eps) +
+                               opts_.weightDecay * p.value.data[i]);
+    }
+  }
+  zeroGrad();
+}
+
+void AdamW::zeroGrad() {
+  for (Parameter* p : params_) p->grad.setZero();
+}
+
+Index AdamW::parameterCount() const {
+  Index n = 0;
+  for (const Parameter* p : params_) n += p->numel();
+  return n;
+}
+
+}  // namespace nnqs::nn

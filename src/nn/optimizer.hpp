@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nnqs::nn {
+
+struct AdamWOptions {
+  Real lr = 1e-3;
+  Real beta1 = 0.9;
+  Real beta2 = 0.999;
+  Real eps = 1e-8;
+  Real weightDecay = 1e-4;
+};
+
+/// AdamW over a fixed parameter list (the paper's training optimizer).
+class AdamW {
+ public:
+  AdamW(std::vector<Parameter*> params, AdamWOptions opts = {});
+
+  /// One update using the gradients currently stored in the parameters,
+  /// then zeroes the gradients.  `lrScale` multiplies opts.lr (the schedule).
+  void step(Real lrScale = 1.0);
+  void zeroGrad();
+  [[nodiscard]] Index parameterCount() const;
+  [[nodiscard]] const AdamWOptions& options() const { return opts_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamWOptions opts_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+/// The paper's learning-rate schedule, Eq. (13):
+///   alpha_i = dModel^{-1/2} * min(i^{-1/2}, i * S_warmup^{-3/2}).
+class NoamSchedule {
+ public:
+  NoamSchedule(Index dModel, long warmupSteps)
+      : scale_(1.0 / std::sqrt(static_cast<Real>(dModel))),
+        warmup_(warmupSteps) {}
+  [[nodiscard]] Real lr(long step) const {
+    const Real i = static_cast<Real>(step < 1 ? 1 : step);
+    const Real w = static_cast<Real>(warmup_);
+    const Real byStep = 1.0 / std::sqrt(i);
+    const Real byWarmup = i / (w * std::sqrt(w));
+    return scale_ * (byStep < byWarmup ? byStep : byWarmup);
+  }
+
+ private:
+  Real scale_;
+  long warmup_;
+};
+
+}  // namespace nnqs::nn

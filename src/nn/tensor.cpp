@@ -1,0 +1,5 @@
+#include "nn/tensor.hpp"
+
+// Tensor is header-only; this translation unit anchors the library target.
+
+namespace nnqs::nn {}

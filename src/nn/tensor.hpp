@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nnqs::nn {
+
+/// Minimal dense tensor: row-major data + shape.  The NN engine uses explicit
+/// per-module backprop (forward caches what backward needs), so no autograd
+/// graph machinery is required.
+struct Tensor {
+  std::vector<Index> shape;
+  std::vector<Real> data;
+
+  Tensor() = default;
+  explicit Tensor(std::vector<Index> s) : shape(std::move(s)) {
+    data.assign(static_cast<std::size_t>(numel(shape)), 0.0);
+  }
+
+  static Index numel(const std::vector<Index>& s) {
+    Index n = 1;
+    for (Index d : s) n *= d;
+    return n;
+  }
+  [[nodiscard]] Index numel() const { return static_cast<Index>(data.size()); }
+  [[nodiscard]] bool empty() const { return data.empty(); }
+
+  Real& operator[](std::size_t i) { return data[i]; }
+  Real operator[](std::size_t i) const { return data[i]; }
+
+  void setZero() { std::fill(data.begin(), data.end(), 0.0); }
+
+  /// Gaussian init with the given std-dev.
+  void randn(Rng& rng, Real stddev) {
+    for (auto& v : data) v = stddev * rng.normal();
+  }
+};
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+
+  explicit Parameter(std::vector<Index> shape, std::string n = {})
+      : value(shape), grad(std::move(shape)), name(std::move(n)) {}
+  [[nodiscard]] Index numel() const { return value.numel(); }
+};
+
+}  // namespace nnqs::nn

@@ -1,0 +1,106 @@
+#include "nn/transformer.hpp"
+
+namespace nnqs::nn {
+
+// ---------------------------------------------------------- DecoderBlock ---
+
+DecoderBlock::DecoderBlock(Index dModel, Index nHeads, Index ffDim, Index seqLen,
+                           Rng& rng, std::string name)
+    : ln1_(dModel, name + ".ln1"), ln2_(dModel, name + ".ln2"),
+      attn_(dModel, nHeads, seqLen, rng, name + ".attn"),
+      ff1_(dModel, ffDim, rng, name + ".ff1"),
+      ff2_(ffDim, dModel, rng, name + ".ff2") {}
+
+Tensor DecoderBlock::forward(const Tensor& x, bool cache) {
+  Tensor h = attn_.forward(ln1_.forward(x, cache), cache);
+  for (std::size_t i = 0; i < h.data.size(); ++i) h.data[i] += x.data[i];
+  Tensor f = ff2_.forward(gelu_.forward(ff1_.forward(ln2_.forward(h, cache), cache), cache), cache);
+  for (std::size_t i = 0; i < f.data.size(); ++i) f.data[i] += h.data[i];
+  return f;
+}
+
+Tensor DecoderBlock::backward(const Tensor& dy) {
+  Tensor dh = ln2_.backward(ff1_.backward(gelu_.backward(ff2_.backward(dy))));
+  for (std::size_t i = 0; i < dh.data.size(); ++i) dh.data[i] += dy.data[i];
+  Tensor dx = ln1_.backward(attn_.backward(dh));
+  for (std::size_t i = 0; i < dx.data.size(); ++i) dx.data[i] += dh.data[i];
+  return dx;
+}
+
+void DecoderBlock::collectParameters(std::vector<Parameter*>& out) {
+  ln1_.collectParameters(out);
+  attn_.collectParameters(out);
+  ln2_.collectParameters(out);
+  ff1_.collectParameters(out);
+  ff2_.collectParameters(out);
+}
+
+// --------------------------------------------------------- TransformerAR ---
+
+TransformerAR::TransformerAR(Index seqLen, Index dModel, Index nHeads,
+                             Index nLayers, Rng& rng)
+    : seqLen_(seqLen), d_(dModel),
+      embed_(kVocab, seqLen, dModel, rng, "amp.embed"),
+      lnFinal_(dModel, "amp.lnf"),
+      head_(dModel, kOutcomes, rng, "amp.head") {
+  for (Index l = 0; l < nLayers; ++l)
+    blocks_.push_back(std::make_unique<DecoderBlock>(
+        dModel, nHeads, 4 * dModel, seqLen, rng, "amp.dec" + std::to_string(l)));
+}
+
+Tensor TransformerAR::forward(const std::vector<int>& tokens, Index window,
+                              bool cache) {
+  cachedWindow_ = window;
+  Tensor x = embed_.forward(tokens, window, cache);
+  for (auto& block : blocks_) {
+    block->setWindow(window);
+    x = block->forward(x, cache);
+  }
+  x = lnFinal_.forward(x, cache);
+  return head_.forward(x, cache);
+}
+
+void TransformerAR::backward(const Tensor& dLogits) {
+  Tensor dx = lnFinal_.backward(head_.backward(dLogits));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+    dx = (*it)->backward(dx);
+  embed_.backward(dx);
+}
+
+void TransformerAR::collectParameters(std::vector<Parameter*>& out) {
+  embed_.collectParameters(out);
+  for (auto& b : blocks_) b->collectParameters(out);
+  lnFinal_.collectParameters(out);
+  head_.collectParameters(out);
+}
+
+// -------------------------------------------------------------- PhaseMlp ---
+
+PhaseMlp::PhaseMlp(Index nQubits, Index hidden, Index nHidden, Rng& rng) {
+  Index in = nQubits;
+  for (Index l = 0; l < nHidden; ++l) {
+    layers_.push_back(std::make_unique<Linear>(in, hidden, rng,
+                                               "phase.l" + std::to_string(l)));
+    layers_.push_back(std::make_unique<TanhAct>());
+    in = hidden;
+  }
+  layers_.push_back(std::make_unique<Linear>(in, 1, rng, "phase.out"));
+}
+
+Tensor PhaseMlp::forward(const Tensor& x, bool cache) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, cache);
+  return h;  // [B, 1]
+}
+
+void PhaseMlp::backward(const Tensor& dPhase) {
+  Tensor d = dPhase;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    d = (*it)->backward(d);
+}
+
+void PhaseMlp::collectParameters(std::vector<Parameter*>& out) {
+  for (auto& l : layers_) l->collectParameters(out);
+}
+
+}  // namespace nnqs::nn

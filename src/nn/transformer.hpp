@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/attention.hpp"
+
+namespace nnqs::nn {
+
+/// Pre-LN decoder block: x += MHSA(LN(x)); x += FF(LN(x)).
+class DecoderBlock : public Module {
+ public:
+  DecoderBlock(Index dModel, Index nHeads, Index ffDim, Index seqLen, Rng& rng,
+               std::string name);
+  Tensor forward(const Tensor& x, bool cache) override;
+  Tensor backward(const Tensor& dy) override;
+  void collectParameters(std::vector<Parameter*>& out) override;
+  void setWindow(Index w) { attn_.setWindow(w); }
+
+ private:
+  LayerNorm ln1_, ln2_;
+  CausalSelfAttention attn_;
+  Linear ff1_, ff2_;
+  Gelu gelu_;
+};
+
+/// Stacked-decoder autoregressive amplitude network (paper Fig. 2, the
+/// "Amplitude Sub-Network"): tokens -> logits over the 4 two-qubit outcomes
+/// at every position.  Token vocabulary: 0..3 outcomes + BOS (=4).
+class TransformerAR {
+ public:
+  TransformerAR(Index seqLen, Index dModel, Index nHeads, Index nLayers,
+                Rng& rng);
+
+  /// tokens is a flattened [B, L'] window (L' <= seqLen); returns logits
+  /// [B, L', 4].
+  Tensor forward(const std::vector<int>& tokens, Index window, bool cache);
+  /// Backprop dLogits [B, L', 4]; accumulates parameter gradients.
+  void backward(const Tensor& dLogits);
+  void collectParameters(std::vector<Parameter*>& out);
+
+  static constexpr int kVocab = 5;
+  static constexpr int kBos = 4;
+  static constexpr int kOutcomes = 4;
+
+ private:
+  Index seqLen_, d_;
+  Embedding embed_;
+  std::vector<std::unique_ptr<DecoderBlock>> blocks_;
+  LayerNorm lnFinal_;
+  Linear head_;
+  Index cachedWindow_ = 0;
+};
+
+/// Phase sub-network: an MLP phi(x) on the +-1 encoded qubit string.
+class PhaseMlp {
+ public:
+  PhaseMlp(Index nQubits, Index hidden, Index nHidden, Rng& rng);
+
+  /// x: [B, nQubits] of +-1; returns [B] phases.
+  Tensor forward(const Tensor& x, bool cache);
+  void backward(const Tensor& dPhase);
+  void collectParameters(std::vector<Parameter*>& out);
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace nnqs::nn

@@ -1,0 +1,247 @@
+#include "nqs/ansatz.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace nnqs::nqs {
+
+namespace {
+constexpr Real kLogZero = -1e30;
+}
+
+QiankunNet::QiankunNet(const QiankunNetConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      amplitude_(cfg.nQubits / 2, cfg.dModel, cfg.nHeads, cfg.nDecoders, rng_),
+      phase_(cfg.nQubits, cfg.phaseHidden, cfg.phaseHiddenLayers, rng_) {
+  if (cfg.nQubits % 2 != 0)
+    throw std::invalid_argument("QiankunNet: nQubits must be even (orbital pairs)");
+}
+
+std::array<bool, 4> QiankunNet::outcomeMask(int s, int nUp, int nDown) const {
+  std::array<bool, 4> mask{};
+  const int stepsLeft = nSteps() - s - 1;  // steps after this one
+  for (int t = 0; t < 4; ++t) {
+    const int u = nUp + (t & 1), d = nDown + ((t >> 1) & 1);
+    mask[static_cast<std::size_t>(t)] =
+        u <= cfg_.nAlpha && d <= cfg_.nBeta &&
+        (cfg_.nAlpha - u) <= stepsLeft && (cfg_.nBeta - d) <= stepsLeft;
+  }
+  return mask;
+}
+
+std::vector<Real> QiankunNet::conditionals(const std::vector<int>& prefixTokens,
+                                           int batch, int s,
+                                           const std::vector<std::array<int, 2>>& counts) {
+  // Window of length s+1: [BOS, t_0 .. t_{s-1}] per prefix.
+  const int window = s + 1;
+  std::vector<int> tokens(static_cast<std::size_t>(batch) * window);
+  for (int b = 0; b < batch; ++b) {
+    tokens[static_cast<std::size_t>(b * window)] = nn::TransformerAR::kBos;
+    for (int j = 0; j < s; ++j)
+      tokens[static_cast<std::size_t>(b * window + 1 + j)] =
+          prefixTokens[static_cast<std::size_t>(b * s + j)];
+  }
+  nn::Tensor logits = amplitude_.forward(tokens, window, /*cache=*/false);
+  // Take the last position of each prefix, mask, softmax.
+  std::vector<Real> probs(static_cast<std::size_t>(batch) * 4);
+  for (int b = 0; b < batch; ++b) {
+    const Real* lg = logits.data.data() + (static_cast<Index>(b) * window + s) * 4;
+    const auto mask = outcomeMask(s, counts[static_cast<std::size_t>(b)][0],
+                                  counts[static_cast<std::size_t>(b)][1]);
+    Real mx = -1e300;
+    for (int t = 0; t < 4; ++t)
+      if (mask[static_cast<std::size_t>(t)]) mx = std::max(mx, lg[t]);
+    Real denom = 0;
+    for (int t = 0; t < 4; ++t) {
+      const Real p = mask[static_cast<std::size_t>(t)] ? std::exp(lg[t] - mx) : 0.0;
+      probs[static_cast<std::size_t>(b * 4 + t)] = p;
+      denom += p;
+    }
+    for (int t = 0; t < 4; ++t) probs[static_cast<std::size_t>(b * 4 + t)] /= denom;
+  }
+  return probs;
+}
+
+void QiankunNet::inputTokens(const std::vector<Bits128>& samples,
+                             std::vector<int>& out) const {
+  const int L = nSteps();
+  out.resize(samples.size() * static_cast<std::size_t>(L));
+  for (std::size_t b = 0; b < samples.size(); ++b) {
+    out[b * static_cast<std::size_t>(L)] = nn::TransformerAR::kBos;
+    for (int s = 0; s + 1 < L; ++s)
+      out[b * static_cast<std::size_t>(L) + 1 + static_cast<std::size_t>(s)] =
+          tokenOf(samples[b], s);
+  }
+}
+
+void QiankunNet::evaluate(const std::vector<Bits128>& samples,
+                          std::vector<Real>& logAmp, std::vector<Real>& phase,
+                          bool cache) {
+  const int L = nSteps();
+  const Index batch = static_cast<Index>(samples.size());
+  std::vector<int> tokens;
+  inputTokens(samples, tokens);
+  nn::Tensor logits = amplitude_.forward(tokens, L, cache);
+
+  nn::Tensor probs({batch, L, 4});
+  logAmp.assign(samples.size(), 0.0);
+  for (Index b = 0; b < batch; ++b) {
+    int nUp = 0, nDown = 0;
+    Real la = 0;
+    for (int s = 0; s < L; ++s) {
+      const Real* lg = logits.data.data() + (b * L + s) * 4;
+      Real* pr = probs.data.data() + (b * L + s) * 4;
+      const auto mask = outcomeMask(s, nUp, nDown);
+      Real mx = -1e300;
+      for (int t = 0; t < 4; ++t)
+        if (mask[static_cast<std::size_t>(t)]) mx = std::max(mx, lg[t]);
+      Real denom = 0;
+      for (int t = 0; t < 4; ++t) {
+        pr[t] = mask[static_cast<std::size_t>(t)] ? std::exp(lg[t] - mx) : 0.0;
+        denom += pr[t];
+      }
+      for (int t = 0; t < 4; ++t) pr[t] /= denom;
+      const int chosen = tokenOf(samples[static_cast<std::size_t>(b)], s);
+      if (!mask[static_cast<std::size_t>(chosen)] || pr[chosen] <= 0.0) {
+        la = kLogZero;  // outside the number-conserving support
+        break;
+      }
+      la += 0.5 * std::log(pr[chosen]);
+      nUp += chosen & 1;
+      nDown += (chosen >> 1) & 1;
+    }
+    logAmp[static_cast<std::size_t>(b)] = la;
+  }
+
+  // Phase network on the +-1 encoded qubit string.
+  nn::Tensor xin({batch, cfg_.nQubits});
+  for (Index b = 0; b < batch; ++b)
+    for (int q = 0; q < cfg_.nQubits; ++q)
+      xin.data[static_cast<std::size_t>(b * cfg_.nQubits + q)] =
+          samples[static_cast<std::size_t>(b)].get(q) ? 1.0 : -1.0;
+  nn::Tensor ph = phase_.forward(xin, cache);
+  phase.resize(samples.size());
+  for (Index b = 0; b < batch; ++b) phase[static_cast<std::size_t>(b)] = ph.data[static_cast<std::size_t>(b)];
+
+  if (cache) {
+    cachedBatch_ = static_cast<long>(samples.size());
+    cachedSamples_ = samples;
+    cachedProbs_ = std::move(probs);
+  }
+}
+
+std::vector<Complex> QiankunNet::psi(const std::vector<Bits128>& samples) {
+  std::vector<Real> la, ph;
+  evaluate(samples, la, ph, /*cache=*/false);
+  std::vector<Complex> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Real a = (la[i] <= kLogZero) ? 0.0 : std::exp(la[i]);
+    out[i] = Complex{a * std::cos(ph[i]), a * std::sin(ph[i])};
+  }
+  return out;
+}
+
+void QiankunNet::backward(const std::vector<Real>& dLogAmp,
+                          const std::vector<Real>& dPhase) {
+  if (cachedBatch_ < 0)
+    throw std::logic_error("QiankunNet::backward without cached evaluate");
+  if (cachedBatch_ == 0) {  // empty chunk: gradients stay zero
+    cachedBatch_ = -1;
+    return;
+  }
+  const int L = nSteps();
+  const Index batch = static_cast<Index>(cachedSamples_.size());
+
+  // d ln|Psi| / d logits: ln|Psi| = 1/2 sum_s ln p_chosen ->
+  // dlogit[t] = 1/2 seed * (delta_{t,chosen} - p_t) over the masked softmax.
+  nn::Tensor dLogits({batch, L, 4});
+  for (Index b = 0; b < batch; ++b) {
+    const Real seed = dLogAmp[static_cast<std::size_t>(b)];
+    if (seed == 0.0) continue;
+    for (int s = 0; s < L; ++s) {
+      const Real* pr = cachedProbs_.data.data() + (b * L + s) * 4;
+      Real* dl = dLogits.data.data() + (b * L + s) * 4;
+      const int chosen = tokenOf(cachedSamples_[static_cast<std::size_t>(b)], s);
+      for (int t = 0; t < 4; ++t) {
+        if (pr[t] <= 0.0) continue;  // masked outcome: no gradient path
+        dl[t] = 0.5 * seed * ((t == chosen ? 1.0 : 0.0) - pr[t]);
+      }
+    }
+  }
+  amplitude_.backward(dLogits);
+
+  nn::Tensor dPh({batch, 1});
+  for (Index b = 0; b < batch; ++b) dPh.data[static_cast<std::size_t>(b)] = dPhase[static_cast<std::size_t>(b)];
+  phase_.backward(dPh);
+
+  cachedSamples_.clear();
+  cachedBatch_ = -1;
+}
+
+void QiankunNet::saveParameters(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveParameters: cannot open " + path);
+  const auto params = parameters();
+  out << params.size() << "\n";
+  char buf[64];
+  for (const nn::Parameter* p : params) {
+    out << p->name << " " << p->value.data.size() << "\n";
+    for (Real v : p->value.data) {
+      std::snprintf(buf, sizeof(buf), "%.17g\n", v);
+      out << buf;
+    }
+  }
+}
+
+void QiankunNet::loadParameters(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadParameters: cannot open " + path);
+  std::size_t n = 0;
+  in >> n;
+  const auto params = parameters();
+  if (n != params.size())
+    throw std::runtime_error("loadParameters: parameter-list size mismatch");
+  for (nn::Parameter* p : params) {
+    std::string name;
+    std::size_t len = 0;
+    in >> name >> len;
+    if (name != p->name || len != p->value.data.size())
+      throw std::runtime_error("loadParameters: architecture mismatch at " + name);
+    for (auto& v : p->value.data) in >> v;
+  }
+  if (!in) throw std::runtime_error("loadParameters: truncated file " + path);
+}
+
+std::vector<nn::Parameter*> QiankunNet::parameters() {
+  if (paramCache_.empty()) {
+    amplitude_.collectParameters(paramCache_);
+    phase_.collectParameters(paramCache_);
+  }
+  return paramCache_;
+}
+
+Index QiankunNet::parameterCount() {
+  Index n = 0;
+  for (auto* p : parameters()) n += p->numel();
+  return n;
+}
+
+void QiankunNet::flattenGradients(std::vector<Real>& out) {
+  out.clear();
+  for (auto* p : parameters())
+    out.insert(out.end(), p->grad.data.begin(), p->grad.data.end());
+}
+
+void QiankunNet::loadGradients(const std::vector<Real>& in) {
+  std::size_t off = 0;
+  for (auto* p : parameters()) {
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(off),
+              in.begin() + static_cast<std::ptrdiff_t>(off + p->grad.data.size()),
+              p->grad.data.begin());
+    off += p->grad.data.size();
+  }
+}
+
+}  // namespace nnqs::nqs

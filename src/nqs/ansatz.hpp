@@ -1,0 +1,99 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/transformer.hpp"
+
+namespace nnqs::nqs {
+
+/// Configuration of the QiankunNet wave-function ansatz (paper Fig. 2 and
+/// §4.1 defaults: two decoders, d_model 16, 4 heads, 512-wide phase MLP).
+struct QiankunNetConfig {
+  int nQubits = 0;
+  int nAlpha = 0;  ///< spin-up electrons (number conservation, Eq. 12)
+  int nBeta = 0;
+  Index dModel = 16;
+  Index nHeads = 4;
+  Index nDecoders = 2;
+  Index phaseHidden = 512;
+  Index phaseHiddenLayers = 2;
+  std::uint64_t seed = 1234;
+};
+
+/// QiankunNet: Psi(x) = |Psi(x)| e^{i phi(x)} with an autoregressive
+/// transformer amplitude (two qubits = one spatial orbital per step, sampled
+/// in reverse JW qubit order as in the paper) and an MLP phase.
+class QiankunNet {
+ public:
+  explicit QiankunNet(const QiankunNetConfig& cfg);
+
+  [[nodiscard]] const QiankunNetConfig& config() const { return cfg_; }
+  [[nodiscard]] int nSteps() const { return cfg_.nQubits / 2; }
+  /// Spatial orbital sampled at step s (reverse order).
+  [[nodiscard]] int orbitalOfStep(int s) const { return nSteps() - 1 - s; }
+  /// Two-bit outcome of sample x at step s: bit0 = up qubit, bit1 = down.
+  [[nodiscard]] int tokenOf(Bits128 x, int s) const {
+    const int orb = orbitalOfStep(s);
+    return (x.get(2 * orb) ? 1 : 0) | (x.get(2 * orb + 1) ? 2 : 0);
+  }
+  [[nodiscard]] Bits128 applyToken(Bits128 x, int s, int token) const {
+    const int orb = orbitalOfStep(s);
+    if (token & 1) x.set(2 * orb);
+    if (token & 2) x.set(2 * orb + 1);
+    return x;
+  }
+
+  /// Number-conservation mask (Eq. 12 plus the feasibility lower bound):
+  /// outcome t is allowed at step s given the up/down counts used so far.
+  [[nodiscard]] std::array<bool, 4> outcomeMask(int s, int nUpUsed, int nDownUsed) const;
+
+  /// Masked, renormalized conditional distributions pi(x_s | prefix) for a
+  /// batch of B prefixes of length s (tokens flattened [B, s]); counts are
+  /// the per-prefix (up, down) electron counts.  Output [B, 4].
+  std::vector<Real> conditionals(const std::vector<int>& prefixTokens, int batch,
+                                 int s, const std::vector<std::array<int, 2>>& counts);
+
+  /// ln|Psi| and phase for a batch of samples.  cache=true stores activations
+  /// for exactly one subsequent backward().
+  void evaluate(const std::vector<Bits128>& samples, std::vector<Real>& logAmp,
+                std::vector<Real>& phase, bool cache);
+
+  /// Complex psi values (convenience; |psi| = sqrt(pi) <= 1 so no overflow).
+  std::vector<Complex> psi(const std::vector<Bits128>& samples);
+
+  /// Backprop the VMC loss seeds d/d(ln|Psi|) and d/d(phi) per sample of the
+  /// last cached evaluate().
+  void backward(const std::vector<Real>& dLogAmp, const std::vector<Real>& dPhase);
+
+  std::vector<nn::Parameter*> parameters();
+  [[nodiscard]] Index parameterCount();
+
+  /// Checkpointing: text round-trip of all parameters (architecture must
+  /// match; verified by name and shape).
+  void saveParameters(const std::string& path);
+  void loadParameters(const std::string& path);
+  void flattenGradients(std::vector<Real>& out);
+  void loadGradients(const std::vector<Real>& in);
+
+ private:
+  /// Tokens of a full sample in network input order: [BOS, t_0 .. t_{L-2}].
+  void inputTokens(const std::vector<Bits128>& samples, std::vector<int>& out) const;
+
+  QiankunNetConfig cfg_;
+  Rng rng_;
+  nn::TransformerAR amplitude_;
+  nn::PhaseMlp phase_;
+  // Backward caches.  cachedBatch_ == -1 means "no cached forward"; an empty
+  // cached batch (0) makes backward a no-op so ranks that received no samples
+  // still participate in the gradient collectives with zero contributions.
+  long cachedBatch_ = -1;
+  std::vector<Bits128> cachedSamples_;
+  nn::Tensor cachedProbs_;  ///< [B, L, 4] masked conditional probabilities
+  std::vector<nn::Parameter*> paramCache_;
+};
+
+}  // namespace nnqs::nqs

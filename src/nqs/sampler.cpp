@@ -1,0 +1,215 @@
+#include "nqs/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace nnqs::nqs {
+
+namespace {
+
+/// Binomial(n, p) draw that stays practical from n = 1 to n = 1e12:
+/// exact Bernoulli summation for small n, inverse-transform Poisson for the
+/// small-mean regime, gaussian approximation otherwise.
+/// Poisson(lambda) inverse-transform draw, clamped to [0, n].
+std::uint64_t poissonDraw(Rng& rng, Real lambda, std::uint64_t n) {
+  const Real target = rng.uniform();
+  Real term = std::exp(-lambda), cdf = term;
+  std::uint64_t k = 0;
+  while (cdf < target && k < n) {
+    ++k;
+    term *= lambda / static_cast<Real>(k);
+    cdf += term;
+    if (term < 1e-18 && k > static_cast<std::uint64_t>(lambda)) break;  // tail cut
+  }
+  return k;
+}
+
+std::uint64_t binomialDraw(Rng& rng, std::uint64_t n, Real p) {
+  if (!(p > 0.0) || n == 0) return 0;  // also treats NaN as "no successes"
+  if (p >= 1.0) return n;
+  if (n <= 128) {
+    std::uint64_t k = 0;
+    for (std::uint64_t i = 0; i < n; ++i) k += (rng.uniform() < p) ? 1 : 0;
+    return k;
+  }
+  const Real mean = static_cast<Real>(n) * p;
+  const Real meanFail = static_cast<Real>(n) * (1.0 - p);
+  if (mean < 32.0) return poissonDraw(rng, mean, n);
+  if (meanFail < 32.0) return n - poissonDraw(rng, meanFail, n);
+  // Both success and failure counts are large: gaussian approximation.
+  // (var = mean * meanFail / n >= ~16 here, where the approximation is good.)
+  const Real var = mean * (1.0 - p);
+  const Real draw = mean + std::sqrt(var) * rng.normal();
+  if (draw <= 0.0) return 0;
+  if (draw >= static_cast<Real>(n)) return n;
+  return static_cast<std::uint64_t>(draw + 0.5);
+}
+
+/// One BAS layer's working state: unique prefixes with weights and counts.
+struct Layer {
+  std::vector<int> tokens;  ///< [nodes, step] flattened
+  std::vector<std::uint64_t> weights;
+  std::vector<std::array<int, 2>> counts;  ///< (up, down) used so far
+  int step = 0;
+
+  [[nodiscard]] std::size_t nodes() const { return weights.size(); }
+};
+
+/// Expand one BAS layer: query the conditionals for every node and split the
+/// node weights multinomially over the 4 outcomes (pruning zeros).
+Layer expand(QiankunNet& net, const Layer& cur, Rng& rng) {
+  const int s = cur.step;
+  const int batch = static_cast<int>(cur.nodes());
+  const std::vector<Real> probs = net.conditionals(cur.tokens, batch, s, cur.counts);
+
+  Layer next;
+  next.step = s + 1;
+  next.tokens.reserve(cur.nodes() * static_cast<std::size_t>(s + 1) * 2);
+  next.weights.reserve(cur.nodes() * 2);
+  next.counts.reserve(cur.nodes() * 2);
+  for (int b = 0; b < batch; ++b) {
+    const auto split = multinomialSplit4(rng, cur.weights[static_cast<std::size_t>(b)],
+                                         probs.data() + static_cast<std::size_t>(b) * 4);
+    for (int t = 0; t < 4; ++t) {
+      if (split[static_cast<std::size_t>(t)] == 0) continue;  // pruned leaf
+      for (int j = 0; j < s; ++j)
+        next.tokens.push_back(cur.tokens[static_cast<std::size_t>(b * s + j)]);
+      next.tokens.push_back(t);
+      next.weights.push_back(split[static_cast<std::size_t>(t)]);
+      next.counts.push_back({cur.counts[static_cast<std::size_t>(b)][0] + (t & 1),
+                             cur.counts[static_cast<std::size_t>(b)][1] + ((t >> 1) & 1)});
+    }
+  }
+  return next;
+}
+
+SampleSet layerToSamples(const QiankunNet& net, const Layer& layer) {
+  SampleSet out;
+  const int L = layer.step;
+  out.samples.reserve(layer.nodes());
+  out.weights = layer.weights;
+  for (std::size_t b = 0; b < layer.nodes(); ++b) {
+    Bits128 x;
+    for (int s = 0; s < L; ++s)
+      x = net.applyToken(x, s, layer.tokens[b * static_cast<std::size_t>(L) + static_cast<std::size_t>(s)]);
+    out.samples.push_back(x);
+  }
+  return out;
+}
+
+Layer rootLayer(std::uint64_t nSamples) {
+  Layer root;
+  root.step = 0;
+  root.weights = {nSamples};
+  root.counts = {{0, 0}};
+  return root;
+}
+
+}  // namespace
+
+std::array<std::uint64_t, 4> multinomialSplit4(Rng& rng, std::uint64_t n,
+                                               const Real* probs) {
+  std::array<std::uint64_t, 4> out{};
+  std::uint64_t left = n;
+  Real pLeft = 1.0;
+  for (int t = 0; t < 3; ++t) {
+    if (left == 0 || pLeft <= 0.0) break;
+    const Real cond = std::min<Real>(1.0, probs[t] / pLeft);
+    out[static_cast<std::size_t>(t)] = binomialDraw(rng, left, cond);
+    left -= out[static_cast<std::size_t>(t)];
+    pLeft -= probs[t];
+  }
+  out[3] = left;
+  return out;
+}
+
+Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng) {
+  const int L = net.nSteps();
+  std::vector<int> tokens;
+  std::array<int, 2> counts{0, 0};
+  Bits128 x;
+  for (int s = 0; s < L; ++s) {
+    const std::vector<Real> probs =
+        net.conditionals(tokens, 1, s, {counts});
+    const Real u = rng.uniform();
+    Real cdf = 0;
+    int chosen = 3;
+    for (int t = 0; t < 4; ++t) {
+      cdf += probs[static_cast<std::size_t>(t)];
+      if (u < cdf) {
+        chosen = t;
+        break;
+      }
+    }
+    tokens.push_back(chosen);
+    counts[0] += chosen & 1;
+    counts[1] += (chosen >> 1) & 1;
+    x = net.applyToken(x, s, chosen);
+  }
+  return x;
+}
+
+SampleSet batchAutoregressiveSample(QiankunNet& net, const SamplerOptions& opts) {
+  Rng rng(opts.seed);
+  Layer layer = rootLayer(opts.nSamples);
+  const int L = net.nSteps();
+  for (int s = 0; s < L; ++s) layer = expand(net, layer, rng);
+  return layerToSamples(net, layer);
+}
+
+SampleSet parallelBatchSample(QiankunNet& net, const SamplerOptions& opts,
+                              int rank, int nRanks, std::uint64_t uniqueThreshold) {
+  if (nRanks <= 1) return batchAutoregressiveSample(net, opts);
+  const int L = net.nSteps();
+  Rng rng(opts.seed);  // shared stream: the serial prefix is identical on all ranks
+  Layer layer = rootLayer(opts.nSamples);
+  int s = 0;
+  for (; s < L; ++s) {
+    if (layer.nodes() > uniqueThreshold) break;
+    layer = expand(net, layer, rng);
+  }
+  if (s >= L) {
+    // Tree exhausted before the split threshold: deal leaves round-robin.
+    SampleSet all = layerToSamples(net, layer);
+    SampleSet mine;
+    for (std::size_t i = static_cast<std::size_t>(rank); i < all.nUnique();
+         i += static_cast<std::size_t>(nRanks)) {
+      mine.samples.push_back(all.samples[i]);
+      mine.weights.push_back(all.weights[i]);
+    }
+    return mine;
+  }
+
+  // Partition the k-th layer nodes so each rank gets ~equal total weight
+  // (greedy largest-first bin packing; deterministic).
+  std::vector<std::size_t> order(layer.nodes());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return layer.weights[a] > layer.weights[b];
+  });
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(nRanks), 0);
+  std::vector<int> owner(layer.nodes());
+  for (std::size_t idx : order) {
+    const int target = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    owner[idx] = target;
+    load[static_cast<std::size_t>(target)] += layer.weights[idx];
+  }
+
+  Layer mine;
+  mine.step = layer.step;
+  for (std::size_t i = 0; i < layer.nodes(); ++i) {
+    if (owner[i] != rank) continue;
+    for (int j = 0; j < layer.step; ++j)
+      mine.tokens.push_back(layer.tokens[i * static_cast<std::size_t>(layer.step) + static_cast<std::size_t>(j)]);
+    mine.weights.push_back(layer.weights[i]);
+    mine.counts.push_back(layer.counts[i]);
+  }
+  Rng mineRng(opts.seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(rank + 1)));
+  for (; mine.step < L && mine.nodes() > 0;)
+    mine = expand(net, mine, mineRng);
+  return layerToSamples(net, mine);
+}
+
+}  // namespace nnqs::nqs

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nqs/ansatz.hpp"
+
+namespace nnqs::nqs {
+
+/// Unique samples with multiplicities ("weights"), the output of batch
+/// autoregressive sampling.
+struct SampleSet {
+  std::vector<Bits128> samples;
+  std::vector<std::uint64_t> weights;
+
+  [[nodiscard]] std::size_t nUnique() const { return samples.size(); }
+  [[nodiscard]] std::uint64_t totalWeight() const {
+    std::uint64_t w = 0;
+    for (auto x : weights) w += x;
+    return w;
+  }
+};
+
+struct SamplerOptions {
+  std::uint64_t nSamples = 1 << 12;  ///< N_s; can be huge (the paper uses 1e12)
+  std::uint64_t seed = 7;
+};
+
+/// Exact multinomial-style draw: split `n` trials over the 4 outcome
+/// probabilities (sequential binomials; exact for small n, gaussian/poisson
+/// approximations for astronomically large n).  Exposed for tests.
+std::array<std::uint64_t, 4> multinomialSplit4(Rng& rng, std::uint64_t n,
+                                               const Real* probs);
+
+/// Fig. 3(a): plain autoregressive sampling, one bitstring per call.
+Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng);
+
+/// Fig. 3(b): batch autoregressive sampling.  Generates N_s samples in one
+/// sweep over the quadtree (two qubits per step), pruning zero-weight and
+/// constraint-violating branches.
+SampleSet batchAutoregressiveSample(QiankunNet& net, const SamplerOptions& opts);
+
+/// Fig. 5: parallel BAS.  Every rank replays the serial BAS with the shared
+/// seed until the layer where the unique-sample count first exceeds
+/// `uniqueThreshold` (the paper's N*_u), then the nodes of that layer are
+/// partitioned so each rank gets approximately equal total weight and each
+/// rank finishes its own subtree independently.
+SampleSet parallelBatchSample(QiankunNet& net, const SamplerOptions& opts,
+                              int rank, int nRanks, std::uint64_t uniqueThreshold);
+
+}  // namespace nnqs::nqs

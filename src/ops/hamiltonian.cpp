@@ -1,0 +1,119 @@
+#include "ops/hamiltonian.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/davidson.hpp"
+
+namespace nnqs::ops {
+
+void SpinHamiltonian::sortCanonical() {
+  std::vector<std::size_t> order(strings.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return strings[a] < strings[b];
+  });
+  std::vector<Real> c2(coeffs.size());
+  std::vector<PauliString> s2(strings.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    c2[i] = coeffs[order[i]];
+    s2[i] = strings[order[i]];
+  }
+  coeffs = std::move(c2);
+  strings = std::move(s2);
+}
+
+Real SpinHamiltonian::matrixElement(Bits128 bra, Bits128 ket) const {
+  Real sum = (bra == ket) ? constant : 0.0;
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    const Complex v = ops::matrixElement(strings[i], bra, ket);
+    sum += coeffs[i] * v.real();
+  }
+  return sum;
+}
+
+void SpinHamiltonian::applyDense(const std::vector<Real>& x, std::vector<Real>& y) const {
+  const std::size_t dim = std::size_t{1} << nQubits;
+  if (x.size() != dim || y.size() != dim)
+    throw std::invalid_argument("applyDense: dimension mismatch");
+#pragma omp parallel for schedule(static)
+  for (std::size_t ket = 0; ket < dim; ++ket) {
+    const Real xv = x[ket];
+    if (xv == 0.0) continue;
+    const Bits128 ketBits{static_cast<std::uint64_t>(ket), 0};
+#pragma omp atomic
+    y[ket] += constant * xv;
+    for (std::size_t i = 0; i < strings.size(); ++i) {
+      const Bits128 braBits = ketBits ^ strings[i].x;
+      const Real amp = coeffs[i] * applyPhase(strings[i], ketBits).real();
+      if (amp == 0.0) continue;
+#pragma omp atomic
+      y[braBits.lo] += amp * xv;
+    }
+  }
+}
+
+std::vector<Real> SpinHamiltonian::denseDiagonal() const {
+  const std::size_t dim = std::size_t{1} << nQubits;
+  std::vector<Real> diag(dim, constant);
+#pragma omp parallel for schedule(static)
+  for (std::size_t ket = 0; ket < dim; ++ket) {
+    const Bits128 ketBits{static_cast<std::uint64_t>(ket), 0};
+    Real d = constant;
+    for (std::size_t i = 0; i < strings.size(); ++i) {
+      if (strings[i].x.any()) continue;  // off-diagonal
+      d += coeffs[i] * applyPhase(strings[i], ketBits).real();
+    }
+    diag[ket] = d;
+  }
+  return diag;
+}
+
+void SpinHamiltonian::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SpinHamiltonian::save: cannot open " + path);
+  out << nQubits << " " << strings.size() << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", constant);
+  out << buf << "\n";
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.17g", coeffs[i]);
+    out << buf << " " << strings[i].toString(nQubits) << "\n";
+  }
+}
+
+SpinHamiltonian SpinHamiltonian::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("SpinHamiltonian::load: cannot open " + path);
+  SpinHamiltonian h;
+  std::size_t n = 0;
+  in >> h.nQubits >> n >> h.constant;
+  h.coeffs.reserve(n);
+  h.strings.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Real c;
+    std::string word;
+    in >> c >> word;
+    h.coeffs.push_back(c);
+    h.strings.push_back(PauliString::fromString(word));
+  }
+  return h;
+}
+
+Real exactGroundState(const SpinHamiltonian& h) {
+  if (h.nQubits > 24)
+    throw std::invalid_argument("exactGroundState: too many qubits for dense solve");
+  const auto diag = h.denseDiagonal();
+  linalg::DavidsonOptions opts;
+  opts.residualTol = 1e-9;
+  opts.maxIterations = 400;
+  auto res = linalg::davidsonLowest(
+      [&](const std::vector<Real>& x, std::vector<Real>& y) { h.applyDense(x, y); },
+      diag, opts);
+  return res.eigenvalue;
+}
+
+}  // namespace nnqs::ops

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "ops/hamiltonian.hpp"
+#include "scf/mo_integrals.hpp"
+
+namespace nnqs::ops {
+
+/// Jordan-Wigner image of a single ladder operator a_p / a+_p on n qubits:
+///   a_p  = Z_0..Z_{p-1} (X_p + i Y_p)/2,
+///   a+_p = Z_0..Z_{p-1} (X_p - i Y_p)/2.
+PauliSum jwLadder(int p, bool dagger);
+
+/// Jordan-Wigner transform of the active-space molecular Hamiltonian
+///   H = E_core + sum h_pq a+_p a_q + sum_{p<q, r<s} <pq||rs> a+_p a+_q a_s a_r
+/// into a qubit Hamiltonian.  Spin orbitals are interleaved (qubit 2P = up
+/// spin of orbital P).  Terms below `cutoff` are dropped.  OpenMP-parallel.
+SpinHamiltonian jordanWigner(const scf::MoIntegrals& mo, Real cutoff = 1e-12);
+
+}  // namespace nnqs::ops

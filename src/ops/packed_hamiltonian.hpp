@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+#include "ops/hamiltonian.hpp"
+
+namespace nnqs::ops {
+
+/// Hamiltonian layout of Ref. 27 (MADE), paper Fig. 6(b): one XY mask, one YZ
+/// mask, the Y count and the coefficient per Pauli string.
+struct MadePackedHamiltonian {
+  int nQubits = 0;
+  Real constant = 0;
+  std::vector<Bits128> xy;   ///< occurrence of X or Y (couples x -> x')
+  std::vector<Bits128> yz;   ///< occurrence of Y or Z (sign)
+  std::vector<int> yCount;   ///< occurrence of Y (phase)
+  std::vector<Real> coeff;
+
+  [[nodiscard]] std::size_t nTerms() const { return xy.size(); }
+  /// Bytes with the paper's accounting: boolean tuples of length N stored as
+  /// one byte per entry (numpy-style), 4-byte int, 8-byte coefficient.
+  [[nodiscard]] std::size_t memoryBytes() const;
+
+  static MadePackedHamiltonian fromHamiltonian(const SpinHamiltonian& h);
+  /// <x|H|x'> via the packed data (reference implementation for tests).
+  [[nodiscard]] Real matrixElement(Bits128 x, Bits128 xp) const;
+};
+
+/// The paper's compressed layout, Fig. 6(c) / Algorithm 1: unique XY masks
+/// with CSR-style ranges into the reorganized YZ masks and *premultiplied*
+/// coefficients  c~ = c * Re[i^{#Y}]  (the Y phase is folded in; #Y is always
+/// even for Hermitian molecular Hamiltonians).  All strings in group k couple
+/// x to the same x' = x ^ xyUnique[k], so each coupled state is evaluated
+/// exactly once during local-energy computation.
+struct PackedHamiltonian {
+  int nQubits = 0;
+  Real constant = 0;
+  std::vector<Bits128> xyUnique;
+  std::vector<std::size_t> idxs;  ///< group k = [idxs[k], idxs[k+1]); size = nGroups+1
+  std::vector<Bits128> yz;
+  std::vector<Real> coeffs;       ///< premultiplied
+
+  [[nodiscard]] std::size_t nGroups() const { return xyUnique.size(); }
+  [[nodiscard]] std::size_t nTerms() const { return yz.size(); }
+  [[nodiscard]] std::size_t memoryBytes() const;
+
+  /// Algorithm 1 of the paper.
+  static PackedHamiltonian fromHamiltonian(const SpinHamiltonian& h);
+
+  /// Summed coupling coefficient of group k for input sample x:
+  ///   sum_i c~_i (-1)^{popcount(x & yz_i)}.
+  [[nodiscard]] Real groupCoefficient(std::size_t k, Bits128 x) const {
+    Real c = 0;
+    for (std::size_t i = idxs[k]; i < idxs[k + 1]; ++i)
+      c += parityAnd(x, yz[i]) ? -coeffs[i] : coeffs[i];
+    return c;
+  }
+
+  /// <x|H|x'> via the packed data (reference implementation for tests).
+  [[nodiscard]] Real matrixElement(Bits128 x, Bits128 xp) const;
+};
+
+}  // namespace nnqs::ops

@@ -1,0 +1,51 @@
+#include "parallel/comm.hpp"
+
+#include <omp.h>
+
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace nnqs::parallel {
+
+ThreadWorld::ThreadWorld(int size, int threadsPerRank)
+    : size_(size), threadsPerRank_(threadsPerRank < 1 ? 1 : threadsPerRank) {
+  if (size < 1) throw std::invalid_argument("ThreadWorld: size must be >= 1");
+}
+
+void ThreadWorld::run(const std::function<void(ThreadComm&)>& fn) {
+  auto state = std::make_shared<ThreadComm::WorldState>();
+  state->size = static_cast<std::size_t>(size_);
+  state->barrier = std::make_unique<std::barrier<>>(size_);
+  state->contrib.resize(state->size);
+
+  std::vector<std::uint64_t> bytes(state->size, 0);
+  std::vector<std::thread> threads;
+  std::exception_ptr firstError;
+  std::mutex errMutex;
+  threads.reserve(state->size);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      omp_set_num_threads(threadsPerRank_);
+      ThreadComm comm(r, state);
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(errMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+        // Leave the barrier so surviving ranks are not deadlocked; the
+        // exception is rethrown to the caller after join.
+        state->barrier->arrive_and_drop();
+      }
+      bytes[static_cast<std::size_t>(r)] = comm.bytesCommunicated();
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+  totalBytes_ = 0;
+  for (auto b : bytes) totalBytes_ += b;
+}
+
+}  // namespace nnqs::parallel

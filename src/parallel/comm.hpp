@@ -1,0 +1,117 @@
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nnqs::parallel {
+
+/// MPI-semantics collectives over threads.  Each "rank" is a thread of one
+/// ThreadWorld; Allgather / Allreduce / Bcast mirror the MPI calls the paper's
+/// data-centric VMC scheme uses (Fig. 4), and every collective charges the
+/// same wire-byte accounting the paper reports (§3.2), so the communication-
+/// volume numbers are reproducible even though transport is shared memory.
+class ThreadComm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(state_->size); }
+  void barrier() { state_->barrier->arrive_and_wait(); }
+
+  /// Variable-size all-gather: concatenation of every rank's buffer, in rank
+  /// order.  Byte accounting: each rank receives the full gathered payload.
+  template <typename T>
+  std::vector<T> allGather(const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto& st = *state_;
+    st.contrib[static_cast<std::size_t>(rank_)] = {data, n * sizeof(T)};
+    barrier();
+    std::size_t total = 0;
+    for (const auto& c : st.contrib) total += c.second;
+    std::vector<T> out(total / sizeof(T));
+    std::size_t off = 0;
+    for (const auto& c : st.contrib) {
+      std::memcpy(reinterpret_cast<char*>(out.data()) + off, c.first, c.second);
+      off += c.second;
+    }
+    bytes_ += total;
+    barrier();  // contributors may reuse their buffers after this
+    return out;
+  }
+
+  template <typename T>
+  std::vector<T> allGather(const std::vector<T>& v) {
+    return allGather(v.data(), v.size());
+  }
+
+  /// In-place sum-All-reduce with bit-identical results on every rank
+  /// (rank 0 reduces in rank order, everyone copies the result).
+  /// Byte accounting: reduce + broadcast legs, 2 n sizeof(T) per rank.
+  template <typename T>
+  void allReduceSum(T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto& st = *state_;
+    st.contrib[static_cast<std::size_t>(rank_)] = {data, n * sizeof(T)};
+    barrier();
+    if (rank_ == 0) {
+      st.reduceBuf.assign(n * sizeof(T), 0);
+      T* acc = reinterpret_cast<T*>(st.reduceBuf.data());
+      std::memset(acc, 0, n * sizeof(T));
+      for (std::size_t i = 0; i < n; ++i) acc[i] = T{};
+      for (const auto& c : st.contrib) {
+        const T* src = reinterpret_cast<const T*>(c.first);
+        for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+      }
+    }
+    barrier();
+    std::memcpy(data, st.reduceBuf.data(), n * sizeof(T));
+    bytes_ += 2 * n * sizeof(T);
+    barrier();
+  }
+
+  Real allReduceSum(Real v) {
+    allReduceSum(&v, 1);
+    return v;
+  }
+
+  /// Bytes this rank has sent/received through collectives so far.
+  [[nodiscard]] std::uint64_t bytesCommunicated() const { return bytes_; }
+  void resetByteCounter() { bytes_ = 0; }
+
+ private:
+  friend class ThreadWorld;
+  struct WorldState {
+    std::size_t size;
+    std::unique_ptr<std::barrier<>> barrier;
+    std::vector<std::pair<const void*, std::size_t>> contrib;
+    std::vector<unsigned char> reduceBuf;
+  };
+  ThreadComm(int rank, std::shared_ptr<WorldState> state)
+      : rank_(rank), state_(std::move(state)) {}
+  int rank_;
+  std::shared_ptr<WorldState> state_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Spawns `size` rank-threads and runs `fn(comm)` on each.  `threadsPerRank`
+/// sets the OpenMP team available inside each rank (second-level parallelism,
+/// the paper's per-GPU threads).
+class ThreadWorld {
+ public:
+  explicit ThreadWorld(int size, int threadsPerRank = 1);
+  void run(const std::function<void(ThreadComm&)>& fn);
+  [[nodiscard]] int size() const { return size_; }
+  /// Sum of all ranks' collective byte counters from the last run().
+  [[nodiscard]] std::uint64_t totalBytes() const { return totalBytes_; }
+
+ private:
+  int size_, threadsPerRank_;
+  std::uint64_t totalBytes_ = 0;
+};
+
+}  // namespace nnqs::parallel

@@ -1,0 +1,63 @@
+#include "scf/mo_integrals.hpp"
+
+#include <stdexcept>
+
+namespace nnqs::scf {
+
+MoIntegrals transformToMo(const AoIntegrals& ao, const ScfResult& scf, int nFrozen) {
+  if (nFrozen > scf.nBeta)
+    throw std::invalid_argument("transformToMo: cannot freeze open-shell orbitals");
+  const int nmoAll = static_cast<int>(scf.c.cols());
+
+  const linalg::Matrix hAll =
+      integrals::transformOneElectron(ao.t + ao.v, scf.c);
+  const integrals::EriTensor eriAll = integrals::transformEri(ao.eri, scf.c);
+
+  MoIntegrals mo;
+  mo.nOrb = nmoAll - nFrozen;
+  mo.nAlpha = scf.nAlpha - nFrozen;
+  mo.nBeta = scf.nBeta - nFrozen;
+
+  // Frozen-core energy and effective one-electron operator:
+  //   E_core = sum_c 2 h_cc + sum_cd [2 (cc|dd) - (cd|cd)]
+  //   h'_pq  = h_pq + sum_c [2 (pq|cc) - (pc|qc)]
+  Real eCore = 0;
+  for (int c = 0; c < nFrozen; ++c) {
+    eCore += 2.0 * hAll(c, c);
+    for (int d = 0; d < nFrozen; ++d)
+      eCore += 2.0 * eriAll(c, c, d, d) - eriAll(c, d, c, d);
+  }
+  mo.coreEnergy = ao.enuc + eCore;
+
+  mo.h = linalg::Matrix(mo.nOrb, mo.nOrb);
+  for (int p = 0; p < mo.nOrb; ++p)
+    for (int q = 0; q < mo.nOrb; ++q) {
+      Real v = hAll(p + nFrozen, q + nFrozen);
+      for (int c = 0; c < nFrozen; ++c)
+        v += 2.0 * eriAll(p + nFrozen, q + nFrozen, c, c) -
+             eriAll(p + nFrozen, c, q + nFrozen, c);
+      mo.h(p, q) = v;
+    }
+
+  if (nFrozen == 0) {
+    mo.eri = eriAll;
+  } else {
+    mo.eri = integrals::EriTensor(mo.nOrb);
+    for (int p = 0; p < mo.nOrb; ++p)
+      for (int q = 0; q <= p; ++q)
+        for (int r = 0; r <= p; ++r)
+          for (int s = 0; s <= r; ++s) {
+            if (integrals::EriTensor::pairIndex(r, s) >
+                integrals::EriTensor::pairIndex(p, q))
+              continue;
+            mo.eri.set(p, q, r, s,
+                       eriAll(p + nFrozen, q + nFrozen, r + nFrozen, s + nFrozen));
+          }
+  }
+
+  mo.orbitalEnergies.assign(scf.orbitalEnergies.begin() + nFrozen,
+                            scf.orbitalEnergies.end());
+  return mo;
+}
+
+}  // namespace nnqs::scf

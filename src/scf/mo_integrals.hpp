@@ -1,0 +1,45 @@
+#pragma once
+
+#include "scf/rhf.hpp"
+
+namespace nnqs::scf {
+
+/// Second-quantized Hamiltonian data in the (active) molecular-orbital basis:
+///   H = E_core + sum_pq h_pq a+_p a_q
+///            + 1/2 sum_pqrs <pq|rs> a+_p a+_q a_s a_r
+/// with spatial h and chemist-notation (pq|rs); spin orbitals are interleaved,
+/// qubit 2P = spin-up of spatial orbital P, qubit 2P+1 = spin-down (the
+/// paper's JW ordering where orbital i maps to qubits 2i-1, 2i).
+struct MoIntegrals {
+  int nOrb = 0;     ///< active spatial orbitals
+  int nAlpha = 0;   ///< active alpha electrons
+  int nBeta = 0;
+  Real coreEnergy = 0;  ///< nuclear repulsion + frozen-core energy
+  linalg::Matrix h;     ///< active h_pq (spatial)
+  integrals::EriTensor eri;  ///< active (pq|rs) (spatial, chemist)
+  std::vector<Real> orbitalEnergies;  ///< active orbital energies (from SCF)
+
+  [[nodiscard]] int nSpinOrbitals() const { return 2 * nOrb; }
+
+  /// Spin-orbital one-electron integral, p = 2P + sigma.
+  [[nodiscard]] Real hSo(int p, int q) const {
+    if ((p ^ q) & 1) return 0.0;
+    return h(p >> 1, q >> 1);
+  }
+  /// Spin-orbital chemist integral (pq|rs) = (PQ|RS) d_{sp,sq} d_{sr,ss}.
+  [[nodiscard]] Real eriSoChem(int p, int q, int r, int s) const {
+    if (((p ^ q) & 1) || ((r ^ s) & 1)) return 0.0;
+    return eri(p >> 1, q >> 1, r >> 1, s >> 1);
+  }
+  /// Antisymmetrized physicist integral <pq||rs> = <pq|rs> - <pq|sr>.
+  [[nodiscard]] Real eriSoAnti(int p, int q, int r, int s) const {
+    return eriSoChem(p, r, q, s) - eriSoChem(p, s, q, r);
+  }
+};
+
+/// Transform AO integrals into the MO basis of `scf`, optionally freezing the
+/// `nFrozen` lowest orbitals (folded into coreEnergy / effective h).
+MoIntegrals transformToMo(const AoIntegrals& ao, const ScfResult& scf,
+                          int nFrozen = 0);
+
+}  // namespace nnqs::scf

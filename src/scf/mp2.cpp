@@ -1,0 +1,28 @@
+#include "scf/mp2.hpp"
+
+#include <stdexcept>
+
+namespace nnqs::scf {
+
+Real mp2CorrelationEnergy(const MoIntegrals& mo) {
+  if (mo.nAlpha != mo.nBeta)
+    throw std::invalid_argument("mp2: closed-shell only");
+  const int nOcc = mo.nAlpha, nOrb = mo.nOrb;
+  Real e2 = 0;
+#pragma omp parallel for reduction(+ : e2) schedule(dynamic)
+  for (int i = 0; i < nOcc; ++i)
+    for (int j = 0; j < nOcc; ++j)
+      for (int a = nOcc; a < nOrb; ++a)
+        for (int b = nOcc; b < nOrb; ++b) {
+          const Real iajb = mo.eri(i, a, j, b);
+          const Real ibja = mo.eri(i, b, j, a);
+          const Real denom = mo.orbitalEnergies[static_cast<std::size_t>(i)] +
+                             mo.orbitalEnergies[static_cast<std::size_t>(j)] -
+                             mo.orbitalEnergies[static_cast<std::size_t>(a)] -
+                             mo.orbitalEnergies[static_cast<std::size_t>(b)];
+          e2 += iajb * (2.0 * iajb - ibja) / denom;
+        }
+  return e2;
+}
+
+}  // namespace nnqs::scf

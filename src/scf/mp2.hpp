@@ -1,0 +1,11 @@
+#pragma once
+
+#include "scf/mo_integrals.hpp"
+
+namespace nnqs::scf {
+
+/// Closed-shell MP2 correlation energy (requires nAlpha == nBeta and
+/// canonical orbital energies).
+Real mp2CorrelationEnergy(const MoIntegrals& mo);
+
+}  // namespace nnqs::scf

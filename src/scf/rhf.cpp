@@ -1,0 +1,285 @@
+#include "scf/rhf.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "integrals/one_electron.hpp"
+#include "integrals/spherical.hpp"
+#include "linalg/eigen.hpp"
+
+namespace nnqs::scf {
+
+namespace {
+
+using linalg::Matrix;
+
+/// G(D)_mn = sum_ls D_ls [(mn|ls) - 0.5 (ml|ns)]  (closed-shell coulomb+exchange).
+Matrix buildG(const integrals::EriTensor& eri, const Matrix& d, Real exchangeScale) {
+  const int n = static_cast<int>(d.rows());
+  Matrix g(n, n);
+#pragma omp parallel for schedule(dynamic)
+  for (int m = 0; m < n; ++m)
+    for (int nn = 0; nn <= m; ++nn) {
+      Real sum = 0;
+      for (int l = 0; l < n; ++l)
+        for (int s = 0; s < n; ++s) {
+          const Real dls = d(l, s);
+          if (dls == 0.0) continue;
+          sum += dls * (eri(m, nn, l, s) - exchangeScale * eri(m, l, nn, s));
+        }
+      g(m, nn) = sum;
+      g(nn, m) = sum;
+    }
+  return g;
+}
+
+/// Coulomb-only J(D).
+Matrix buildJ(const integrals::EriTensor& eri, const Matrix& d) {
+  return buildG(eri, d, 0.0);
+}
+
+/// Exchange-only K(D)_mn = sum_ls D_ls (ml|ns).
+Matrix buildK(const integrals::EriTensor& eri, const Matrix& d) {
+  const int n = static_cast<int>(d.rows());
+  Matrix k(n, n);
+#pragma omp parallel for schedule(dynamic)
+  for (int m = 0; m < n; ++m)
+    for (int nn = 0; nn <= m; ++nn) {
+      Real sum = 0;
+      for (int l = 0; l < n; ++l)
+        for (int s = 0; s < n; ++s) {
+          const Real dls = d(l, s);
+          if (dls == 0.0) continue;
+          sum += dls * eri(m, l, nn, s);
+        }
+      k(m, nn) = sum;
+      k(nn, m) = sum;
+    }
+  return k;
+}
+
+/// Generalized Wolfsberg-Helmholz guess: off-diagonal core elements scaled by
+/// the overlap; much more robust than the bare core Hamiltonian for systems
+/// with degenerate valence manifolds (N2, C2, O2 pi shells).
+Matrix gwhGuessFock(const Matrix& h, const Matrix& s) {
+  const Index n = h.rows();
+  Matrix f(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j)
+      f(i, j) = (i == j) ? h(i, i)
+                         : 0.875 * s(i, j) * (h(i, i) + h(j, j));
+  return f;
+}
+
+Matrix densityFromOrbitals(const Matrix& c, int nOcc, Real occupancy) {
+  const int n = static_cast<int>(c.rows());
+  Matrix d(n, n);
+  for (int m = 0; m < n; ++m)
+    for (int nn = 0; nn < n; ++nn) {
+      Real sum = 0;
+      for (int i = 0; i < nOcc; ++i) sum += c(m, i) * c(nn, i);
+      d(m, nn) = occupancy * sum;
+    }
+  return d;
+}
+
+/// Pulay DIIS over AO Fock matrices with error e = FDS - SDF.
+class Diis {
+ public:
+  explicit Diis(int maxSize) : maxSize_(maxSize) {}
+
+  Matrix extrapolate(const Matrix& f, const Matrix& e) {
+    focks_.push_back(f);
+    errs_.push_back(e);
+    if (static_cast<int>(focks_.size()) > maxSize_) {
+      focks_.pop_front();
+      errs_.pop_front();
+    }
+    const int m = static_cast<int>(focks_.size());
+    if (m < 2) return f;
+    Matrix b(m + 1, m + 1);
+    std::vector<Real> rhs(static_cast<std::size_t>(m + 1), 0.0);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j)
+        b(i, j) = traceProduct(errs_[static_cast<std::size_t>(i)],
+                               errs_[static_cast<std::size_t>(j)]);
+      b(i, m) = b(m, i) = -1.0;
+    }
+    rhs[static_cast<std::size_t>(m)] = -1.0;
+    std::vector<Real> coef;
+    try {
+      coef = linalg::solveLinear(b, rhs);
+    } catch (const std::exception&) {
+      focks_.clear();
+      errs_.clear();
+      return f;
+    }
+    Matrix out(f.rows(), f.cols());
+    for (int i = 0; i < m; ++i) {
+      Matrix scaled = focks_[static_cast<std::size_t>(i)];
+      scaled *= coef[static_cast<std::size_t>(i)];
+      out += scaled;
+    }
+    return out;
+  }
+
+ private:
+  int maxSize_;
+  std::deque<Matrix> focks_, errs_;
+};
+
+}  // namespace
+
+AoIntegrals computeAoIntegrals(const chem::Molecule& mol, const chem::BasisSet& basis) {
+  AoIntegrals ao;
+  ao.enuc = mol.nuclearRepulsion();
+  Matrix sC = integrals::overlapMatrix(basis);
+  Matrix tC = integrals::kineticMatrix(basis);
+  Matrix vC = integrals::nuclearMatrix(basis, mol);
+  integrals::EriTensor eriC = integrals::computeEri(basis);
+  if (basis.spherical && basis.maxL() >= 2) {
+    const Matrix proj = integrals::sphericalProjection(basis);
+    ao.s = integrals::transformOneElectron(sC, proj);
+    ao.t = integrals::transformOneElectron(tC, proj);
+    ao.v = integrals::transformOneElectron(vC, proj);
+    ao.eri = integrals::transformEri(eriC, proj);
+  } else {
+    ao.s = std::move(sC);
+    ao.t = std::move(tC);
+    ao.v = std::move(vC);
+    ao.eri = std::move(eriC);
+  }
+  ao.nao = static_cast<int>(ao.s.rows());
+  return ao;
+}
+
+ScfResult runRhf(const AoIntegrals& ao, const chem::Molecule& mol,
+                 const ScfOptions& opts) {
+  if (mol.nAlpha() != mol.nBeta())
+    throw std::invalid_argument("runRhf: open-shell molecule, use runRohf");
+  const int nOcc = mol.nAlpha();
+  const Matrix h = ao.t + ao.v;
+
+  linalg::EigenResult guess = linalg::eighGeneralized(gwhGuessFock(h, ao.s), ao.s);
+  Matrix c = guess.vectors;
+  Matrix d = densityFromOrbitals(c, nOcc, 2.0);
+
+  Diis diis(opts.diisSize);
+  ScfResult res;
+  res.nAlpha = res.nBeta = nOcc;
+  Real eOld = 0;
+  for (int it = 0; it < opts.maxIterations; ++it) {
+    const Matrix g = buildG(ao.eri, d, 0.5);
+    Matrix f = h + g;
+    // E = 0.5 tr[D (h + F)] + enuc
+    const Real energy = 0.5 * (traceProduct(d, h) + traceProduct(d, f)) + ao.enuc;
+
+    const Matrix fds = matmul(matmul(f, d), ao.s);
+    const Matrix err = fds - fds.transposed();
+    const Real errNorm = err.maxAbs();
+    f = diis.extrapolate(f, err);
+
+    linalg::EigenResult sol = linalg::eighGeneralized(f, ao.s);
+    c = sol.vectors;
+    const Matrix dNew = densityFromOrbitals(c, nOcc, 2.0);
+    const Real dDiff = (dNew - d).maxAbs();
+    d = dNew;
+
+    res.iterations = it + 1;
+    if (opts.verbose)
+      log::info("rhf it=%d E=%.12f dE=%.2e |FDS-SDF|=%.2e", it, energy,
+                energy - eOld, errNorm);
+    if (std::abs(energy - eOld) < opts.energyTol && dDiff < opts.densityTol) {
+      res.converged = true;
+      res.energy = energy;
+      res.orbitalEnergies = sol.values;
+      res.c = c;
+      return res;
+    }
+    eOld = energy;
+    res.energy = energy;
+    res.orbitalEnergies = sol.values;
+    res.c = c;
+  }
+  log::warn("rhf: not converged after %d iterations (%s)", res.iterations,
+            mol.formula().c_str());
+  return res;
+}
+
+ScfResult runRohf(const AoIntegrals& ao, const chem::Molecule& mol,
+                  const ScfOptions& opts) {
+  const int n = ao.nao;
+  const int na = mol.nAlpha(), nb = mol.nBeta();
+  const Matrix h = ao.t + ao.v;
+
+  linalg::EigenResult guess = linalg::eighGeneralized(gwhGuessFock(h, ao.s), ao.s);
+  Matrix c = guess.vectors;
+
+  ScfResult res;
+  res.nAlpha = na;
+  res.nBeta = nb;
+  Real eOld = 0;
+  for (int it = 0; it < opts.maxIterations; ++it) {
+    const Matrix da = densityFromOrbitals(c, na, 1.0);
+    const Matrix db = densityFromOrbitals(c, nb, 1.0);
+    const Matrix j = buildJ(ao.eri, da + db);
+    const Matrix ka = buildK(ao.eri, da);
+    const Matrix kb = buildK(ao.eri, db);
+    const Matrix fa = h + j - ka;
+    const Matrix fb = h + j - kb;
+    const Real energy = 0.5 * (traceProduct(da + db, h) + traceProduct(da, fa) +
+                               traceProduct(db, fb)) +
+                        ao.enuc;
+
+    // Guest-Saunders effective Fock in the current MO basis.
+    const Matrix faMo = matmul(matmulTN(c, fa), c);
+    const Matrix fbMo = matmul(matmulTN(c, fb), c);
+    Matrix r(n, n);
+    auto zone = [&](int p) { return p < nb ? 0 : (p < na ? 1 : 2); };
+    for (int p = 0; p < n; ++p)
+      for (int q = 0; q < n; ++q) {
+        const int zp = zone(p), zq = zone(q);
+        Real v;
+        if ((zp == 0 && zq == 1) || (zp == 1 && zq == 0))
+          v = fbMo(p, q);
+        else if ((zp == 1 && zq == 2) || (zp == 2 && zq == 1))
+          v = faMo(p, q);
+        else
+          v = 0.5 * (faMo(p, q) + fbMo(p, q));
+        r(p, q) = v;
+      }
+    // Symmetrize against round-off and rotate the orbitals.
+    for (int p = 0; p < n; ++p)
+      for (int q = 0; q < p; ++q) {
+        const Real v = 0.5 * (r(p, q) + r(q, p));
+        r(p, q) = r(q, p) = v;
+      }
+    linalg::EigenResult sol = linalg::eighSymmetric(r);
+    c = matmul(c, sol.vectors);
+
+    res.iterations = it + 1;
+    res.energy = energy;
+    res.orbitalEnergies = sol.values;
+    res.c = c;
+    if (opts.verbose)
+      log::info("rohf it=%d E=%.12f dE=%.2e", it, energy, energy - eOld);
+    if (it > 2 && std::abs(energy - eOld) < opts.energyTol) {
+      res.converged = true;
+      return res;
+    }
+    eOld = energy;
+  }
+  log::warn("rohf: not converged after %d iterations (%s)", res.iterations,
+            mol.formula().c_str());
+  return res;
+}
+
+ScfResult runHartreeFock(const AoIntegrals& ao, const chem::Molecule& mol,
+                         const ScfOptions& opts) {
+  return (mol.nAlpha() == mol.nBeta()) ? runRhf(ao, mol, opts)
+                                       : runRohf(ao, mol, opts);
+}
+
+}  // namespace nnqs::scf

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "chem/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "integrals/two_electron.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nnqs::scf {
+
+/// AO-basis integral bundle in the working (spherical if d present) basis.
+struct AoIntegrals {
+  linalg::Matrix s, t, v;      ///< overlap, kinetic, nuclear attraction
+  integrals::EriTensor eri;    ///< (mu nu | la si), chemist notation
+  Real enuc = 0;
+  int nao = 0;
+};
+
+/// Compute all AO integrals for mol/basis, applying the cartesian->spherical
+/// projection when the basis contains d shells.
+AoIntegrals computeAoIntegrals(const chem::Molecule& mol, const chem::BasisSet& basis);
+
+struct ScfOptions {
+  int maxIterations = 256;
+  Real energyTol = 1e-10;
+  Real densityTol = 1e-8;
+  int diisSize = 8;
+  bool verbose = false;
+};
+
+struct ScfResult {
+  Real energy = 0;  ///< total electronic + nuclear
+  linalg::Matrix c; ///< MO coefficients, column = orbital
+  std::vector<Real> orbitalEnergies;
+  int nAlpha = 0, nBeta = 0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Closed-shell restricted Hartree-Fock with DIIS.
+ScfResult runRhf(const AoIntegrals& ao, const chem::Molecule& mol,
+                 const ScfOptions& opts = {});
+
+/// High-spin restricted open-shell HF (Guest-Saunders effective Fock);
+/// used for O2 (triplet) in Table 1.
+ScfResult runRohf(const AoIntegrals& ao, const chem::Molecule& mol,
+                  const ScfOptions& opts = {});
+
+/// Dispatch on multiplicity.
+ScfResult runHartreeFock(const AoIntegrals& ao, const chem::Molecule& mol,
+                         const ScfOptions& opts = {});
+
+}  // namespace nnqs::scf

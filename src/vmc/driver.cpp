@@ -1,0 +1,188 @@
+#include "vmc/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+
+namespace nnqs::vmc {
+
+namespace {
+
+/// Serialized (sample, weight, psi) record exchanged by the Allgather stage;
+/// byte volume per entry matches the paper's ceil(N/8)+16 accounting up to
+/// the fixed 16-byte bitstring container and the explicit weight.
+struct GatherRecord {
+  Bits128 sample;
+  std::uint64_t weight;
+  Real psiRe, psiIm;
+};
+
+}  // namespace
+
+VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
+                 const nqs::QiankunNetConfig& netConfig, const VmcOptions& opts) {
+  if (opts.elocMode == ElocMode::kBaseline)
+    throw std::invalid_argument(
+        "runVmc: the baseline local-energy engine exists for Fig. 10 "
+        "benchmarking only; use a sample-aware mode");
+  const int nRanks = opts.nRanks;
+  parallel::ThreadWorld world(nRanks, opts.threadsPerRank);
+
+  VmcResult result;
+  result.energyHistory.assign(static_cast<std::size_t>(opts.iterations), 0.0);
+  std::vector<PhaseBreakdown> rankPhases(static_cast<std::size_t>(nRanks));
+  std::vector<Real> lastVariance(static_cast<std::size_t>(nRanks), 0.0);
+  std::vector<std::size_t> lastUnique(static_cast<std::size_t>(nRanks), 0);
+  std::vector<Index> paramCount(static_cast<std::size_t>(nRanks), 0);
+
+  world.run([&](parallel::ThreadComm& comm) {
+    const int rank = comm.rank();
+    // Identical seed => identical replicated parameters on every rank, the
+    // paper's model-replicated / data-distributed layout.
+    nqs::QiankunNet net(netConfig);
+    nn::AdamWOptions adamOpts;
+    adamOpts.lr = opts.learningRate;
+    adamOpts.weightDecay = opts.weightDecay;
+    nn::AdamW optimizer(net.parameters(), adamOpts);
+    const nn::NoamSchedule schedule(netConfig.dModel, opts.warmupSteps);
+    paramCount[static_cast<std::size_t>(rank)] = net.parameterCount();
+
+    PhaseBreakdown& phases = rankPhases[static_cast<std::size_t>(rank)];
+    std::vector<Real> grads;
+    // Set NNQS_TRACE=1 to stream per-stage progress of every iteration.
+    const bool trace = std::getenv("NNQS_TRACE") != nullptr;
+    // N_s schedule (paper §4.1): pretrain at the initial value, then double
+    // every growEvery iterations — but only while the global unique count
+    // stays inside the budget.  All ranks see the same gathered N_u, so the
+    // schedule evolves identically everywhere.
+    std::uint64_t nsCurrent = opts.nSamplesInitial;
+
+    for (int iter = 0; iter < opts.iterations; ++iter) {
+      Timer t0;
+      if (trace) std::fprintf(stderr, "[it %d] sampling...\n", iter);
+      // --- Stage 1: parallel batch autoregressive sampling ---------------
+      nqs::SamplerOptions sOpts;
+      sOpts.nSamples = nsCurrent;
+      sOpts.seed = opts.seed + static_cast<std::uint64_t>(iter) * 0x9E37u;
+      nqs::SampleSet local = nqs::parallelBatchSample(
+          net, sOpts, rank, nRanks,
+          opts.uniqueThresholdPerRank * static_cast<std::uint64_t>(nRanks));
+      if (trace) std::fprintf(stderr, "[it %d] sampled Nu=%zu W=%llu\n", iter, local.nUnique(), (unsigned long long)local.totalWeight());
+      // Evaluate psi of the local chunk (inference).
+      std::vector<Real> logAmp, phase;
+      net.evaluate(local.samples, logAmp, phase, /*cache=*/false);
+      phases.sampling += t0.seconds();
+
+      // --- Stage 2: Allgather unique samples + psi ------------------------
+      Timer t1;
+      std::vector<GatherRecord> records(local.nUnique());
+      for (std::size_t i = 0; i < local.nUnique(); ++i) {
+        const Real amp = std::exp(logAmp[i]);
+        records[i] = {local.samples[i], local.weights[i],
+                      amp * std::cos(phase[i]), amp * std::sin(phase[i])};
+      }
+      const std::vector<GatherRecord> all = comm.allGather(records);
+      std::vector<Bits128> allSamples(all.size());
+      std::vector<Complex> allPsi(all.size());
+      std::uint64_t totalWeight = 0;
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        allSamples[i] = all[i].sample;
+        allPsi[i] = Complex{all[i].psiRe, all[i].psiIm};
+        totalWeight += all[i].weight;
+      }
+      const WavefunctionLut lut = WavefunctionLut::build(allSamples, allPsi);
+      phases.other += t1.seconds();
+      if (iter + 1 > opts.pretrainIterations && nsCurrent < opts.nSamples &&
+          (iter + 1 - opts.pretrainIterations) % std::max(1, opts.growEvery) == 0 &&
+          (opts.maxUniqueSamples == 0 || 2 * lut.size() <= opts.maxUniqueSamples))
+        nsCurrent = std::min(nsCurrent * 2, opts.nSamples);
+
+      if (trace) std::fprintf(stderr, "[it %d] gathered %zu\n", iter, all.size());
+      // --- Stage 3: local energies of the own chunk -----------------------
+      Timer t2;
+      const std::vector<Complex> eloc =
+          localEnergies(hamiltonian, local.samples, lut, opts.elocMode);
+      phases.localEnergy += t2.seconds();
+
+      // --- Stage 4: Allreduce the energy estimate -------------------------
+      Timer t3;
+      Real acc[3] = {0, 0, 0};  // sum w*Re(E), sum w*Im(E), sum w*|E|^2
+      for (std::size_t i = 0; i < eloc.size(); ++i) {
+        const Real w = static_cast<Real>(local.weights[i]);
+        acc[0] += w * eloc[i].real();
+        acc[1] += w * eloc[i].imag();
+        acc[2] += w * std::norm(eloc[i]);
+      }
+      comm.allReduceSum(acc, 3);
+      const Real wTot = static_cast<Real>(totalWeight);
+      const Complex eMean{acc[0] / wTot, acc[1] / wTot};
+      const Real variance = acc[2] / wTot - std::norm(eMean);
+      phases.other += t3.seconds();
+
+      if (trace) std::fprintf(stderr, "[it %d] eloc done E=%f\n", iter, eMean.real());
+      // --- Stage 5: backward on the own chunk -----------------------------
+      Timer t4;
+      net.evaluate(local.samples, logAmp, phase, /*cache=*/true);
+      std::vector<Real> dLogAmp(local.nUnique()), dPhase(local.nUnique());
+      for (std::size_t i = 0; i < local.nUnique(); ++i) {
+        const Complex delta = eloc[i] - eMean;
+        const Real w = static_cast<Real>(local.weights[i]) / wTot;
+        dLogAmp[i] = 2.0 * w * delta.real();
+        dPhase[i] = 2.0 * w * delta.imag();
+      }
+      net.backward(dLogAmp, dPhase);
+      phases.gradient += t4.seconds();
+
+      if (trace) std::fprintf(stderr, "[it %d] backward done\n", iter);
+      // --- Stage 6: Allreduce gradients + identical optimizer step --------
+      Timer t5;
+      net.flattenGradients(grads);
+      comm.allReduceSum(grads.data(), grads.size());
+      net.loadGradients(grads);
+      optimizer.step(schedule.lr(iter + 1));
+      phases.gradient += t5.seconds();
+
+      if (rank == 0) {
+        result.energyHistory[static_cast<std::size_t>(iter)] = eMean.real();
+        lastVariance[0] = variance;
+        lastUnique[0] = lut.size();
+        if (opts.logEvery > 0 && iter % opts.logEvery == 0)
+          log::info("vmc it=%4d E=%.8f var=%.3e Nu=%zu Ns=%llu", iter,
+                    eMean.real(), variance, lut.size(),
+                    static_cast<unsigned long long>(sOpts.nSamples));
+        if (opts.observer) opts.observer(iter, eMean.real(), lut.size());
+      }
+    }
+  });
+
+  // Reduce bookkeeping.
+  result.parameterCount = paramCount[0];
+  result.variance = lastVariance[0];
+  result.nUnique = lastUnique[0];
+  PhaseBreakdown maxPhases;
+  for (const auto& p : rankPhases) {
+    maxPhases.sampling = std::max(maxPhases.sampling, p.sampling);
+    maxPhases.localEnergy = std::max(maxPhases.localEnergy, p.localEnergy);
+    maxPhases.gradient = std::max(maxPhases.gradient, p.gradient);
+    maxPhases.other = std::max(maxPhases.other, p.other);
+  }
+  const Real n = static_cast<Real>(std::max(1, opts.iterations));
+  result.secondsPerIteration = {maxPhases.sampling / n, maxPhases.localEnergy / n,
+                                maxPhases.gradient / n, maxPhases.other / n};
+  result.commBytesPerIteration =
+      world.totalBytes() / static_cast<std::uint64_t>(std::max(1, opts.iterations));
+
+  // Final energy: average of the last window (reduces MC noise).
+  const int window = std::min(opts.iterations, std::max(1, opts.iterations / 10));
+  Real sum = 0;
+  for (int i = opts.iterations - window; i < opts.iterations; ++i)
+    sum += result.energyHistory[static_cast<std::size_t>(i)];
+  result.energy = sum / static_cast<Real>(window);
+  return result;
+}
+
+}  // namespace nnqs::vmc

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+
+#include "parallel/comm.hpp"
+#include "vmc/local_energy.hpp"
+
+namespace nnqs::vmc {
+
+/// Options of the data-centric parallel VMC loop (paper Fig. 4 / §3.2).
+struct VmcOptions {
+  int iterations = 400;
+  std::uint64_t nSamples = 1 << 14;        ///< final N_s target
+  std::uint64_t nSamplesInitial = 1 << 12; ///< pre-training N_s (paper §4.1)
+  int pretrainIterations = 50;             ///< iterations at the initial N_s
+  int growEvery = 50;                      ///< N_s doubles this often after pretraining
+  /// Stop growing N_s while the global unique-sample count exceeds half this
+  /// bound (0 = unlimited).  BAS cost scales with N_u, not N_s, so N_s can
+  /// grow to the paper's 1e12 scale once the ansatz has concentrated; this
+  /// cap keeps the pre-concentration iterations affordable.
+  std::uint64_t maxUniqueSamples = 0;
+  std::uint64_t seed = 7;
+  int nRanks = 1;
+  int threadsPerRank = 1;
+  std::uint64_t uniqueThresholdPerRank = 4096;  ///< N*_u = value * nRanks (paper §4.4)
+  Real learningRate = 1.0;  ///< multiplies the Eq.(13) schedule
+  long warmupSteps = 200;
+  Real weightDecay = 1e-4;
+  ElocMode elocMode = ElocMode::kSaFuseLutParallel;
+  int logEvery = 0;  ///< 0 = silent
+  /// Optional per-iteration observer: (iteration, energy, nUnique).
+  std::function<void(int, Real, std::size_t)> observer;
+};
+
+struct PhaseBreakdown {
+  double sampling = 0, localEnergy = 0, gradient = 0, other = 0;
+  [[nodiscard]] double total() const { return sampling + localEnergy + gradient + other; }
+};
+
+struct VmcResult {
+  std::vector<Real> energyHistory;     ///< weighted mean E per iteration
+  Real energy = 0;                     ///< mean over the last averaging window
+  Real variance = 0;                   ///< last-iteration local-energy variance
+  std::size_t nUnique = 0;             ///< last-iteration global unique samples
+  PhaseBreakdown secondsPerIteration;  ///< averaged over iterations, max over ranks
+  std::uint64_t commBytesPerIteration = 0;  ///< total across ranks
+  Index parameterCount = 0;
+};
+
+/// Run the 6-stage data-centric VMC of the paper on a thread-rank world:
+/// 1) parallel BAS, 2) Allgather samples+psi, 3) sample-aware local energies
+/// on the own chunk, 4) Allreduce energy, 5) backward on the own chunk,
+/// 6) Allreduce gradients + identical AdamW step on every rank.
+VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
+                 const nqs::QiankunNetConfig& netConfig, const VmcOptions& opts);
+
+}  // namespace nnqs::vmc

@@ -1,0 +1,75 @@
+#include "vmc/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nnqs::vmc {
+
+SeriesStats seriesStats(const std::vector<Real>& series) {
+  SeriesStats s;
+  s.count = series.size();
+  if (series.empty()) return s;
+  Real sum = 0;
+  for (Real v : series) sum += v;
+  s.mean = sum / static_cast<Real>(series.size());
+  Real var = 0;
+  for (Real v : series) var += (v - s.mean) * (v - s.mean);
+  s.variance = var / static_cast<Real>(series.size());
+  if (series.size() > 1)
+    s.standardError = std::sqrt(s.variance / static_cast<Real>(series.size() - 1));
+  return s;
+}
+
+BlockingResult blockingAnalysis(const std::vector<Real>& series) {
+  BlockingResult res;
+  std::vector<Real> level = series;
+  while (level.size() >= 2) {
+    const SeriesStats st = seriesStats(level);
+    res.errorPerLevel.push_back(st.standardError);
+    if (level.size() >= 16)
+      res.plateauError = std::max(res.plateauError, st.standardError);
+    // Pair-average into the next blocking level.
+    std::vector<Real> next(level.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i)
+      next[i] = 0.5 * (level[2 * i] + level[2 * i + 1]);
+    level = std::move(next);
+  }
+  res.levels = res.errorPerLevel.size();
+  if (res.plateauError == 0 && !res.errorPerLevel.empty())
+    res.plateauError = res.errorPerLevel.front();
+  return res;
+}
+
+SeriesStats weightedStats(const std::vector<Real>& values,
+                          const std::vector<std::uint64_t>& weights) {
+  SeriesStats s;
+  s.count = values.size();
+  Real wTot = 0, sum = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Real w = static_cast<Real>(weights[i]);
+    wTot += w;
+    sum += w * values[i];
+  }
+  if (wTot == 0) return s;
+  s.mean = sum / wTot;
+  Real var = 0;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    var += static_cast<Real>(weights[i]) * (values[i] - s.mean) * (values[i] - s.mean);
+  s.variance = var / wTot;
+  s.standardError = std::sqrt(s.variance / wTot);
+  return s;
+}
+
+bool isConverged(const std::vector<Real>& series, std::size_t window, Real tol) {
+  if (series.size() < 2 * window || window == 0) return false;
+  Ema ema(static_cast<Real>(window) / 2.0);
+  std::vector<Real> trace;
+  trace.reserve(series.size());
+  for (Real v : series) trace.push_back(ema.update(v));
+  const Real last = trace.back();
+  for (std::size_t i = trace.size() - window; i < trace.size(); ++i)
+    if (std::abs(trace[i] - last) > tol) return false;
+  return true;
+}
+
+}  // namespace nnqs::vmc

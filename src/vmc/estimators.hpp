@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nnqs::vmc {
+
+/// Summary statistics of a Monte-Carlo energy series.
+struct SeriesStats {
+  Real mean = 0;
+  Real variance = 0;        ///< population variance of the series
+  Real standardError = 0;   ///< naive sigma/sqrt(n)
+  std::size_t count = 0;
+};
+
+SeriesStats seriesStats(const std::vector<Real>& series);
+
+/// Flyvbjerg-Petersen blocking analysis: repeatedly pair-average the series
+/// and report the standard error at each blocking level.  The plateau value
+/// is the autocorrelation-corrected error bar of a VMC energy trace.
+struct BlockingResult {
+  std::vector<Real> errorPerLevel;  ///< std error at blocking level 0,1,...
+  Real plateauError = 0;            ///< max over levels with >= 16 blocks
+  std::size_t levels = 0;
+};
+
+BlockingResult blockingAnalysis(const std::vector<Real>& series);
+
+/// Weighted estimator over unique samples (the VMC inner estimator):
+/// mean = sum w_i x_i / sum w_i, variance accordingly.
+SeriesStats weightedStats(const std::vector<Real>& values,
+                          const std::vector<std::uint64_t>& weights);
+
+/// Exponential moving average used to smooth VMC energy traces for
+/// convergence detection.
+class Ema {
+ public:
+  explicit Ema(Real halfLife) : decay_(std::exp(-kLn2 / halfLife)) {}
+  Real update(Real x) {
+    if (count_ == 0) value_ = x;
+    else value_ = decay_ * value_ + (1.0 - decay_) * x;
+    ++count_;
+    return value_;
+  }
+  [[nodiscard]] Real value() const { return value_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  static constexpr Real kLn2 = 0.6931471805599453;
+  Real decay_;
+  Real value_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Simple convergence detector: the trace is converged when the EMA change
+/// over the last `window` updates stays below `tol`.
+bool isConverged(const std::vector<Real>& series, std::size_t window, Real tol);
+
+}  // namespace nnqs::vmc

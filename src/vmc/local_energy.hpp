@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nqs/ansatz.hpp"
+#include "nqs/sampler.hpp"
+#include "ops/packed_hamiltonian.hpp"
+
+namespace nnqs::vmc {
+
+/// Sorted lookup table of the unique samples S with their wave-function
+/// values (paper §3.4, techniques 4+5: sample-aware evaluation with the
+/// samples stored as ordered integers for binary search).
+struct WavefunctionLut {
+  std::vector<Bits128> keys;  ///< ascending
+  std::vector<Complex> psi;   ///< aligned with keys
+
+  static WavefunctionLut build(const std::vector<Bits128>& samples,
+                               const std::vector<Complex>& psiValues);
+  /// Binary search; nullptr when x is not in S.
+  [[nodiscard]] const Complex* find(Bits128 x) const;
+  [[nodiscard]] std::size_t size() const { return keys.size(); }
+};
+
+/// Engine variants benchmarked in Fig. 10.  All compute
+///   E_loc(x) = sum_{x'} <x|H|x'> psi(x') / psi(x):
+///  - kBaseline: per-Pauli-string (MADE layout), every coupled state's psi
+///    obtained by a fresh network inference; no fusion, no lookup table.
+///  - kSaFuse: compressed layout (Fig. 6c), fused coefficient evaluation,
+///    sample-aware (only x' in S), but S searched linearly as byte strings.
+///  - kSaFuseLut: + the sorted integer lookup table (binary search).
+///  - kSaFuseLutParallel: + thread parallelism over samples (Algorithm 2 with
+///    OpenMP threads standing in for the CUDA kernel).
+enum class ElocMode { kBaseline, kSaFuse, kSaFuseLut, kSaFuseLutParallel };
+
+/// Sample-aware local energies for `samples` (a chunk of S) given the full
+/// lookup table.  `made` is only needed for kBaseline; `net` for kBaseline's
+/// psi inference.
+std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
+                                   const std::vector<Bits128>& samples,
+                                   const WavefunctionLut& lut, ElocMode mode,
+                                   const ops::MadePackedHamiltonian* made = nullptr,
+                                   nqs::QiankunNet* net = nullptr);
+
+/// Exact (not sample-aware) local energies: every coupled state's psi is
+/// evaluated with the network.  Reference implementation for tests and for
+/// the bias study of the sample-aware scheme.
+std::vector<Complex> localEnergiesExact(const ops::PackedHamiltonian& packed,
+                                        const std::vector<Bits128>& samples,
+                                        nqs::QiankunNet& net);
+
+}  // namespace nnqs::vmc

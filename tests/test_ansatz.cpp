@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nqs/ansatz.hpp"
+
+using namespace nnqs;
+using namespace nnqs::nqs;
+
+namespace {
+QiankunNetConfig smallConfig(int nQubits, int nAlpha, int nBeta,
+                             std::uint64_t seed = 11) {
+  QiankunNetConfig cfg;
+  cfg.nQubits = nQubits;
+  cfg.nAlpha = nAlpha;
+  cfg.nBeta = nBeta;
+  cfg.dModel = 16;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 32;
+  cfg.phaseHiddenLayers = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// All bitstrings of n qubits with exactly na up and nb down electrons
+/// (up = even qubits, down = odd).
+std::vector<Bits128> numberSector(int n, int na, int nb) {
+  std::vector<Bits128> out;
+  for (std::uint64_t v = 0; v < (1ull << n); ++v) {
+    Bits128 b{v, 0};
+    int up = 0, down = 0;
+    for (int q = 0; q < n; q += 2) up += b.get(q);
+    for (int q = 1; q < n; q += 2) down += b.get(q);
+    if (up == na && down == nb) out.push_back(b);
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Ansatz, TokenMappingRoundTrip) {
+  QiankunNet net(smallConfig(8, 2, 2));
+  const Bits128 x = fromBitString("10011100");
+  Bits128 rebuilt;
+  for (int s = 0; s < net.nSteps(); ++s)
+    rebuilt = net.applyToken(rebuilt, s, net.tokenOf(x, s));
+  EXPECT_EQ(rebuilt, x);
+}
+
+TEST(Ansatz, SamplesInReverseOrbitalOrder) {
+  QiankunNet net(smallConfig(8, 2, 2));
+  EXPECT_EQ(net.orbitalOfStep(0), 3);  // highest orbital first (paper §3.3)
+  EXPECT_EQ(net.orbitalOfStep(3), 0);
+}
+
+TEST(Ansatz, ProbabilityNormalizedOverNumberSector) {
+  // Autoregressive + feasibility masking => sum over the (na, nb) sector of
+  // |Psi|^2 is exactly 1; everything outside the sector has zero amplitude.
+  const int n = 8, na = 2, nb = 1;
+  QiankunNet net(smallConfig(n, na, nb));
+  const auto sector = numberSector(n, na, nb);
+  std::vector<Real> la, ph;
+  net.evaluate(sector, la, ph, false);
+  Real norm = 0;
+  for (Real v : la) norm += std::exp(2.0 * v);
+  EXPECT_NEAR(norm, 1.0, 1e-10);
+
+  // A wrong-sector state has zero amplitude.
+  const auto wrong = numberSector(n, na + 1, nb);
+  net.evaluate({wrong[0]}, la, ph, false);
+  EXPECT_LT(la[0], -1e20);
+}
+
+TEST(Ansatz, MaskEnforcesBounds) {
+  QiankunNet net(smallConfig(8, 1, 1));
+  // After using the only up electron, up outcomes are forbidden.
+  const auto mask = net.outcomeMask(/*s=*/1, /*nUp=*/1, /*nDown=*/0);
+  EXPECT_FALSE(mask[1]);  // up
+  EXPECT_FALSE(mask[3]);  // up+down
+  EXPECT_TRUE(mask[2]);   // down only
+  // Early steps must keep feasibility: with 4 steps, 1 up needed, step 0
+  // cannot exclude everything.
+  const auto m0 = net.outcomeMask(0, 0, 0);
+  EXPECT_TRUE(m0[0] || m0[1] || m0[2] || m0[3]);
+}
+
+TEST(Ansatz, MaskForcesFillingAtTheEnd) {
+  // 2 steps left, 2 up + 2 down still needed -> only outcome 3 (both) valid.
+  QiankunNet net(smallConfig(8, 2, 2));
+  const auto mask = net.outcomeMask(/*s=*/2, /*nUp=*/0, /*nDown=*/0);
+  EXPECT_FALSE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+}
+
+TEST(Ansatz, ConditionalsMatchEvaluate) {
+  // Chain rule: product of conditionals of a sample's tokens equals
+  // exp(2 ln|Psi|).
+  const int n = 8, na = 2, nb = 2;
+  QiankunNet net(smallConfig(n, na, nb));
+  const Bits128 x = numberSector(n, na, nb)[5];
+  std::vector<Real> la, ph;
+  net.evaluate({x}, la, ph, false);
+
+  Real logProb = 0;
+  std::vector<int> prefix;
+  std::array<int, 2> counts{0, 0};
+  for (int s = 0; s < net.nSteps(); ++s) {
+    const auto probs = net.conditionals(prefix, 1, s, {counts});
+    const int t = net.tokenOf(x, s);
+    logProb += std::log(probs[static_cast<std::size_t>(t)]);
+    prefix.push_back(t);
+    counts[0] += t & 1;
+    counts[1] += (t >> 1) & 1;
+  }
+  EXPECT_NEAR(logProb, 2.0 * la[0], 1e-9);
+}
+
+TEST(Ansatz, ParameterCountMatchesPaperScale) {
+  // Paper §3.2: C2 (N=20) with the default architecture has M ~ 2.7e5.
+  QiankunNetConfig cfg = smallConfig(20, 6, 6);
+  cfg.phaseHidden = 512;
+  QiankunNet net(cfg);
+  EXPECT_GT(net.parameterCount(), 250000);
+  EXPECT_LT(net.parameterCount(), 310000);
+}
+
+TEST(Ansatz, DeterministicAcrossInstancesWithSameSeed) {
+  QiankunNet a(smallConfig(8, 2, 2, 99)), b(smallConfig(8, 2, 2, 99));
+  const auto sector = numberSector(8, 2, 2);
+  std::vector<Real> la1, ph1, la2, ph2;
+  a.evaluate(sector, la1, ph1, false);
+  b.evaluate(sector, la2, ph2, false);
+  for (std::size_t i = 0; i < sector.size(); ++i) {
+    EXPECT_DOUBLE_EQ(la1[i], la2[i]);
+    EXPECT_DOUBLE_EQ(ph1[i], ph2[i]);
+  }
+}
+
+TEST(Ansatz, CheckpointRoundTrip) {
+  QiankunNet a(smallConfig(8, 2, 2, 31));
+  const std::string path = ::testing::TempDir() + "/qiankun_ckpt.txt";
+  a.saveParameters(path);
+  QiankunNet b(smallConfig(8, 2, 2, 99));  // different init
+  b.loadParameters(path);
+  const auto sector = numberSector(8, 2, 2);
+  std::vector<Real> la1, ph1, la2, ph2;
+  a.evaluate(sector, la1, ph1, false);
+  b.evaluate(sector, la2, ph2, false);
+  for (std::size_t i = 0; i < sector.size(); ++i) {
+    EXPECT_NEAR(la1[i], la2[i], 1e-14);
+    EXPECT_NEAR(ph1[i], ph2[i], 1e-14);
+  }
+  // Architecture mismatch is rejected.
+  QiankunNet c(smallConfig(10, 2, 2, 1));
+  EXPECT_THROW(c.loadParameters(path), std::runtime_error);
+}
+
+TEST(Ansatz, GradientFlattenRoundTrip) {
+  QiankunNet net(smallConfig(8, 2, 2));
+  auto params = net.parameters();
+  Rng rng(21);
+  for (auto* p : params)
+    for (auto& g : p->grad.data) g = rng.normal();
+  std::vector<Real> flat;
+  net.flattenGradients(flat);
+  EXPECT_EQ(static_cast<Index>(flat.size()), net.parameterCount());
+  std::vector<Real> doubled = flat;
+  for (auto& v : doubled) v *= 2.0;
+  net.loadGradients(doubled);
+  std::vector<Real> flat2;
+  net.flattenGradients(flat2);
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    EXPECT_DOUBLE_EQ(flat2[i], 2.0 * flat[i]);
+}

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+
+using nnqs::Bits128;
+
+TEST(Bits128, SetGetFlip) {
+  Bits128 b;
+  EXPECT_TRUE(b.none());
+  for (int j : {0, 1, 63, 64, 100, 127}) {
+    b.set(j);
+    EXPECT_TRUE(b.get(j)) << j;
+  }
+  EXPECT_EQ(b.popcount(), 6);
+  b.flip(63);
+  EXPECT_FALSE(b.get(63));
+  b.set(100, false);
+  EXPECT_FALSE(b.get(100));
+  EXPECT_EQ(b.popcount(), 4);
+}
+
+TEST(Bits128, BitwiseOps) {
+  Bits128 a = nnqs::fromBitString("1100");
+  Bits128 b = nnqs::fromBitString("1010");
+  EXPECT_EQ((a & b), nnqs::fromBitString("1000"));
+  EXPECT_EQ((a | b), nnqs::fromBitString("1110"));
+  EXPECT_EQ((a ^ b), nnqs::fromBitString("0110"));
+}
+
+TEST(Bits128, LowMask) {
+  EXPECT_EQ(Bits128::lowMask(0).popcount(), 0);
+  EXPECT_EQ(Bits128::lowMask(1).popcount(), 1);
+  EXPECT_EQ(Bits128::lowMask(64).popcount(), 64);
+  EXPECT_EQ(Bits128::lowMask(65).popcount(), 65);
+  EXPECT_EQ(Bits128::lowMask(128).popcount(), 128);
+  EXPECT_TRUE(Bits128::lowMask(70).get(69));
+  EXPECT_FALSE(Bits128::lowMask(70).get(70));
+}
+
+TEST(Bits128, OrderingMatchesIntegerValue) {
+  Bits128 small{5, 0}, mid{0, 1}, big{7, 1};
+  EXPECT_LT(small, mid);
+  EXPECT_LT(mid, big);
+  EXPECT_LT(small, big);
+}
+
+TEST(Bits128, StringRoundTrip) {
+  const std::string s = "1011001110001111";
+  EXPECT_EQ(nnqs::toBitString(nnqs::fromBitString(s), 16), s);
+}
+
+TEST(Bits128, ParityAnd) {
+  Bits128 a = nnqs::fromBitString("1110");
+  Bits128 b = nnqs::fromBitString("0110");
+  EXPECT_EQ(nnqs::parityAnd(a, b), 0);
+  b = nnqs::fromBitString("0100");
+  EXPECT_EQ(nnqs::parityAnd(a, b), 1);
+}
+
+TEST(Bits128, HashDistinguishes) {
+  nnqs::Bits128Hash h;
+  EXPECT_NE(h(Bits128{1, 0}), h(Bits128{0, 1}));
+  EXPECT_NE(h(Bits128{2, 3}), h(Bits128{3, 2}));
+}
+
+class Bits128Param : public ::testing::TestWithParam<int> {};
+
+TEST_P(Bits128Param, PopcountMatchesLoop) {
+  const int n = GetParam();
+  Bits128 b = Bits128::lowMask(n);
+  int count = 0;
+  for (int j = 0; j < 128; ++j) count += b.get(j);
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(b.popcount(), n);
+  EXPECT_EQ(b.parity(), n & 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Bits128Param,
+                         ::testing::Values(0, 1, 7, 31, 63, 64, 65, 96, 127, 128));

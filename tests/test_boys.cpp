@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "integrals/boys.hpp"
+
+using namespace nnqs;
+using integrals::boys;
+
+namespace {
+/// Reference via direct numerical quadrature of int_0^1 t^{2m} e^{-T t^2} dt.
+Real boysQuadrature(int m, Real t) {
+  const int n = 200000;
+  Real sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const Real x = (i + 0.5) / n;
+    sum += std::pow(x, 2 * m) * std::exp(-t * x * x);
+  }
+  return sum / n;
+}
+}  // namespace
+
+TEST(Boys, ZeroArgument) {
+  for (int m = 0; m <= 8; ++m) EXPECT_NEAR(boys(m, 0.0), 1.0 / (2 * m + 1), 1e-14);
+}
+
+TEST(Boys, F0ClosedForm) {
+  // F_0(T) = sqrt(pi/T)/2 erf(sqrt(T)).
+  for (Real t : {0.1, 1.0, 5.0, 20.0, 50.0}) {
+    const Real ref = 0.5 * std::sqrt(kPi / t) * std::erf(std::sqrt(t));
+    EXPECT_NEAR(boys(0, t), ref, 1e-12) << t;
+  }
+}
+
+class BoysParam : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BoysParam, MatchesQuadrature) {
+  const int m = std::get<0>(GetParam());
+  const Real t = std::get<1>(GetParam());
+  EXPECT_NEAR(boys(m, t), boysQuadrature(m, t), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoysParam,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 8),
+                       ::testing::Values(1e-8, 0.03, 0.7, 3.0, 12.0, 34.9, 35.1, 80.0)));
+
+TEST(Boys, DownwardRecursionConsistency) {
+  // (2m+1) F_m = 2T F_{m+1} + e^{-T}.
+  for (Real t : {0.5, 10.0, 40.0}) {
+    Real f[10];
+    boys(9, t, f);
+    for (int m = 0; m < 9; ++m)
+      EXPECT_NEAR((2 * m + 1) * f[m], 2 * t * f[m + 1] + std::exp(-t), 1e-12);
+  }
+}
+
+TEST(Boys, MonotonicDecreasingInM) {
+  Real f[12];
+  boys(11, 2.5, f);
+  for (int m = 0; m < 11; ++m) EXPECT_GT(f[m], f[m + 1]);
+}

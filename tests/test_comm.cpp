@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "parallel/comm.hpp"
+
+using namespace nnqs;
+using namespace nnqs::parallel;
+
+TEST(Comm, AllGatherConcatenatesInRankOrder) {
+  ThreadWorld world(4);
+  std::array<std::vector<int>, 4> results;
+  world.run([&](ThreadComm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1), comm.rank());
+    results[static_cast<std::size_t>(comm.rank())] = comm.allGather(mine);
+  });
+  const std::vector<int> expect = {0, 1, 1, 2, 2, 2, 3, 3, 3, 3};
+  for (const auto& r : results) EXPECT_EQ(r, expect);
+}
+
+TEST(Comm, AllReduceSumIdenticalOnAllRanks) {
+  ThreadWorld world(8);
+  std::array<std::vector<Real>, 8> results;
+  world.run([&](ThreadComm& comm) {
+    std::vector<Real> v = {static_cast<Real>(comm.rank()), 1.0, 0.5};
+    comm.allReduceSum(v.data(), v.size());
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r[0], 28.0);  // 0+1+...+7
+    EXPECT_DOUBLE_EQ(r[1], 8.0);
+    EXPECT_DOUBLE_EQ(r[2], 4.0);
+  }
+}
+
+TEST(Comm, ScalarAllReduce) {
+  ThreadWorld world(3);
+  std::array<Real, 3> out{};
+  world.run([&](ThreadComm& comm) {
+    out[static_cast<std::size_t>(comm.rank())] =
+        comm.allReduceSum(static_cast<Real>(comm.rank() + 1));
+  });
+  for (Real v : out) EXPECT_DOUBLE_EQ(v, 6.0);
+}
+
+TEST(Comm, ByteAccounting) {
+  // Allgather of n doubles from P ranks: each rank receives P*n*8 bytes;
+  // allreduce of m doubles: 2*m*8 per rank.
+  const int p = 4;
+  const std::size_t n = 100, m = 50;
+  ThreadWorld world(p);
+  std::array<std::uint64_t, 4> bytes{};
+  world.run([&](ThreadComm& comm) {
+    std::vector<Real> v(n, 1.0), w(m, 2.0);
+    comm.allGather(v);
+    comm.allReduceSum(w.data(), w.size());
+    bytes[static_cast<std::size_t>(comm.rank())] = comm.bytesCommunicated();
+  });
+  for (auto b : bytes) EXPECT_EQ(b, p * n * 8 + 2 * m * 8);
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  const int p = 6;
+  ThreadWorld world(p);
+  std::atomic<int> counter{0};
+  std::array<int, 6> seen{};
+  world.run([&](ThreadComm& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    seen[static_cast<std::size_t>(comm.rank())] = counter.load();
+  });
+  for (int v : seen) EXPECT_EQ(v, p);
+}
+
+TEST(Comm, ManyRoundsStressNoDeadlock) {
+  ThreadWorld world(8);
+  world.run([&](ThreadComm& comm) {
+    for (int round = 0; round < 200; ++round) {
+      std::vector<std::uint64_t> v(static_cast<std::size_t>(1 + (comm.rank() + round) % 5),
+                                   static_cast<std::uint64_t>(round));
+      const auto all = comm.allGather(v);
+      Real x = static_cast<Real>(all.size());
+      x = comm.allReduceSum(x);
+      EXPECT_GT(x, 0.0);
+    }
+  });
+}
+
+TEST(Comm, PropagatesExceptions) {
+  ThreadWorld world(2);
+  EXPECT_THROW(world.run([&](ThreadComm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank failure");
+    // Rank 0 must not deadlock; it waits on a barrier the failing rank drops.
+    comm.barrier();
+  }),
+               std::runtime_error);
+}

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "vmc/estimators.hpp"
+
+using namespace nnqs;
+using namespace nnqs::vmc;
+
+TEST(SeriesStats, ConstantsAndEmpty) {
+  EXPECT_EQ(seriesStats({}).count, 0u);
+  const SeriesStats s = seriesStats({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.standardError, 0.0);
+}
+
+TEST(SeriesStats, GaussianMoments) {
+  Rng rng(3);
+  std::vector<Real> xs(100000);
+  for (auto& x : xs) x = 5.0 + 2.0 * rng.normal();
+  const SeriesStats s = seriesStats(xs);
+  EXPECT_NEAR(s.mean, 5.0, 0.05);
+  EXPECT_NEAR(s.variance, 4.0, 0.1);
+  EXPECT_NEAR(s.standardError, 2.0 / std::sqrt(100000.0), 1e-3);
+}
+
+TEST(Blocking, IidSeriesPlateausAtNaiveError) {
+  Rng rng(7);
+  std::vector<Real> xs(1 << 14);
+  for (auto& x : xs) x = rng.normal();
+  const BlockingResult b = blockingAnalysis(xs);
+  const Real naive = seriesStats(xs).standardError;
+  // For iid data every blocking level has (statistically) the same error.
+  EXPECT_NEAR(b.plateauError, naive, 0.35 * naive);
+  EXPECT_GT(b.levels, 10u);
+}
+
+TEST(Blocking, CorrelatedSeriesErrorGrowsAboveNaive) {
+  // AR(1) with strong autocorrelation: the naive error underestimates; the
+  // blocked plateau must be substantially larger.
+  Rng rng(11);
+  std::vector<Real> xs(1 << 14);
+  Real x = 0;
+  const Real rho = 0.95;
+  for (auto& v : xs) {
+    x = rho * x + std::sqrt(1 - rho * rho) * rng.normal();
+    v = x;
+  }
+  const BlockingResult b = blockingAnalysis(xs);
+  const Real naive = seriesStats(xs).standardError;
+  EXPECT_GT(b.plateauError, 2.5 * naive);
+}
+
+TEST(WeightedStats, MatchesExpansion) {
+  // Weighted stats over uniques == plain stats over the expanded series.
+  const std::vector<Real> values = {1.0, 3.0, -2.0};
+  const std::vector<std::uint64_t> weights = {2, 5, 3};
+  std::vector<Real> expanded;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    for (std::uint64_t k = 0; k < weights[i]; ++k) expanded.push_back(values[i]);
+  const SeriesStats w = weightedStats(values, weights);
+  const SeriesStats p = seriesStats(expanded);
+  EXPECT_NEAR(w.mean, p.mean, 1e-14);
+  EXPECT_NEAR(w.variance, p.variance, 1e-14);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  Ema ema(10.0);
+  for (int i = 0; i < 200; ++i) ema.update(4.2);
+  EXPECT_NEAR(ema.value(), 4.2, 1e-12);
+  EXPECT_EQ(ema.count(), 200u);
+}
+
+TEST(Ema, TracksStep) {
+  Ema ema(5.0);
+  for (int i = 0; i < 50; ++i) ema.update(0.0);
+  for (int i = 0; i < 50; ++i) ema.update(1.0);
+  EXPECT_GT(ema.value(), 0.99);
+}
+
+TEST(Convergence, DetectsPlateauNotTransient) {
+  std::vector<Real> decaying;
+  for (int i = 0; i < 400; ++i) decaying.push_back(std::exp(-i / 30.0));
+  EXPECT_TRUE(isConverged(decaying, 50, 1e-3));
+  std::vector<Real> drifting;
+  for (int i = 0; i < 400; ++i) drifting.push_back(-0.01 * i);
+  EXPECT_FALSE(isConverged(drifting, 50, 1e-3));
+  EXPECT_FALSE(isConverged({1.0, 2.0}, 50, 1e-3));  // too short
+}

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/davidson.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+using namespace nnqs;
+using linalg::Matrix;
+
+namespace {
+Matrix randomSymmetric(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j <= i; ++j) a(i, j) = a(j, i) = rng.normal();
+  return a;
+}
+}  // namespace
+
+TEST(Matrix, MatmulIdentity) {
+  Matrix a = randomSymmetric(8, 3);
+  Matrix c = matmul(a, Matrix::identity(8));
+  EXPECT_NEAR((c - a).maxAbs(), 0.0, 1e-14);
+}
+
+TEST(Matrix, MatmulTNMatchesExplicitTranspose) {
+  Rng rng(5);
+  Matrix a(6, 4), b(6, 5);
+  for (Index i = 0; i < 6; ++i) {
+    for (Index j = 0; j < 4; ++j) a(i, j) = rng.normal();
+    for (Index j = 0; j < 5; ++j) b(i, j) = rng.normal();
+  }
+  Matrix c1 = matmulTN(a, b);
+  Matrix c2 = matmul(a.transposed(), b);
+  EXPECT_NEAR((c1 - c2).maxAbs(), 0.0, 1e-13);
+}
+
+TEST(Matrix, SolveLinear) {
+  Matrix a = randomSymmetric(10, 7);
+  for (int i = 0; i < 10; ++i) a(i, i) += 10.0;  // well conditioned
+  std::vector<Real> x(10);
+  Rng rng(9);
+  for (auto& v : x) v = rng.normal();
+  const std::vector<Real> b = matvec(a, x);
+  const std::vector<Real> sol = linalg::solveLinear(a, b);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(sol[i], x[i], 1e-10);
+}
+
+TEST(Eigen, DiagonalizesRandomSymmetric) {
+  const int n = 20;
+  Matrix a = randomSymmetric(n, 11);
+  auto res = linalg::eighSymmetric(a);
+  // A v = lambda v for every pair.
+  for (int k = 0; k < n; ++k) {
+    std::vector<Real> v(n);
+    for (int i = 0; i < n; ++i) v[i] = res.vectors(i, k);
+    const auto av = matvec(a, v);
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(av[i], res.values[static_cast<std::size_t>(k)] * v[i], 1e-9);
+  }
+  // Values ascending.
+  for (int k = 1; k < n; ++k) EXPECT_LE(res.values[k - 1], res.values[k] + 1e-12);
+}
+
+TEST(Eigen, OrthonormalEigenvectors) {
+  Matrix a = randomSymmetric(15, 13);
+  auto res = linalg::eighSymmetric(a);
+  Matrix vtv = matmulTN(res.vectors, res.vectors);
+  EXPECT_NEAR((vtv - Matrix::identity(15)).maxAbs(), 0.0, 1e-10);
+}
+
+TEST(Eigen, GeneralizedReducesToStandardForIdentityMetric) {
+  Matrix a = randomSymmetric(12, 17);
+  auto st = linalg::eighSymmetric(a);
+  auto gen = linalg::eighGeneralized(a, Matrix::identity(12));
+  for (int k = 0; k < 12; ++k) EXPECT_NEAR(st.values[k], gen.values[k], 1e-9);
+}
+
+TEST(Eigen, InvSqrtInvertsOverlap) {
+  Matrix s = randomSymmetric(10, 19);
+  s = matmul(s, s.transposed());  // PSD
+  for (int i = 0; i < 10; ++i) s(i, i) += 1.0;
+  Matrix x = linalg::invSqrtSymmetric(s);
+  Matrix shouldBeI = matmul(matmul(x, s), x);
+  EXPECT_NEAR((shouldBeI - Matrix::identity(10)).maxAbs(), 0.0, 1e-9);
+}
+
+TEST(Davidson, MatchesDenseLowestEigenvalue) {
+  const int n = 60;
+  Matrix a = randomSymmetric(n, 23);
+  for (int i = 0; i < n; ++i) a(i, i) += static_cast<Real>(i);  // diag dominant-ish
+  auto dense = linalg::eighSymmetric(a);
+  std::vector<Real> diag(n);
+  for (int i = 0; i < n; ++i) diag[i] = a(i, i);
+  auto res = linalg::davidsonLowest(
+      [&](const std::vector<Real>& x, std::vector<Real>& y) {
+        auto ax = matvec(a, x);
+        for (int i = 0; i < n; ++i) y[i] += ax[i];
+      },
+      diag);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.eigenvalue, dense.values[0], 1e-7);
+}
+
+TEST(Davidson, TrivialSizes) {
+  auto one = linalg::davidsonLowest(
+      [](const std::vector<Real>&, std::vector<Real>&) {}, {3.5});
+  EXPECT_DOUBLE_EQ(one.eigenvalue, 3.5);
+}

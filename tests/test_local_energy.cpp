@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis_set.hpp"
+#include "chem/geometry_library.hpp"
+#include "fci/fci.hpp"
+#include "ops/jordan_wigner.hpp"
+#include "scf/rhf.hpp"
+#include "vmc/local_energy.hpp"
+
+using namespace nnqs;
+using namespace nnqs::vmc;
+
+namespace {
+
+struct System {
+  ops::PackedHamiltonian packed;
+  ops::MadePackedHamiltonian made;
+  ops::SpinHamiltonian ham;
+  scf::MoIntegrals mo;
+  Real eHf;
+};
+
+System buildSystem(const char* name) {
+  const auto mol = chem::makeMolecule(name);
+  const auto basis = chem::buildBasis(mol, "sto-3g");
+  const auto ao = scf::computeAoIntegrals(mol, basis);
+  const auto hf = scf::runHartreeFock(ao, mol);
+  System s{.packed = {}, .made = {}, .ham = {}, .mo = scf::transformToMo(ao, hf), .eHf = hf.energy};
+  s.ham = ops::jordanWigner(s.mo);
+  s.packed = ops::PackedHamiltonian::fromHamiltonian(s.ham);
+  s.made = ops::MadePackedHamiltonian::fromHamiltonian(s.ham);
+  return s;
+}
+
+std::vector<Bits128> numberSector(int n, int na, int nb) {
+  std::vector<Bits128> out;
+  for (std::uint64_t v = 0; v < (1ull << n); ++v) {
+    Bits128 b{v, 0};
+    int up = 0, down = 0;
+    for (int q = 0; q < n; q += 2) up += b.get(q);
+    for (int q = 1; q < n; q += 2) down += b.get(q);
+    if (up == na && down == nb) out.push_back(b);
+  }
+  return out;
+}
+
+nqs::QiankunNet netFor(const System& s, std::uint64_t seed = 9) {
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = s.ham.nQubits;
+  cfg.nAlpha = s.mo.nAlpha;
+  cfg.nBeta = s.mo.nBeta;
+  cfg.dModel = 16;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 32;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = seed;
+  return nqs::QiankunNet(cfg);
+}
+
+}  // namespace
+
+TEST(WavefunctionLut, BuildAndFind) {
+  std::vector<Bits128> keys = {Bits128{5, 0}, Bits128{1, 0}, Bits128{9, 0}};
+  std::vector<Complex> psi = {{0.5, 0}, {0.1, 0}, {0.9, 0}};
+  const auto lut = WavefunctionLut::build(keys, psi);
+  EXPECT_EQ(lut.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(lut.keys.begin(), lut.keys.end()));
+  ASSERT_NE(lut.find(Bits128{9, 0}), nullptr);
+  EXPECT_NEAR(lut.find(Bits128{9, 0})->real(), 0.9, 1e-15);
+  EXPECT_EQ(lut.find(Bits128{2, 0}), nullptr);
+}
+
+TEST(LocalEnergy, FullSupportAverageEqualsVariationalEnergy) {
+  // Over the complete number sector, sum_x p(x) Eloc(x) = <H> exactly.
+  const System s = buildSystem("H2");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(4, 1, 1);
+  const auto psi = net.psi(sector);
+  const auto lut = WavefunctionLut::build(sector, psi);
+  const auto eloc =
+      localEnergies(s.packed, sector, lut, ElocMode::kSaFuseLut);
+
+  Complex num{0, 0};
+  Real denom = 0;
+  for (std::size_t i = 0; i < sector.size(); ++i) {
+    const Real p = std::norm(psi[i]);
+    num += p * eloc[i];
+    denom += p;
+  }
+  const Real eVar = (num / denom).real();
+
+  // Reference <psi|H|psi>/<psi|psi> via explicit matrix elements.
+  Complex ref{0, 0};
+  for (std::size_t i = 0; i < sector.size(); ++i)
+    for (std::size_t j = 0; j < sector.size(); ++j)
+      ref += std::conj(psi[i]) * s.ham.matrixElement(sector[i], sector[j]) * psi[j];
+  EXPECT_NEAR(eVar, ref.real() / denom, 1e-8);
+}
+
+TEST(LocalEnergy, AllEnginesAgreeOnFullSupport) {
+  const System s = buildSystem("LiH");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(12, 2, 2);
+  const auto psi = net.psi(sector);
+  const auto lut = WavefunctionLut::build(sector, psi);
+
+  const std::vector<Bits128> probe(sector.begin(), sector.begin() + 12);
+  const auto a = localEnergies(s.packed, probe, lut, ElocMode::kSaFuse);
+  const auto b = localEnergies(s.packed, probe, lut, ElocMode::kSaFuseLut);
+  const auto c = localEnergies(s.packed, probe, lut, ElocMode::kSaFuseLutParallel);
+  const auto d = localEnergies(s.packed, probe, lut, ElocMode::kBaseline, &s.made, &net);
+  const auto e = localEnergiesExact(s.packed, probe, net);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10);
+    EXPECT_NEAR(std::abs(b[i] - c[i]), 0.0, 1e-10);
+    EXPECT_NEAR(std::abs(b[i] - d[i]), 0.0, 1e-8);
+    EXPECT_NEAR(std::abs(b[i] - e[i]), 0.0, 1e-8);
+  }
+}
+
+TEST(LocalEnergy, SampleAwareIsTruncationOfExact) {
+  // With a partial S the sample-aware value differs from the exact one by
+  // exactly the terms whose coupled state lies outside S.
+  const System s = buildSystem("H2");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(4, 1, 1);
+  const auto psi = net.psi(sector);
+  // S = first two states only.
+  const std::vector<Bits128> partial(sector.begin(), sector.begin() + 2);
+  const std::vector<Complex> partialPsi(psi.begin(), psi.begin() + 2);
+  const auto lut = WavefunctionLut::build(partial, partialPsi);
+  const auto sa = localEnergies(s.packed, {partial[0]}, lut, ElocMode::kSaFuseLut);
+
+  Complex manual{s.packed.constant, 0};
+  for (std::size_t k = 0; k < s.packed.nGroups(); ++k) {
+    const Bits128 xp = partial[0] ^ s.packed.xyUnique[k];
+    const Complex* hit = lut.find(xp);
+    if (hit == nullptr) continue;
+    manual += s.packed.groupCoefficient(k, partial[0]) * (*hit) / psi[0];
+  }
+  EXPECT_NEAR(std::abs(sa[0] - manual), 0.0, 1e-12);
+}
+
+TEST(LocalEnergy, HartreeFockStateGivesHfEnergy) {
+  // For a wavefunction concentrated on the HF determinant, Eloc(HF det)
+  // equals <HF|H|HF> when S = {HF det} (only the diagonal survives).
+  const System s = buildSystem("BeH2");
+  const Bits128 hfDet = fci::hartreeFockDeterminant(s.mo.nAlpha, s.mo.nBeta);
+  const auto lut = WavefunctionLut::build({hfDet}, {Complex{1.0, 0.0}});
+  const auto eloc = localEnergies(s.packed, {hfDet}, lut, ElocMode::kSaFuseLut);
+  EXPECT_NEAR(eloc[0].real(), s.eHf, 1e-8);
+  EXPECT_NEAR(eloc[0].imag(), 0.0, 1e-10);
+}
+
+TEST(LocalEnergy, FciStateGivesConstantLocalEnergy) {
+  // Property: for an exact eigenstate, Eloc(x) = E_0 for every x in the
+  // support.  Feed the FCI ground state through the LUT.
+  const System s = buildSystem("H2");
+  const auto fciRes = fci::runFci(s.mo);
+  std::vector<Complex> psi(fciRes.basis.size());
+  for (std::size_t i = 0; i < psi.size(); ++i)
+    psi[i] = Complex{fciRes.groundState[i], 0.0};
+  const auto lut = WavefunctionLut::build(fciRes.basis, psi);
+  const auto eloc = localEnergies(s.packed, fciRes.basis, lut, ElocMode::kSaFuseLut);
+  for (std::size_t i = 0; i < eloc.size(); ++i) {
+    if (std::abs(psi[i]) < 1e-6) continue;  // ratio ill-conditioned at nodes
+    EXPECT_NEAR(eloc[i].real(), fciRes.energy, 1e-6);
+    EXPECT_NEAR(eloc[i].imag(), 0.0, 1e-8);
+  }
+}

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "chem/basis_set.hpp"
+#include "chem/geometry_library.hpp"
+#include "fci/fci.hpp"
+#include "scf/mo_integrals.hpp"
+
+using namespace nnqs;
+using namespace nnqs::chem;
+using namespace nnqs::scf;
+
+namespace {
+MoIntegrals makeMo(const char* name, int nFrozen = 0) {
+  const Molecule mol = makeMolecule(name);
+  const BasisSet basis = buildBasis(mol, "sto-3g");
+  const AoIntegrals ao = computeAoIntegrals(mol, basis);
+  const ScfResult hf = runHartreeFock(ao, mol);
+  return transformToMo(ao, hf, nFrozen);
+}
+}  // namespace
+
+TEST(MoIntegrals, MoBasisIsOrthonormalViaFockDiagonal) {
+  // In the canonical MO basis the Fock matrix h + sum_k [2(pq|kk)-(pk|qk)]
+  // must be diagonal with the orbital energies.
+  const Molecule mol = makeMolecule("H2O");
+  const BasisSet basis = buildBasis(mol, "sto-3g");
+  const AoIntegrals ao = computeAoIntegrals(mol, basis);
+  const ScfResult hf = runRhf(ao, mol);
+  const MoIntegrals mo = transformToMo(ao, hf);
+  const int nOcc = mo.nAlpha;
+  for (int p = 0; p < mo.nOrb; ++p)
+    for (int q = 0; q < mo.nOrb; ++q) {
+      Real f = mo.h(p, q);
+      for (int k = 0; k < nOcc; ++k)
+        f += 2.0 * mo.eri(p, q, k, k) - mo.eri(p, k, q, k);
+      if (p == q)
+        EXPECT_NEAR(f, hf.orbitalEnergies[static_cast<std::size_t>(p)], 1e-6);
+      else
+        EXPECT_NEAR(f, 0.0, 1e-6);
+    }
+}
+
+TEST(MoIntegrals, HfEnergyFromMoIntegrals) {
+  // E_HF = E_core + sum_occ 2 h_ii + sum_occ [2(ii|jj) - (ij|ij)].
+  const Molecule mol = makeMolecule("BeH2");
+  const BasisSet basis = buildBasis(mol, "sto-3g");
+  const AoIntegrals ao = computeAoIntegrals(mol, basis);
+  const ScfResult hf = runRhf(ao, mol);
+  const MoIntegrals mo = transformToMo(ao, hf);
+  Real e = mo.coreEnergy;
+  for (int i = 0; i < mo.nAlpha; ++i) {
+    e += 2.0 * mo.h(i, i);
+    for (int j = 0; j < mo.nAlpha; ++j)
+      e += 2.0 * mo.eri(i, i, j, j) - mo.eri(i, j, i, j);
+  }
+  EXPECT_NEAR(e, hf.energy, 1e-8);
+}
+
+TEST(MoIntegrals, SpinOrbitalAccessors) {
+  const MoIntegrals mo = makeMo("LiH");
+  // Spin-mismatch must vanish.
+  EXPECT_EQ(mo.hSo(0, 1), 0.0);
+  EXPECT_EQ(mo.eriSoChem(0, 1, 2, 2), 0.0);
+  // Same-spin maps to spatial.
+  EXPECT_EQ(mo.hSo(2, 4), mo.h(1, 2));
+  EXPECT_EQ(mo.hSo(3, 5), mo.h(1, 2));
+  // Antisymmetry of <pq||rs>.
+  for (int p = 0; p < 6; ++p)
+    for (int q = 0; q < 6; ++q)
+      for (int r = 0; r < 6; ++r)
+        for (int s = 0; s < 6; ++s)
+          EXPECT_NEAR(mo.eriSoAnti(p, q, r, s), -mo.eriSoAnti(q, p, r, s), 1e-12);
+}
+
+TEST(MoIntegrals, FrozenCorePreservesFciEnergy) {
+  // Freezing the Li 1s core of LiH changes the FCI energy only mildly, and
+  // the frozen-core FCI must match an explicit all-electron calculation where
+  // the core determinant is pinned.  Here we check consistency: E(frozen FCI)
+  // >= E(full FCI), both converged, difference small.
+  const MoIntegrals full = makeMo("LiH", 0);
+  const MoIntegrals frozen = makeMo("LiH", 1);
+  EXPECT_EQ(frozen.nOrb, full.nOrb - 1);
+  EXPECT_EQ(frozen.nAlpha, full.nAlpha - 1);
+  const Real eFull = fci::runFci(full).energy;
+  const Real eFrozen = fci::runFci(frozen).energy;
+  EXPECT_GE(eFrozen, eFull - 1e-9);
+  EXPECT_NEAR(eFrozen, eFull, 5e-4);
+}
+
+TEST(MoIntegrals, CoreEnergyIncludesNuclearRepulsion) {
+  const Molecule mol = makeMolecule("H2O");
+  const BasisSet basis = buildBasis(mol, "sto-3g");
+  const AoIntegrals ao = computeAoIntegrals(mol, basis);
+  const ScfResult hf = runRhf(ao, mol);
+  EXPECT_DOUBLE_EQ(transformToMo(ao, hf, 0).coreEnergy, ao.enuc);
+  EXPECT_GT(ao.enuc, 0.0);
+}

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis_set.hpp"
+#include "chem/element.hpp"
+#include "chem/geometry_library.hpp"
+
+using namespace nnqs;
+using namespace nnqs::chem;
+
+TEST(Element, RoundTrip) {
+  for (int z = 1; z <= 18; ++z) EXPECT_EQ(atomicNumber(elementSymbol(z)), z);
+  EXPECT_THROW(atomicNumber("Xx"), std::invalid_argument);
+}
+
+TEST(Molecule, ElectronCounting) {
+  const Molecule h2o = makeMolecule("H2O");
+  EXPECT_EQ(h2o.nElectrons(), 10);
+  EXPECT_EQ(h2o.nAlpha(), 5);
+  EXPECT_EQ(h2o.nBeta(), 5);
+  const Molecule o2 = makeMolecule("O2");
+  EXPECT_EQ(o2.multiplicity(), 3);
+  EXPECT_EQ(o2.nAlpha(), 9);
+  EXPECT_EQ(o2.nBeta(), 7);
+}
+
+TEST(Molecule, NuclearRepulsionH2) {
+  // Two protons at r bohr: E = 1/r.
+  const Molecule h2 = makeH2(0.529177210903);  // 1.000000 bohr
+  EXPECT_NEAR(h2.nuclearRepulsion(), 1.0, 1e-6);
+}
+
+TEST(Molecule, Formula) {
+  EXPECT_EQ(makeMolecule("H2O").formula(), "H2O");
+  EXPECT_EQ(makeMolecule("C6H6").formula(), "C6H6");
+}
+
+struct QubitCount {
+  const char* name;
+  const char* basis;
+  int qubits;  ///< paper's Table 1 / Fig. 9 qubit counts
+};
+
+class QubitCountTest : public ::testing::TestWithParam<QubitCount> {};
+
+// The paper's system sizes must be reproduced exactly by our basis data.
+TEST_P(QubitCountTest, MatchesPaper) {
+  const auto& p = GetParam();
+  const Molecule mol = makeMolecule(p.name);
+  const BasisSet basis = buildBasis(mol, p.basis);
+  EXPECT_EQ(2 * basis.nAO(), p.qubits) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSystems, QubitCountTest,
+    ::testing::Values(QubitCount{"H2O", "sto-3g", 14}, QubitCount{"N2", "sto-3g", 20},
+                      QubitCount{"O2", "sto-3g", 20}, QubitCount{"H2S", "sto-3g", 22},
+                      QubitCount{"PH3", "sto-3g", 24}, QubitCount{"LiCl", "sto-3g", 28},
+                      QubitCount{"Li2O", "sto-3g", 30}, QubitCount{"BeH2", "sto-3g", 14},
+                      QubitCount{"C2", "sto-3g", 20}, QubitCount{"LiH", "sto-3g", 12},
+                      QubitCount{"NH3", "sto-3g", 16}, QubitCount{"C2H4O", "sto-3g", 38},
+                      QubitCount{"C3H6", "sto-3g", 42}, QubitCount{"C6H6", "6-31g", 132},
+                      QubitCount{"H2", "cc-pvtz", 56}, QubitCount{"H2", "aug-cc-pvtz", 92}));
+
+TEST(Geometry, BondLengths) {
+  const Molecule n2 = makeMolecule("N2");
+  const auto& a = n2.atoms();
+  Real r = 0;
+  for (int d = 0; d < 3; ++d) r += std::pow(a[0].xyz[d] - a[1].xyz[d], 2);
+  EXPECT_NEAR(std::sqrt(r) / kBohrPerAngstrom, 1.0977, 1e-6);
+}
+
+TEST(Geometry, PyramidalAngle) {
+  // NH3: verify the generated H-N-H angle equals the requested 106.67 deg.
+  const Molecule nh3 = makeMolecule("NH3");
+  const auto& at = nh3.atoms();
+  std::array<Real, 3> v1{}, v2{};
+  for (int d = 0; d < 3; ++d) {
+    v1[d] = at[1].xyz[d] - at[0].xyz[d];
+    v2[d] = at[2].xyz[d] - at[0].xyz[d];
+  }
+  Real dot = 0, n1 = 0, n2 = 0;
+  for (int d = 0; d < 3; ++d) {
+    dot += v1[d] * v2[d];
+    n1 += v1[d] * v1[d];
+    n2 += v2[d] * v2[d];
+  }
+  const Real angle = std::acos(dot / std::sqrt(n1 * n2)) * 180.0 / kPi;
+  EXPECT_NEAR(angle, 106.67, 1e-3);
+}
+
+TEST(Basis, ShellCounts) {
+  // STO-3G O: 1s + 2s + 2p -> 2 s-shells + 1 p-shell = 5 AOs.
+  const auto shells = elementShells(8, "sto-3g");
+  int nao = 0;
+  for (const auto& s : shells) nao += (2 * s.l + 1);
+  EXPECT_EQ(nao, 5);
+  // cc-pVTZ H: 3s2p1d = 14 spherical AOs.
+  const auto h = elementShells(1, "cc-pvtz");
+  nao = 0;
+  for (const auto& s : h) nao += (2 * s.l + 1);
+  EXPECT_EQ(nao, 14);
+}
+
+TEST(Basis, LibraryNamesAllBuildable) {
+  for (const auto& name : moleculeLibraryNames()) {
+    const Molecule mol = makeMolecule(name);
+    EXPECT_GT(mol.nElectrons(), 0) << name;
+    if (name != "C6H6") {
+      const BasisSet b = buildBasis(mol, "sto-3g");
+      EXPECT_GT(b.nAO(), 0) << name;
+    }
+  }
+}

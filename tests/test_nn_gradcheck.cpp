@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/transformer.hpp"
+#include "nqs/ansatz.hpp"
+
+using namespace nnqs;
+using namespace nnqs::nn;
+
+namespace {
+
+/// Central finite difference of a scalar function of a parameter entry.
+Real numericalGrad(const std::function<Real()>& f, Real& param, Real eps = 1e-5) {
+  const Real orig = param;
+  param = orig + eps;
+  const Real fp = f();
+  param = orig - eps;
+  const Real fm = f();
+  param = orig;
+  return (fp - fm) / (2 * eps);
+}
+
+/// Scalar loss = sum(weights * output) for a module applied to fixed input.
+template <typename Fwd>
+void gradcheckParams(std::vector<Parameter*> params, const Fwd& forwardLoss,
+                     const std::function<void()>& backwardSeed, Real tol,
+                     int samplesPerParam = 3) {
+  for (Parameter* p : params) p->grad.setZero();
+  backwardSeed();  // run cached forward + backward once, filling grads
+  Rng rng(123);
+  for (Parameter* p : params) {
+    const std::size_t n = p->value.data.size();
+    for (int s = 0; s < samplesPerParam; ++s) {
+      const std::size_t i = rng.below(n);
+      const Real analytic = p->grad.data[i];
+      const Real numeric = numericalGrad(forwardLoss, p->value.data[i]);
+      EXPECT_NEAR(analytic, numeric, tol * std::max(1.0, std::abs(numeric)))
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(GradCheck, Linear) {
+  Rng rng(7);
+  Linear lin(5, 3, rng, "lin");
+  Tensor x({2, 5});
+  x.randn(rng, 1.0);
+  Tensor w({2, 3});
+  w.randn(rng, 1.0);
+  auto loss = [&] {
+    const Tensor y = lin.forward(x, false);
+    Real s = 0;
+    for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
+    return s;
+  };
+  std::vector<Parameter*> params;
+  lin.collectParameters(params);
+  gradcheckParams(params, loss, [&] {
+    lin.forward(x, true);
+    lin.backward(w);
+  }, 1e-6, 6);
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(8);
+  LayerNorm ln(6, "ln");
+  ln.gamma.value.randn(rng, 0.3);
+  for (auto& g : ln.gamma.value.data) g += 1.0;
+  Tensor x({3, 6});
+  x.randn(rng, 2.0);
+  Tensor w({3, 6});
+  w.randn(rng, 1.0);
+  auto loss = [&] {
+    const Tensor y = ln.forward(x, false);
+    Real s = 0;
+    for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
+    return s;
+  };
+  std::vector<Parameter*> params;
+  ln.collectParameters(params);
+  gradcheckParams(params, loss, [&] {
+    ln.forward(x, true);
+    ln.backward(w);
+  }, 1e-5, 4);
+}
+
+TEST(GradCheck, AttentionAndDecoderStack) {
+  Rng rng(9);
+  TransformerAR net(4, 8, 2, 2, rng);
+  const std::vector<int> tokens = {4, 1, 3, 0, 4, 2, 0, 1};  // batch of 2
+  Tensor w({2 * 4, 4});
+  w.randn(rng, 1.0);
+  auto loss = [&] {
+    const Tensor y = net.forward(tokens, 4, false);
+    Real s = 0;
+    for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
+    return s;
+  };
+  std::vector<Parameter*> params;
+  net.collectParameters(params);
+  gradcheckParams(params, loss, [&] {
+    net.forward(tokens, 4, true);
+    net.backward(w);
+  }, 2e-5, 2);
+}
+
+TEST(GradCheck, PhaseMlp) {
+  Rng rng(10);
+  PhaseMlp mlp(6, 16, 2, rng);
+  Tensor x({3, 6});
+  x.randn(rng, 1.0);
+  Tensor w({3, 1});
+  w.randn(rng, 1.0);
+  auto loss = [&] {
+    const Tensor y = mlp.forward(x, false);
+    Real s = 0;
+    for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
+    return s;
+  };
+  std::vector<Parameter*> params;
+  mlp.collectParameters(params);
+  gradcheckParams(params, loss, [&] {
+    mlp.forward(x, true);
+    mlp.backward(w);
+  }, 1e-6, 3);
+}
+
+TEST(GradCheck, QiankunNetVmcLoss) {
+  // End-to-end: L = sum_i [cA_i ln|Psi(x_i)| + cP_i phi(x_i)] — exactly the
+  // seed structure of the VMC gradient (Eq. 7).
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = 8;
+  cfg.nAlpha = 2;
+  cfg.nBeta = 2;
+  cfg.dModel = 8;
+  cfg.nHeads = 2;
+  cfg.nDecoders = 1;
+  cfg.phaseHidden = 12;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = 77;
+  nqs::QiankunNet net(cfg);
+  const std::vector<Bits128> samples = {fromBitString("00001111"),
+                                        fromBitString("00111100"),
+                                        fromBitString("11000011")};
+  const std::vector<Real> cA = {0.7, -1.1, 0.4}, cP = {0.2, 0.9, -0.5};
+  auto loss = [&] {
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, false);
+    Real s = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      s += cA[i] * la[i] + cP[i] * ph[i];
+    return s;
+  };
+  gradcheckParams(net.parameters(), loss, [&] {
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, true);
+    net.backward(cA, cP);
+  }, 5e-5, 2);
+}

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "chem/sto_fit.hpp"
+
+using namespace nnqs;
+using chem::fitSto;
+using chem::fitStoSP;
+
+// The fitter IS the published STO-3G construction; it must reproduce the
+// hard-coded universal expansions (validates the generated 3sp data for the
+// third-row elements).
+TEST(StoFit, Reproduces1sUniversalExpansion) {
+  const auto fit = fitSto(1, 0, 3);
+  ASSERT_EQ(fit.exps.size(), 3u);
+  EXPECT_NEAR(fit.exps[0], 2.227660584, 2e-3);
+  EXPECT_NEAR(fit.exps[1], 0.4057711562, 5e-4);
+  EXPECT_NEAR(fit.exps[2], 0.1098175104, 2e-4);
+  EXPECT_NEAR(fit.sCoeffs[0], 0.1543289673, 2e-3);
+  EXPECT_NEAR(fit.sCoeffs[1], 0.5353281423, 3e-3);
+  EXPECT_NEAR(fit.sCoeffs[2], 0.4446345422, 3e-3);
+  EXPECT_GT(fit.overlapS, 0.9984);  // Stewart's 1s STO-3G overlap ~ 0.99849
+}
+
+TEST(StoFit, Reproduces2spUniversalExpansion) {
+  const auto fit = fitStoSP(2, 3);
+  ASSERT_EQ(fit.exps.size(), 3u);
+  EXPECT_NEAR(fit.exps[0], 0.9942030428, 0.05);
+  EXPECT_NEAR(fit.exps[1], 0.2310313338, 0.01);
+  EXPECT_NEAR(fit.exps[2], 0.0751386016, 0.003);
+  EXPECT_GT(fit.overlapS, 0.995);
+  EXPECT_GT(fit.overlapP, 0.998);
+}
+
+TEST(StoFit, ThreeSpFitIsAccurate) {
+  const auto fit = fitStoSP(3, 3);
+  ASSERT_EQ(fit.exps.size(), 3u);
+  EXPECT_GT(fit.overlapS, 0.99);
+  EXPECT_GT(fit.overlapP, 0.99);
+  // Exponents ordered and positive.
+  EXPECT_GT(fit.exps[2], 0.0);
+  EXPECT_GT(fit.exps[0], fit.exps[1]);
+  EXPECT_GT(fit.exps[1], fit.exps[2]);
+}
+
+TEST(StoFit, OverlapHelpersAreNormalized) {
+  // <G|G> with itself = 1 for any l and exponent.
+  for (int l : {0, 1, 2})
+    for (Real a : {0.1, 1.0, 25.0})
+      EXPECT_NEAR(chem::gaussGaussOverlap(l, a, a), 1.0, 1e-12);
+  // STO-Gaussian overlap bounded by Cauchy-Schwarz.
+  EXPECT_LE(chem::stoGaussOverlap(1, 0, 1.0, 0.3), 1.0);
+  EXPECT_GT(chem::stoGaussOverlap(1, 0, 1.0, 0.27), 0.9);
+}
+
+TEST(StoFit, MoreGaussiansFitBetter) {
+  const Real s2 = fitSto(1, 0, 2).overlapS;
+  const Real s3 = fitSto(1, 0, 3).overlapS;
+  EXPECT_GT(s3, s2);
+}
