@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(args.getInt("iters", 2));
   const std::uint64_t nSamples =
       static_cast<std::uint64_t>(args.getInt("samples", 1 << 14));
+  const nqs::DecodePolicy decode = decodePolicy(args);
 
   Timer build;
   Pipeline p = scalingPipeline(args);
@@ -25,13 +26,15 @@ int main(int argc, char** argv) {
               "Ns=%llu fixed\n",
               p.mol.formula().c_str(), p.nQubits, p.ham.nTerms(), build.seconds(),
               static_cast<unsigned long long>(nSamples));
+  reportDecodeSpeedup(args, paperNetConfig(p), nSamples);
   std::printf("%6s %10s %10s %10s %10s %8s %10s %10s\n", "ranks", "sample(s)",
               "eloc(s)", "grad(s)", "total(s)", "eff", "Nu", "comm MB/it");
 
   double baseline = 0;
   int baseRanks = 0;
   for (int ranks : rankSweep(args)) {
-    const ScalingPoint pt = scalingRun(packed, paperNetConfig(p), ranks, nSamples, iters);
+    const ScalingPoint pt =
+        scalingRun(packed, paperNetConfig(p), ranks, nSamples, iters, decode);
     if (baseline == 0) {
       baseline = pt.total;
       baseRanks = ranks;

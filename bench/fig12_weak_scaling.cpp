@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(args.getInt("iters", 2));
   const std::uint64_t nsPerRank =
       static_cast<std::uint64_t>(args.getInt("samples-per-rank", 1 << 12));
+  const nqs::DecodePolicy decode = decodePolicy(args);
 
   Timer build;
   Pipeline p = scalingPipeline(args);
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
               "Ns = %llu x ranks\n",
               p.mol.formula().c_str(), p.nQubits, p.ham.nTerms(), build.seconds(),
               static_cast<unsigned long long>(nsPerRank));
+  reportDecodeSpeedup(args, paperNetConfig(p), nsPerRank);
   std::printf("%6s %10s %10s %10s %10s %8s %10s %10s\n", "ranks", "sample(s)",
               "eloc(s)", "grad(s)", "total(s)", "eff", "Nu", "comm MB/it");
 
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
   for (int ranks : rankSweep(args)) {
     const ScalingPoint pt =
         scalingRun(packed, paperNetConfig(p), ranks,
-                   nsPerRank * static_cast<std::uint64_t>(ranks), iters);
+                   nsPerRank * static_cast<std::uint64_t>(ranks), iters, decode);
     if (baseline == 0) baseline = pt.total;
     const double eff = 100.0 * baseline / pt.total;  // ideal weak scaling: flat
     std::printf("%6d %10.3f %10.3f %10.3f %10.3f %7.1f%% %10zu %10.2f\n", ranks,

@@ -77,12 +77,50 @@ void BM_BasFullSweep(benchmark::State& state) {
   nqs::QiankunNet net(paperNetConfig(p));
   nqs::SamplerOptions opts;
   opts.nSamples = static_cast<std::uint64_t>(state.range(0));
+  opts.decode = state.range(1) == 0 ? nqs::DecodePolicy::kFullForward
+                                    : nqs::DecodePolicy::kKvCache;
   for (auto _ : state) {
     const auto set = nqs::batchAutoregressiveSample(net, opts);
     benchmark::DoNotOptimize(set.nUnique());
   }
 }
-BENCHMARK(BM_BasFullSweep)->Arg(1 << 10)->Arg(1 << 14);
+// Second arg: 0 = full re-forward reference, 1 = KV-cached incremental decode.
+BENCHMARK(BM_BasFullSweep)
+    ->Args({1 << 10, 0})
+    ->Args({1 << 10, 1})
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1});
+
+// Decode-mode ablation at the acceptance scale of the incremental-decode
+// engine: L = 32 sampling steps (64 qubits), d_model 16.  No molecule needed;
+// the sweep cost is purely the transformer + tree bookkeeping.
+void BM_BasSweepL32(benchmark::State& state) {
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = 64;  // L = 32 two-qubit sampling steps
+  cfg.nAlpha = 8;
+  cfg.nBeta = 8;
+  cfg.dModel = 16;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 32;  // phase MLP is not exercised by sampling
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = 11;
+  nqs::QiankunNet net(cfg);
+  nqs::SamplerOptions opts;
+  opts.nSamples = 1 << 12;
+  opts.decode = state.range(0) == 0 ? nqs::DecodePolicy::kFullForward
+                                    : nqs::DecodePolicy::kKvCache;
+  std::uint64_t nu = 0;
+  for (auto _ : state) {
+    const auto set = nqs::batchAutoregressiveSample(net, opts);
+    nu = set.nUnique();
+    benchmark::DoNotOptimize(nu);
+  }
+  state.counters["Nu"] = static_cast<double>(nu);
+}
+// Arg: 0 = full re-forward, 1 = KV-cached; the ratio of the two times is the
+// BAS sweep speedup quoted in the README.
+BENCHMARK(BM_BasSweepL32)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_LocalEnergySample(benchmark::State& state) {
   const auto& p = c2Pipeline();

@@ -4,6 +4,8 @@
 
 #include <omp.h>
 
+#include <cstdlib>
+
 #include "bench_common.hpp"
 
 namespace nnqs::bench {
@@ -15,11 +17,51 @@ struct ScalingPoint {
   std::uint64_t commBytes = 0;
 };
 
+/// `--decode full` selects the stateless full-forward reference sampler;
+/// the default (`kv`) is the KV-cached incremental-decode engine.  Anything
+/// else aborts rather than silently benchmarking the wrong engine.
+inline nqs::DecodePolicy decodePolicy(const Args& args) {
+  const std::string mode = args.get("decode", "kv");
+  if (mode == "full") return nqs::DecodePolicy::kFullForward;
+  if (mode == "kv") return nqs::DecodePolicy::kKvCache;
+  std::fprintf(stderr, "unknown --decode mode '%s' (expected 'kv' or 'full')\n",
+               mode.c_str());
+  std::exit(2);
+}
+
+/// Time one serial BAS sweep in each decode mode and print the speedup line
+/// the scaling figures quote (sampling is their dominant phase; both modes
+/// draw bit-identical samples, so this isolates the engine difference).
+/// `--no-speedup` skips it — the full-forward sweep is O(L) more expensive
+/// than the table's own sampling, which matters at paper-scale molecules.
+inline void reportDecodeSpeedup(const Args& args, const nqs::QiankunNetConfig& netCfg,
+                                std::uint64_t nSamples) {
+  if (args.flag("no-speedup")) return;
+  nqs::QiankunNet net(netCfg);
+  nqs::SamplerOptions sOpts;
+  sOpts.nSamples = nSamples;
+  sOpts.seed = 17;
+  sOpts.decode = nqs::DecodePolicy::kKvCache;
+  Timer tKv;
+  const std::size_t nuKv = nqs::batchAutoregressiveSample(net, sOpts).nUnique();
+  const double kv = tKv.seconds();
+  sOpts.decode = nqs::DecodePolicy::kFullForward;
+  Timer tFull;
+  const std::size_t nuFull = nqs::batchAutoregressiveSample(net, sOpts).nUnique();
+  const double full = tFull.seconds();
+  std::printf("BAS sweep (Ns=%llu, Nu=%zu): full re-forward %.3fs, KV-cached "
+              "decode %.3fs, speedup %.1fx\n",
+              static_cast<unsigned long long>(nSamples), nuKv, full, kv,
+              full / kv);
+  if (nuKv != nuFull) std::printf("WARNING: decode modes disagree on Nu!\n");
+}
+
 /// Run a few VMC iterations at the given rank count and report per-phase
 /// seconds per iteration.
 inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
                                const nqs::QiankunNetConfig& netCfg, int ranks,
-                               std::uint64_t nSamples, int iterations) {
+                               std::uint64_t nSamples, int iterations,
+                               nqs::DecodePolicy decode = nqs::DecodePolicy::kKvCache) {
   vmc::VmcOptions opts;
   opts.iterations = iterations;
   opts.nSamples = nSamples;
@@ -32,6 +74,7 @@ inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
   // expensive) layers are what must be partitioned for sampling to scale.
   opts.uniqueThresholdPerRank = 256;
   opts.seed = 17;
+  opts.decodePolicy = decode;
   const vmc::VmcResult res = vmc::runVmc(packed, netCfg, opts);
   ScalingPoint pt;
   pt.ranks = ranks;

@@ -70,6 +70,62 @@ Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
   return proj_.forward(ctx, cache);
 }
 
+Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState::LayerKV& kv,
+                                       Index pos, Index maxLen) {
+  const Index batch = x.numel() / d_;
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
+
+  Tensor qkv = qkv_.forward(x, /*cache=*/false);  // [B, 3D]: q | k | v per row
+  // Append this position's keys/values to the cache.
+  for (Index b = 0; b < batch; ++b) {
+    const Real* row = qkv.data.data() + b * 3 * d_;
+    Real* kDst = kv.k.data.data() + (b * maxLen + pos) * d_;
+    Real* vDst = kv.v.data.data() + (b * maxLen + pos) * d_;
+    for (Index t = 0; t < d_; ++t) {
+      kDst[t] = row[d_ + t];
+      vDst[t] = row[2 * d_ + t];
+    }
+  }
+
+  Tensor ctx({batch, d_});
+#pragma omp parallel if (batch * heads_ > 8)
+  {
+    // Per-thread scratch, reused across the whole (row, head) tile: the
+    // per-iteration work is only ~(pos+1) * headDim flops, so a heap
+    // allocation per iteration would dominate this decode hot loop.
+    std::vector<Real> ai(static_cast<std::size_t>(pos + 1));
+#pragma omp for collapse(2) schedule(static)
+    for (Index b = 0; b < batch; ++b)
+      for (Index h = 0; h < heads_; ++h) {
+        const Index hOff = h * headDim_;
+        const Real* qi = qkv.data.data() + b * 3 * d_ + hOff;
+        Real mx = -1e300;
+        for (Index j = 0; j <= pos; ++j) {
+          const Real* kj = kv.k.data.data() + (b * maxLen + j) * d_ + hOff;
+          Real s = 0;
+          for (Index t = 0; t < headDim_; ++t) s += qi[t] * kj[t];
+          ai[static_cast<std::size_t>(j)] = s * scale;
+          mx = std::max(mx, ai[static_cast<std::size_t>(j)]);
+        }
+        Real denom = 0;
+        for (Index j = 0; j <= pos; ++j) {
+          ai[static_cast<std::size_t>(j)] = std::exp(ai[static_cast<std::size_t>(j)] - mx);
+          denom += ai[static_cast<std::size_t>(j)];
+        }
+        for (Index j = 0; j <= pos; ++j) ai[static_cast<std::size_t>(j)] /= denom;
+        Real* ci = ctx.data.data() + b * d_ + hOff;
+        for (Index j = 0; j <= pos; ++j) {
+          const Real a = ai[static_cast<std::size_t>(j)];
+          if (a == 0.0) continue;
+          const Real* vj = kv.v.data.data() + (b * maxLen + j) * d_ + hOff;
+          for (Index t = 0; t < headDim_; ++t) ci[t] += a * vj[t];
+        }
+      }
+  }
+
+  return proj_.forward(ctx, /*cache=*/false);
+}
+
 Tensor CausalSelfAttention::backward(const Tensor& dy) {
   if (cachedQkv_.empty()) throw std::logic_error("attention backward without cache");
   const Index batch = cachedBatch_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "nn/decode_state.hpp"
 #include "nn/modules.hpp"
 
 namespace nnqs::nn {
@@ -15,6 +16,14 @@ class CausalSelfAttention : public Module {
   Tensor forward(const Tensor& x, bool cache) override;
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>& out) override;
+
+  /// Incremental decode: x = [B, D] is one new token per row at position
+  /// `pos` (0-based).  Appends this token's K/V to `kv` and attends its query
+  /// against positions 0..pos, i.e. the single new row of the causal
+  /// attention matrix.  Arithmetic mirrors forward() row `pos` exactly, so
+  /// full-forward and decode paths agree bit for bit.
+  Tensor decodeStep(const Tensor& x, DecodeState::LayerKV& kv, Index pos,
+                    Index maxLen);
 
   /// Sequence length of the next forward call (sampling uses growing
   /// prefix windows; the causal mask keeps shorter windows consistent).

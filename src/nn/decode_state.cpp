@@ -1,0 +1,44 @@
+#include "nn/decode_state.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nnqs::nn {
+
+void DecodeState::begin(Index b, Index L, Index d, Index nLayers) {
+  batch = b;
+  len = 0;
+  maxLen = L;
+  dModel = d;
+  layers.assign(static_cast<std::size_t>(nLayers), LayerKV{});
+  for (auto& layer : layers) {
+    layer.k = Tensor({b, L, d});
+    layer.v = Tensor({b, L, d});
+  }
+}
+
+void DecodeState::gather(const std::vector<Index>& rows) {
+  const auto newBatch = static_cast<Index>(rows.size());
+  for (Index r : rows)
+    if (r < 0 || r >= batch)
+      throw std::out_of_range("DecodeState::gather: row index out of range");
+  const std::size_t rowBytes =
+      static_cast<std::size_t>(len) * static_cast<std::size_t>(dModel) * sizeof(Real);
+  for (auto& layer : layers) {
+    Tensor k({newBatch, maxLen, dModel});
+    Tensor v({newBatch, maxLen, dModel});
+    for (Index r = 0; r < newBatch; ++r) {
+      const std::size_t src = static_cast<std::size_t>(rows[static_cast<std::size_t>(r)]) *
+                              static_cast<std::size_t>(maxLen) * static_cast<std::size_t>(dModel);
+      const std::size_t dst = static_cast<std::size_t>(r) *
+                              static_cast<std::size_t>(maxLen) * static_cast<std::size_t>(dModel);
+      std::memcpy(k.data.data() + dst, layer.k.data.data() + src, rowBytes);
+      std::memcpy(v.data.data() + dst, layer.v.data.data() + src, rowBytes);
+    }
+    layer.k = std::move(k);
+    layer.v = std::move(v);
+  }
+  batch = newBatch;
+}
+
+}  // namespace nnqs::nn

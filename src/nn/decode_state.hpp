@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nnqs::nn {
+
+/// State of one stateful incremental-decode pass over the autoregressive
+/// transformer: per-decoder-layer key/value caches, batch-major.
+///
+/// Full-forward sampling recomputes the whole prefix at every step, giving
+/// O(L^2) token work per sweep; with a DecodeState each step computes only
+/// the new token's activations and attends its query against the cached
+/// keys/values (the standard KV-cache of transformer inference, which the
+/// paper's batched autoregressive sampler depends on for throughput).
+///
+/// The batch dimension tracks the *live frontier* of the sampling quadtree:
+/// when a node splits into up to 4 children or is pruned, `gather()`
+/// re-indexes the cache rows so row b of the cache is always the prefix of
+/// frontier node b.  Rows may be duplicated (splits) or dropped (prunes).
+struct DecodeState {
+  Index batch = 0;   ///< live rows (sampling-tree frontier)
+  Index len = 0;     ///< tokens decoded so far per row
+  Index maxLen = 0;  ///< per-row capacity (sequence length)
+  Index dModel = 0;
+
+  /// One decoder layer's cache: K and V, each [batch, maxLen, dModel] with
+  /// row b, position t at offset ((b * maxLen) + t) * dModel.  Heads are
+  /// contiguous slices of the dModel axis, exactly as in the fused qkv
+  /// projection, so no per-head reshuffle is needed.
+  struct LayerKV {
+    Tensor k, v;
+  };
+  std::vector<LayerKV> layers;
+
+  [[nodiscard]] bool active() const { return !layers.empty(); }
+
+  /// Start a fresh decode over `batch` rows of up to `maxLen` steps.
+  void begin(Index batch, Index maxLen, Index dModel, Index nLayers);
+
+  /// Re-index the batch rows: new row r becomes a copy of old row rows[r].
+  /// `rows` may repeat old rows (node splits) and omit old rows (prunes);
+  /// only the first `len` positions are copied.
+  void gather(const std::vector<Index>& rows);
+};
+
+}  // namespace nnqs::nn

@@ -234,6 +234,19 @@ void Embedding::backward(const Tensor& dy) {
   }
 }
 
+Tensor Embedding::stepForward(const std::vector<int>& tokens, Index pos) const {
+  const Index rows = static_cast<Index>(tokens.size());
+  Tensor y({rows, dim_});
+  const Real* pe = position.value.data.data() + pos * dim_;
+  for (Index r = 0; r < rows; ++r) {
+    const Index t = tokens[static_cast<std::size_t>(r)];
+    const Real* te = token.value.data.data() + t * dim_;
+    Real* yr = y.data.data() + r * dim_;
+    for (Index i = 0; i < dim_; ++i) yr[i] = te[i] + pe[i];
+  }
+  return y;
+}
+
 void Embedding::collectParameters(std::vector<Parameter*>& out) {
   out.push_back(&token);
   out.push_back(&position);

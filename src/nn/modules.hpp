@@ -19,6 +19,13 @@ class Module {
   virtual Tensor forward(const Tensor& x, bool cache) = 0;
   virtual Tensor backward(const Tensor& dy) = 0;
   virtual void collectParameters(std::vector<Parameter*>& out) = 0;
+
+  /// Single-step inference for incremental decoding: one new token per batch
+  /// row, x = [B, dim].  Every row-wise module (Linear / LayerNorm / the
+  /// activations) is position-independent, so the default is exactly the
+  /// non-caching forward; only position-dependent modules (attention,
+  /// embedding) need dedicated step paths.
+  Tensor stepForward(const Tensor& x) { return forward(x, /*cache=*/false); }
 };
 
 /// Y = X W^T + b with W[out,in].
@@ -81,6 +88,9 @@ class Embedding {
   Tensor forward(const std::vector<int>& tokens, Index seqLen, bool cache);
   void backward(const Tensor& dy);
   void collectParameters(std::vector<Parameter*>& out);
+
+  /// Single-step decode: embed tokens[B], all at sequence position `pos`.
+  Tensor stepForward(const std::vector<int>& tokens, Index pos) const;
 
   Parameter token, position;
 

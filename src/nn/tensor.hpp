@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -20,9 +21,21 @@ struct Tensor {
     data.assign(static_cast<std::size_t>(numel(shape)), 0.0);
   }
 
+  /// Element count of a shape; an empty shape has no elements (a scalar is
+  /// shape {1}).  Debug builds assert on Index overflow of the product.
   static Index numel(const std::vector<Index>& s) {
+    if (s.empty()) return 0;
     Index n = 1;
-    for (Index d : s) n *= d;
+    for (Index d : s) {
+      assert(d >= 0 && "Tensor::numel: negative dimension");
+#ifndef NDEBUG
+      Index prod = 0;
+      assert(!__builtin_mul_overflow(n, d, &prod) && "Tensor::numel: Index overflow");
+      n = prod;
+#else
+      n *= d;
+#endif
+    }
     return n;
   }
   [[nodiscard]] Index numel() const { return static_cast<Index>(data.size()); }

@@ -1,5 +1,7 @@
 #include "nn/transformer.hpp"
 
+#include <stdexcept>
+
 namespace nnqs::nn {
 
 // ---------------------------------------------------------- DecoderBlock ---
@@ -15,6 +17,15 @@ Tensor DecoderBlock::forward(const Tensor& x, bool cache) {
   Tensor h = attn_.forward(ln1_.forward(x, cache), cache);
   for (std::size_t i = 0; i < h.data.size(); ++i) h.data[i] += x.data[i];
   Tensor f = ff2_.forward(gelu_.forward(ff1_.forward(ln2_.forward(h, cache), cache), cache), cache);
+  for (std::size_t i = 0; i < f.data.size(); ++i) f.data[i] += h.data[i];
+  return f;
+}
+
+Tensor DecoderBlock::decodeStep(const Tensor& x, DecodeState::LayerKV& kv,
+                                Index pos, Index maxLen) {
+  Tensor h = attn_.decodeStep(ln1_.stepForward(x), kv, pos, maxLen);
+  for (std::size_t i = 0; i < h.data.size(); ++i) h.data[i] += x.data[i];
+  Tensor f = ff2_.stepForward(gelu_.stepForward(ff1_.stepForward(ln2_.stepForward(h))));
   for (std::size_t i = 0; i < f.data.size(); ++i) f.data[i] += h.data[i];
   return f;
 }
@@ -58,6 +69,24 @@ Tensor TransformerAR::forward(const std::vector<int>& tokens, Index window,
   }
   x = lnFinal_.forward(x, cache);
   return head_.forward(x, cache);
+}
+
+void TransformerAR::beginDecode(DecodeState& state, Index batch) const {
+  state.begin(batch, seqLen_, d_, static_cast<Index>(blocks_.size()));
+}
+
+Tensor TransformerAR::decodeStep(DecodeState& state, const std::vector<int>& tokens) {
+  if (static_cast<Index>(tokens.size()) != state.batch)
+    throw std::invalid_argument("TransformerAR::decodeStep: token/batch mismatch");
+  if (state.len >= state.maxLen)
+    throw std::logic_error("TransformerAR::decodeStep: sequence capacity exhausted");
+  const Index pos = state.len;
+  Tensor x = embed_.stepForward(tokens, pos);
+  for (std::size_t l = 0; l < blocks_.size(); ++l)
+    x = blocks_[l]->decodeStep(x, state.layers[l], pos, state.maxLen);
+  ++state.len;
+  x = lnFinal_.stepForward(x);
+  return head_.stepForward(x);  // [B, 4]
 }
 
 void TransformerAR::backward(const Tensor& dLogits) {

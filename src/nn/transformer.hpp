@@ -16,6 +16,11 @@ class DecoderBlock : public Module {
   void collectParameters(std::vector<Parameter*>& out) override;
   void setWindow(Index w) { attn_.setWindow(w); }
 
+  /// Incremental decode of one token per row (x = [B, D]) at position `pos`,
+  /// reading/extending this block's KV cache.
+  Tensor decodeStep(const Tensor& x, DecodeState::LayerKV& kv, Index pos,
+                    Index maxLen);
+
  private:
   LayerNorm ln1_, ln2_;
   CausalSelfAttention attn_;
@@ -37,6 +42,14 @@ class TransformerAR {
   /// Backprop dLogits [B, L', 4]; accumulates parameter gradients.
   void backward(const Tensor& dLogits);
   void collectParameters(std::vector<Parameter*>& out);
+
+  /// Start a stateful incremental decode over `batch` rows (KV caches sized
+  /// for the full sequence length).
+  void beginDecode(DecodeState& state, Index batch) const;
+  /// Feed tokens[B] at position state.len and return the next-outcome logits
+  /// [B, 4].  Bit-identical to the last position of forward() over the same
+  /// prefixes.  Advances state.len.
+  Tensor decodeStep(DecodeState& state, const std::vector<int>& tokens);
 
   static constexpr int kVocab = 5;
   static constexpr int kBos = 4;

@@ -9,7 +9,22 @@ namespace nnqs::nqs {
 
 namespace {
 constexpr Real kLogZero = -1e30;
+
+/// Masked softmax over the 4 outcome logits.  Shared by the full-forward and
+/// incremental-decode conditional paths so the two agree bit for bit.
+void maskedSoftmax4(const Real* lg, const std::array<bool, 4>& mask, Real* out) {
+  Real mx = -1e300;
+  for (int t = 0; t < 4; ++t)
+    if (mask[static_cast<std::size_t>(t)]) mx = std::max(mx, lg[t]);
+  Real denom = 0;
+  for (int t = 0; t < 4; ++t) {
+    const Real p = mask[static_cast<std::size_t>(t)] ? std::exp(lg[t] - mx) : 0.0;
+    out[t] = p;
+    denom += p;
+  }
+  for (int t = 0; t < 4; ++t) out[t] /= denom;
 }
+}  // namespace
 
 QiankunNet::QiankunNet(const QiankunNetConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed),
@@ -50,16 +65,35 @@ std::vector<Real> QiankunNet::conditionals(const std::vector<int>& prefixTokens,
     const Real* lg = logits.data.data() + (static_cast<Index>(b) * window + s) * 4;
     const auto mask = outcomeMask(s, counts[static_cast<std::size_t>(b)][0],
                                   counts[static_cast<std::size_t>(b)][1]);
-    Real mx = -1e300;
-    for (int t = 0; t < 4; ++t)
-      if (mask[static_cast<std::size_t>(t)]) mx = std::max(mx, lg[t]);
-    Real denom = 0;
-    for (int t = 0; t < 4; ++t) {
-      const Real p = mask[static_cast<std::size_t>(t)] ? std::exp(lg[t] - mx) : 0.0;
-      probs[static_cast<std::size_t>(b * 4 + t)] = p;
-      denom += p;
-    }
-    for (int t = 0; t < 4; ++t) probs[static_cast<std::size_t>(b * 4 + t)] /= denom;
+    maskedSoftmax4(lg, mask, probs.data() + static_cast<std::size_t>(b) * 4);
+  }
+  return probs;
+}
+
+void QiankunNet::beginDecode(nn::DecodeState& state, int batch) const {
+  amplitude_.beginDecode(state, batch);
+}
+
+std::vector<Real> QiankunNet::stepConditionals(nn::DecodeState& state,
+                                               const std::vector<int>& prevTokens,
+                                               const std::vector<std::array<int, 2>>& counts) {
+  const int s = static_cast<int>(state.len);
+  const auto batch = static_cast<std::size_t>(state.batch);
+  if (counts.size() != batch)
+    throw std::invalid_argument("stepConditionals: counts/batch mismatch");
+  std::vector<int> feed;
+  if (s == 0) {
+    feed.assign(batch, nn::TransformerAR::kBos);
+  } else {
+    if (prevTokens.size() != batch)
+      throw std::invalid_argument("stepConditionals: prevTokens/batch mismatch");
+    feed = prevTokens;
+  }
+  nn::Tensor logits = amplitude_.decodeStep(state, feed);  // [B, 4]
+  std::vector<Real> probs(batch * 4);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto mask = outcomeMask(s, counts[b][0], counts[b][1]);
+    maskedSoftmax4(logits.data.data() + b * 4, mask, probs.data() + b * 4);
   }
   return probs;
 }
@@ -94,15 +128,7 @@ void QiankunNet::evaluate(const std::vector<Bits128>& samples,
       const Real* lg = logits.data.data() + (b * L + s) * 4;
       Real* pr = probs.data.data() + (b * L + s) * 4;
       const auto mask = outcomeMask(s, nUp, nDown);
-      Real mx = -1e300;
-      for (int t = 0; t < 4; ++t)
-        if (mask[static_cast<std::size_t>(t)]) mx = std::max(mx, lg[t]);
-      Real denom = 0;
-      for (int t = 0; t < 4; ++t) {
-        pr[t] = mask[static_cast<std::size_t>(t)] ? std::exp(lg[t] - mx) : 0.0;
-        denom += pr[t];
-      }
-      for (int t = 0; t < 4; ++t) pr[t] /= denom;
+      maskedSoftmax4(lg, mask, pr);
       const int chosen = tokenOf(samples[static_cast<std::size_t>(b)], s);
       if (!mask[static_cast<std::size_t>(chosen)] || pr[chosen] <= 0.0) {
         la = kLogZero;  // outside the number-conserving support

@@ -54,8 +54,30 @@ class QiankunNet {
   /// Masked, renormalized conditional distributions pi(x_s | prefix) for a
   /// batch of B prefixes of length s (tokens flattened [B, s]); counts are
   /// the per-prefix (up, down) electron counts.  Output [B, 4].
+  ///
+  /// This is the stateless reference path: it re-runs a full transformer
+  /// forward over every prefix (O(s) token work per step).  The stateful
+  /// beginDecode/stepConditionals pair below computes the same distributions
+  /// bit for bit with O(1) token work per step via per-layer KV caches.
   std::vector<Real> conditionals(const std::vector<int>& prefixTokens, int batch,
                                  int s, const std::vector<std::array<int, 2>>& counts);
+
+  /// Start a stateful incremental decode over `batch` sampling-tree rows.
+  void beginDecode(nn::DecodeState& state, int batch) const;
+
+  /// One incremental step of the masked conditionals: returns pi(x_s | prefix)
+  /// [B, 4] for step s = state.len.  `prevTokens[b]` is row b's outcome chosen
+  /// at step s-1 (ignored at s = 0, where BOS is fed); counts are the per-row
+  /// (up, down) electron counts over the prefix.
+  std::vector<Real> stepConditionals(nn::DecodeState& state,
+                                     const std::vector<int>& prevTokens,
+                                     const std::vector<std::array<int, 2>>& counts);
+
+  /// Re-index the decode batch rows after a sampling-tree split/prune: new
+  /// row r continues old row rows[r]'s prefix (rows may repeat or drop).
+  void gatherDecode(nn::DecodeState& state, const std::vector<Index>& rows) const {
+    state.gather(rows);
+  }
 
   /// ln|Psi| and phase for a batch of samples.  cache=true stores activations
   /// for exactly one subsequent backward().

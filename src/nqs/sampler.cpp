@@ -56,18 +56,28 @@ struct Layer {
   [[nodiscard]] std::size_t nodes() const { return weights.size(); }
 };
 
-/// Expand one BAS layer: query the conditionals for every node and split the
-/// node weights multinomially over the 4 outcomes (pruning zeros).
-Layer expand(QiankunNet& net, const Layer& cur, Rng& rng) {
+/// Result of splitting one layer: the next layer plus, per surviving child,
+/// its parent node row and appended token — exactly what the KV-cache needs
+/// to gather its rows onto the new frontier.
+struct Expansion {
+  Layer next;
+  std::vector<Index> parentRows;
+  std::vector<int> childTokens;
+};
+
+/// Split the node weights of one layer multinomially over the 4 outcomes
+/// given the per-node conditionals (pruning zero-weight children).
+Expansion splitLayer(const Layer& cur, const std::vector<Real>& probs, Rng& rng) {
   const int s = cur.step;
   const int batch = static_cast<int>(cur.nodes());
-  const std::vector<Real> probs = net.conditionals(cur.tokens, batch, s, cur.counts);
-
-  Layer next;
+  Expansion e;
+  Layer& next = e.next;
   next.step = s + 1;
   next.tokens.reserve(cur.nodes() * static_cast<std::size_t>(s + 1) * 2);
   next.weights.reserve(cur.nodes() * 2);
   next.counts.reserve(cur.nodes() * 2);
+  e.parentRows.reserve(cur.nodes() * 2);
+  e.childTokens.reserve(cur.nodes() * 2);
   for (int b = 0; b < batch; ++b) {
     const auto split = multinomialSplit4(rng, cur.weights[static_cast<std::size_t>(b)],
                                          probs.data() + static_cast<std::size_t>(b) * 4);
@@ -79,9 +89,74 @@ Layer expand(QiankunNet& net, const Layer& cur, Rng& rng) {
       next.weights.push_back(split[static_cast<std::size_t>(t)]);
       next.counts.push_back({cur.counts[static_cast<std::size_t>(b)][0] + (t & 1),
                              cur.counts[static_cast<std::size_t>(b)][1] + ((t >> 1) & 1)});
+      e.parentRows.push_back(b);
+      e.childTokens.push_back(t);
     }
   }
-  return next;
+  return e;
+}
+
+/// Conditional-distribution engine behind the BAS sweeps: the stateless full
+/// re-forward reference, or the KV-cached incremental decoder whose cache
+/// rows track the live sampling-tree frontier exactly.
+class ConditionalEngine {
+ public:
+  ConditionalEngine(QiankunNet& net, DecodePolicy policy)
+      : net_(net), policy_(policy) {}
+
+  /// Arm the engine on the given (root) layer.  In kKvCache mode this must
+  /// see the tree before any node has been expanded.
+  void begin(const Layer& root) {
+    if (policy_ != DecodePolicy::kKvCache) return;
+    net_.beginDecode(state_, static_cast<int>(root.nodes()));
+    feed_.clear();
+  }
+
+  /// pi(x_s | prefix) for every node of the layer, [nodes, 4].
+  std::vector<Real> conditionals(const Layer& layer) {
+    if (policy_ != DecodePolicy::kKvCache)
+      return net_.conditionals(layer.tokens, static_cast<int>(layer.nodes()),
+                               layer.step, layer.counts);
+    return net_.stepConditionals(state_, feed_, layer.counts);
+  }
+
+  /// After a split: gather the cache rows onto the surviving children and
+  /// remember each child's appended token for the next step's feed.
+  void advance(const Expansion& e) {
+    if (policy_ != DecodePolicy::kKvCache) return;
+    net_.gatherDecode(state_, e.parentRows);
+    feed_ = e.childTokens;
+  }
+
+  /// Keep only the given node rows (parallel-BAS rank partition).
+  void select(const std::vector<Index>& rows) {
+    if (policy_ != DecodePolicy::kKvCache) return;
+    net_.gatherDecode(state_, rows);
+    if (feed_.empty()) return;  // nothing fed yet: BOS step is implicit
+    std::vector<int> kept(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      kept[i] = feed_[static_cast<std::size_t>(rows[i])];
+    feed_ = std::move(kept);
+  }
+
+ private:
+  QiankunNet& net_;
+  DecodePolicy policy_;
+  nn::DecodeState state_;
+  std::vector<int> feed_;  ///< token appended to each live row at the last split
+};
+
+/// Expand one BAS layer: query the conditionals for every node, split the
+/// node weights over the 4 outcomes, advance the decode engine's frontier.
+/// Pass advanceEngine = false on the last layer of a sweep: the gathered
+/// cache would never be read again, and the gather is the expansion's most
+/// expensive memory operation at the (largest) final frontier.
+Layer expand(ConditionalEngine& engine, const Layer& cur, Rng& rng,
+             bool advanceEngine = true) {
+  const std::vector<Real> probs = engine.conditionals(cur);
+  Expansion e = splitLayer(cur, probs, rng);
+  if (advanceEngine) engine.advance(e);
+  return std::move(e.next);
 }
 
 SampleSet layerToSamples(const QiankunNet& net, const Layer& layer) {
@@ -124,14 +199,19 @@ std::array<std::uint64_t, 4> multinomialSplit4(Rng& rng, std::uint64_t n,
   return out;
 }
 
-Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng) {
+Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng, DecodePolicy decode) {
   const int L = net.nSteps();
   std::vector<int> tokens;
   std::array<int, 2> counts{0, 0};
   Bits128 x;
+  nn::DecodeState state;
+  std::vector<int> prev;
+  if (decode == DecodePolicy::kKvCache) net.beginDecode(state, 1);
   for (int s = 0; s < L; ++s) {
     const std::vector<Real> probs =
-        net.conditionals(tokens, 1, s, {counts});
+        decode == DecodePolicy::kKvCache
+            ? net.stepConditionals(state, prev, {counts})
+            : net.conditionals(tokens, 1, s, {counts});
     const Real u = rng.uniform();
     Real cdf = 0;
     int chosen = 3;
@@ -143,6 +223,7 @@ Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng) {
       }
     }
     tokens.push_back(chosen);
+    prev.assign(1, chosen);
     counts[0] += chosen & 1;
     counts[1] += (chosen >> 1) & 1;
     x = net.applyToken(x, s, chosen);
@@ -154,7 +235,9 @@ SampleSet batchAutoregressiveSample(QiankunNet& net, const SamplerOptions& opts)
   Rng rng(opts.seed);
   Layer layer = rootLayer(opts.nSamples);
   const int L = net.nSteps();
-  for (int s = 0; s < L; ++s) layer = expand(net, layer, rng);
+  ConditionalEngine engine(net, opts.decode);
+  engine.begin(layer);
+  for (int s = 0; s < L; ++s) layer = expand(engine, layer, rng, s + 1 < L);
   return layerToSamples(net, layer);
 }
 
@@ -164,10 +247,12 @@ SampleSet parallelBatchSample(QiankunNet& net, const SamplerOptions& opts,
   const int L = net.nSteps();
   Rng rng(opts.seed);  // shared stream: the serial prefix is identical on all ranks
   Layer layer = rootLayer(opts.nSamples);
+  ConditionalEngine engine(net, opts.decode);
+  engine.begin(layer);
   int s = 0;
   for (; s < L; ++s) {
     if (layer.nodes() > uniqueThreshold) break;
-    layer = expand(net, layer, rng);
+    layer = expand(engine, layer, rng, s + 1 < L);
   }
   if (s >= L) {
     // Tree exhausted before the split threshold: deal leaves round-robin.
@@ -199,16 +284,19 @@ SampleSet parallelBatchSample(QiankunNet& net, const SamplerOptions& opts,
 
   Layer mine;
   mine.step = layer.step;
+  std::vector<Index> ownedRows;
   for (std::size_t i = 0; i < layer.nodes(); ++i) {
     if (owner[i] != rank) continue;
     for (int j = 0; j < layer.step; ++j)
       mine.tokens.push_back(layer.tokens[i * static_cast<std::size_t>(layer.step) + static_cast<std::size_t>(j)]);
     mine.weights.push_back(layer.weights[i]);
     mine.counts.push_back(layer.counts[i]);
+    ownedRows.push_back(static_cast<Index>(i));
   }
+  engine.select(ownedRows);  // drop the other ranks' subtrees from the cache
   Rng mineRng(opts.seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(rank + 1)));
   for (; mine.step < L && mine.nodes() > 0;)
-    mine = expand(net, mine, mineRng);
+    mine = expand(engine, mine, mineRng, mine.step + 1 < L);
   return layerToSamples(net, mine);
 }
 

@@ -21,9 +21,23 @@ struct SampleSet {
   }
 };
 
+/// Which conditional-distribution engine the samplers run on.
+///
+/// kFullForward is the stateless reference path: every step re-runs a full
+/// transformer forward over the whole prefix window (O(L^2) token work per
+/// sweep).  kKvCache is the stateful incremental-decode engine: per-layer
+/// key/value caches make each step O(1) token work, with cache rows gathered
+/// onto the live frontier as sampling-tree nodes split or are pruned.  Both
+/// produce bit-identical samples for a fixed seed.
+enum class DecodePolicy {
+  kFullForward,
+  kKvCache,
+};
+
 struct SamplerOptions {
   std::uint64_t nSamples = 1 << 12;  ///< N_s; can be huge (the paper uses 1e12)
   std::uint64_t seed = 7;
+  DecodePolicy decode = DecodePolicy::kKvCache;
 };
 
 /// Exact multinomial-style draw: split `n` trials over the 4 outcome
@@ -33,7 +47,8 @@ std::array<std::uint64_t, 4> multinomialSplit4(Rng& rng, std::uint64_t n,
                                                const Real* probs);
 
 /// Fig. 3(a): plain autoregressive sampling, one bitstring per call.
-Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng);
+Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng,
+                                DecodePolicy decode = DecodePolicy::kKvCache);
 
 /// Fig. 3(b): batch autoregressive sampling.  Generates N_s samples in one
 /// sweep over the quadtree (two qubits per step), pruning zero-weight and

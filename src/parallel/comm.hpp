@@ -61,8 +61,6 @@ class ThreadComm {
     if (rank_ == 0) {
       st.reduceBuf.assign(n * sizeof(T), 0);
       T* acc = reinterpret_cast<T*>(st.reduceBuf.data());
-      std::memset(acc, 0, n * sizeof(T));
-      for (std::size_t i = 0; i < n; ++i) acc[i] = T{};
       for (const auto& c : st.contrib) {
         const T* src = reinterpret_cast<const T*>(c.first);
         for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];

@@ -68,6 +68,7 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       nqs::SamplerOptions sOpts;
       sOpts.nSamples = nsCurrent;
       sOpts.seed = opts.seed + static_cast<std::uint64_t>(iter) * 0x9E37u;
+      sOpts.decode = opts.decodePolicy;
       nqs::SampleSet local = nqs::parallelBatchSample(
           net, sOpts, rank, nRanks,
           opts.uniqueThresholdPerRank * static_cast<std::uint64_t>(nRanks));

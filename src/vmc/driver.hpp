@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "nqs/sampler.hpp"
 #include "parallel/comm.hpp"
 #include "vmc/local_energy.hpp"
 
@@ -27,6 +28,10 @@ struct VmcOptions {
   long warmupSteps = 200;
   Real weightDecay = 1e-4;
   ElocMode elocMode = ElocMode::kSaFuseLutParallel;
+  /// Conditional-distribution engine of the sampling stage: KV-cached
+  /// incremental decode (default) or the stateless full-forward reference.
+  /// Both sample identically; kKvCache is O(L) cheaper per sweep.
+  nqs::DecodePolicy decodePolicy = nqs::DecodePolicy::kKvCache;
   int logEvery = 0;  ///< 0 = silent
   /// Optional per-iteration observer: (iteration, energy, nUnique).
   std::function<void(int, Real, std::size_t)> observer;

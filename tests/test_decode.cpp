@@ -1,0 +1,179 @@
+// Equivalence of the KV-cached incremental-decode engine with the stateless
+// full-forward reference path, including under the sampling tree's
+// split/prune row gathering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nqs/sampler.hpp"
+
+using namespace nnqs;
+using namespace nnqs::nqs;
+
+namespace {
+
+QiankunNetConfig smallConfig(int nQubits, int nAlpha, int nBeta,
+                             std::uint64_t seed = 5) {
+  QiankunNetConfig cfg;
+  cfg.nQubits = nQubits;
+  cfg.nAlpha = nAlpha;
+  cfg.nBeta = nBeta;
+  cfg.dModel = 16;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 32;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expectSameSampleSet(const SampleSet& a, const SampleSet& b) {
+  ASSERT_EQ(a.nUnique(), b.nUnique());
+  for (std::size_t i = 0; i < a.nUnique(); ++i) {
+    EXPECT_EQ(a.samples[i], b.samples[i]) << "sample " << i;
+    EXPECT_EQ(a.weights[i], b.weights[i]) << "weight " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Decode, StepConditionalsMatchesFullForwardUnderRandomGathers) {
+  // Drive a random sampling-tree frontier: at every step compare the
+  // incremental conditionals against the full-forward reference, then apply a
+  // random split/prune/permute of the rows (children of different parents
+  // interleaved in random order, parents dropped and duplicated).
+  const int n = 16, na = 4, nb = 3;
+  QiankunNet net(smallConfig(n, na, nb));
+  const int L = net.nSteps();
+  Rng rng(99);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::vector<int>> prefixes{{}};  // one root row
+    std::vector<std::array<int, 2>> counts{{0, 0}};
+    nn::DecodeState state;
+    net.beginDecode(state, 1);
+    std::vector<int> lastTokens;  // token fed per row at this step
+
+    for (int s = 0; s < L; ++s) {
+      const int batch = static_cast<int>(prefixes.size());
+      std::vector<int> flat;
+      for (const auto& p : prefixes) flat.insert(flat.end(), p.begin(), p.end());
+      const std::vector<Real> ref = net.conditionals(flat, batch, s, counts);
+      const std::vector<Real> inc = net.stepConditionals(state, lastTokens, counts);
+      ASSERT_EQ(ref.size(), inc.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(ref[i], inc[i], 1e-12) << "step " << s << " entry " << i;
+
+      if (s + 1 == L) break;
+      // Random split/prune: each row spawns 0-2 children among the outcomes
+      // with nonzero conditional probability, in random interleaved order.
+      struct Child {
+        Index parent;
+        int token;
+      };
+      std::vector<Child> children;
+      for (int b = 0; b < batch; ++b) {
+        std::vector<int> allowed;
+        for (int t = 0; t < 4; ++t)
+          if (ref[static_cast<std::size_t>(b * 4 + t)] > 0.0) allowed.push_back(t);
+        std::shuffle(allowed.begin(), allowed.end(), rng);
+        const auto nChildren =
+            std::min<std::size_t>(allowed.size(), rng.below(3));  // 0, 1 or 2
+        for (std::size_t c = 0; c < nChildren; ++c)
+          children.push_back({static_cast<Index>(b), allowed[c]});
+      }
+      if (children.empty()) {  // keep at least one live row
+        int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(batch)));
+        for (int t = 0; t < 4; ++t)
+          if (ref[static_cast<std::size_t>(b * 4 + t)] > 0.0) {
+            children.push_back({static_cast<Index>(b), t});
+            break;
+          }
+      }
+      std::shuffle(children.begin(), children.end(), rng);
+
+      std::vector<Index> rows;
+      std::vector<std::vector<int>> nextPrefixes;
+      std::vector<std::array<int, 2>> nextCounts;
+      lastTokens.clear();
+      for (const Child& c : children) {
+        rows.push_back(c.parent);
+        auto p = prefixes[static_cast<std::size_t>(c.parent)];
+        p.push_back(c.token);
+        nextPrefixes.push_back(std::move(p));
+        nextCounts.push_back({counts[static_cast<std::size_t>(c.parent)][0] + (c.token & 1),
+                              counts[static_cast<std::size_t>(c.parent)][1] + ((c.token >> 1) & 1)});
+        lastTokens.push_back(c.token);
+      }
+      net.gatherDecode(state, rows);
+      prefixes = std::move(nextPrefixes);
+      counts = std::move(nextCounts);
+    }
+  }
+}
+
+TEST(Decode, BatchBasBitIdenticalAcrossPolicies) {
+  QiankunNet net(smallConfig(12, 3, 3));
+  SamplerOptions opts;
+  opts.nSamples = 1 << 14;
+  opts.seed = 41;
+  opts.decode = DecodePolicy::kFullForward;
+  const SampleSet ref = batchAutoregressiveSample(net, opts);
+  opts.decode = DecodePolicy::kKvCache;
+  const SampleSet inc = batchAutoregressiveSample(net, opts);
+  EXPECT_GT(ref.nUnique(), 1u);
+  expectSameSampleSet(ref, inc);
+}
+
+TEST(Decode, ParallelBasBitIdenticalAcrossPolicies) {
+  QiankunNet net(smallConfig(12, 3, 2));
+  SamplerOptions opts;
+  opts.nSamples = 1 << 13;
+  opts.seed = 23;
+  for (int ranks : {2, 3}) {
+    for (int r = 0; r < ranks; ++r) {
+      opts.decode = DecodePolicy::kFullForward;
+      const SampleSet ref = parallelBatchSample(net, opts, r, ranks, 8);
+      opts.decode = DecodePolicy::kKvCache;
+      const SampleSet inc = parallelBatchSample(net, opts, r, ranks, 8);
+      expectSameSampleSet(ref, inc);
+    }
+  }
+}
+
+TEST(Decode, SingleSampleBitIdenticalAcrossPolicies) {
+  QiankunNet net(smallConfig(10, 2, 3));
+  for (std::uint64_t seed : {3u, 17u, 90u}) {
+    Rng rngA(seed), rngB(seed);
+    const Bits128 a = autoregressiveSampleOne(net, rngA, DecodePolicy::kFullForward);
+    const Bits128 b = autoregressiveSampleOne(net, rngB, DecodePolicy::kKvCache);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Decode, CapacityExhaustionThrows) {
+  QiankunNet net(smallConfig(8, 2, 2));
+  nn::DecodeState state;
+  net.beginDecode(state, 1);
+  std::vector<int> prev;
+  std::vector<std::array<int, 2>> counts{{0, 0}};
+  for (int s = 0; s < net.nSteps(); ++s) {
+    const auto probs = net.stepConditionals(state, prev, counts);
+    int chosen = 0;
+    for (int t = 0; t < 4; ++t)
+      if (probs[static_cast<std::size_t>(t)] > 0.0) chosen = t;
+    prev.assign(1, chosen);
+    counts[0] = {counts[0][0] + (chosen & 1), counts[0][1] + ((chosen >> 1) & 1)};
+  }
+  EXPECT_THROW(net.stepConditionals(state, prev, counts), std::logic_error);
+}
+
+TEST(Decode, GatherRejectsOutOfRangeRows) {
+  QiankunNet net(smallConfig(8, 2, 2));
+  nn::DecodeState state;
+  net.beginDecode(state, 2);
+  EXPECT_THROW(net.gatherDecode(state, {0, 2}), std::out_of_range);
+}
