@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const std::uint64_t nSamples =
       static_cast<std::uint64_t>(args.getInt("samples", 1 << 14));
   const nqs::DecodePolicy decode = decodePolicy(args);
+  const nn::kernels::KernelPolicy kernel = kernelPolicy(args);
 
   Timer build;
   Pipeline p = scalingPipeline(args);
@@ -27,23 +28,25 @@ int main(int argc, char** argv) {
               p.mol.formula().c_str(), p.nQubits, p.ham.nTerms(), build.seconds(),
               static_cast<unsigned long long>(nSamples));
   reportDecodeSpeedup(args, paperNetConfig(p), nSamples);
-  std::printf("%6s %10s %10s %10s %10s %8s %10s %10s\n", "ranks", "sample(s)",
-              "eloc(s)", "grad(s)", "total(s)", "eff", "Nu", "comm MB/it");
+  std::printf("%6s %9s %10s %10s %10s %10s %8s %10s %10s\n", "ranks", "kernel",
+              "sample(s)", "eloc(s)", "grad(s)", "total(s)", "eff", "Nu",
+              "comm MB/it");
 
   double baseline = 0;
   int baseRanks = 0;
   for (int ranks : rankSweep(args)) {
-    const ScalingPoint pt =
-        scalingRun(packed, paperNetConfig(p), ranks, nSamples, iters, decode);
+    const ScalingPoint pt = scalingRun(packed, paperNetConfig(p), ranks,
+                                       nSamples, iters, decode, kernel);
     if (baseline == 0) {
       baseline = pt.total;
       baseRanks = ranks;
     }
     const double eff =
         100.0 * baseline * baseRanks / (pt.total * static_cast<double>(ranks));
-    std::printf("%6d %10.3f %10.3f %10.3f %10.3f %7.1f%% %10zu %10.2f\n", ranks,
-                pt.sampling, pt.localEnergy, pt.gradient, pt.total, eff,
-                pt.nUnique, static_cast<double>(pt.commBytes) / 1e6);
+    std::printf("%6d %9s %10.3f %10.3f %10.3f %10.3f %7.1f%% %10zu %10.2f\n",
+                ranks, pt.kernel, pt.sampling, pt.localEnergy, pt.gradient,
+                pt.total, eff, pt.nUnique,
+                static_cast<double>(pt.commBytes) / 1e6);
     std::fflush(stdout);
   }
   std::printf("\nPaper reference (benzene, 4->64 A100): 100%%, 99.2%%, 96.7%%, "

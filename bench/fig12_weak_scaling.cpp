@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const std::uint64_t nsPerRank =
       static_cast<std::uint64_t>(args.getInt("samples-per-rank", 1 << 12));
   const nqs::DecodePolicy decode = decodePolicy(args);
+  const nn::kernels::KernelPolicy kernel = kernelPolicy(args);
 
   Timer build;
   Pipeline p = scalingPipeline(args);
@@ -25,19 +26,22 @@ int main(int argc, char** argv) {
               p.mol.formula().c_str(), p.nQubits, p.ham.nTerms(), build.seconds(),
               static_cast<unsigned long long>(nsPerRank));
   reportDecodeSpeedup(args, paperNetConfig(p), nsPerRank);
-  std::printf("%6s %10s %10s %10s %10s %8s %10s %10s\n", "ranks", "sample(s)",
-              "eloc(s)", "grad(s)", "total(s)", "eff", "Nu", "comm MB/it");
+  std::printf("%6s %9s %10s %10s %10s %10s %8s %10s %10s\n", "ranks", "kernel",
+              "sample(s)", "eloc(s)", "grad(s)", "total(s)", "eff", "Nu",
+              "comm MB/it");
 
   double baseline = 0;
   for (int ranks : rankSweep(args)) {
     const ScalingPoint pt =
         scalingRun(packed, paperNetConfig(p), ranks,
-                   nsPerRank * static_cast<std::uint64_t>(ranks), iters, decode);
+                   nsPerRank * static_cast<std::uint64_t>(ranks), iters, decode,
+                   kernel);
     if (baseline == 0) baseline = pt.total;
     const double eff = 100.0 * baseline / pt.total;  // ideal weak scaling: flat
-    std::printf("%6d %10.3f %10.3f %10.3f %10.3f %7.1f%% %10zu %10.2f\n", ranks,
-                pt.sampling, pt.localEnergy, pt.gradient, pt.total, eff,
-                pt.nUnique, static_cast<double>(pt.commBytes) / 1e6);
+    std::printf("%6d %9s %10.3f %10.3f %10.3f %10.3f %7.1f%% %10zu %10.2f\n",
+                ranks, pt.kernel, pt.sampling, pt.localEnergy, pt.gradient,
+                pt.total, eff, pt.nUnique,
+                static_cast<double>(pt.commBytes) / 1e6);
     std::fflush(stdout);
   }
   std::printf("\nPaper reference (benzene, 4->64 A100): 100%%, 96.9%%, 96.3%%, "

@@ -15,6 +15,7 @@ struct ScalingPoint {
   double sampling = 0, localEnergy = 0, gradient = 0, total = 0;
   std::size_t nUnique = 0;
   std::uint64_t commBytes = 0;
+  const char* kernel = "";  ///< decode-kernel backend that produced the row
 };
 
 /// `--decode full` selects the stateless full-forward reference sampler;
@@ -25,6 +26,22 @@ inline nqs::DecodePolicy decodePolicy(const Args& args) {
   if (mode == "full") return nqs::DecodePolicy::kFullForward;
   if (mode == "kv") return nqs::DecodePolicy::kKvCache;
   std::fprintf(stderr, "unknown --decode mode '%s' (expected 'kv' or 'full')\n",
+               mode.c_str());
+  std::exit(2);
+}
+
+/// `--kernel scalar|simd|threaded|auto` selects the decode-attention kernel
+/// backend of the KV engine (src/nn/kernels/); every backend samples
+/// bit-identically, so this column only moves the sampling wall clock.
+inline nn::kernels::KernelPolicy kernelPolicy(const Args& args) {
+  const std::string mode = args.get("kernel", "auto");
+  if (mode == "auto") return nn::kernels::KernelPolicy::kAuto;
+  if (mode == "scalar") return nn::kernels::KernelPolicy::kScalar;
+  if (mode == "simd") return nn::kernels::KernelPolicy::kSimd;
+  if (mode == "threaded") return nn::kernels::KernelPolicy::kThreaded;
+  std::fprintf(stderr,
+               "unknown --kernel mode '%s' (expected 'auto', 'scalar', 'simd' "
+               "or 'threaded')\n",
                mode.c_str());
   std::exit(2);
 }
@@ -42,6 +59,7 @@ inline void reportDecodeSpeedup(const Args& args, const nqs::QiankunNetConfig& n
   sOpts.nSamples = nSamples;
   sOpts.seed = 17;
   sOpts.decode = nqs::DecodePolicy::kKvCache;
+  sOpts.kernel = kernelPolicy(args);
   Timer tKv;
   const std::size_t nuKv = nqs::batchAutoregressiveSample(net, sOpts).nUnique();
   const double kv = tKv.seconds();
@@ -61,7 +79,9 @@ inline void reportDecodeSpeedup(const Args& args, const nqs::QiankunNetConfig& n
 inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
                                const nqs::QiankunNetConfig& netCfg, int ranks,
                                std::uint64_t nSamples, int iterations,
-                               nqs::DecodePolicy decode = nqs::DecodePolicy::kKvCache) {
+                               nqs::DecodePolicy decode = nqs::DecodePolicy::kKvCache,
+                               nn::kernels::KernelPolicy kernel =
+                                   nn::kernels::KernelPolicy::kAuto) {
   vmc::VmcOptions opts;
   opts.iterations = iterations;
   opts.nSamples = nSamples;
@@ -75,9 +95,13 @@ inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
   opts.uniqueThresholdPerRank = 256;
   opts.seed = 17;
   opts.decodePolicy = decode;
+  opts.kernelPolicy = kernel;
   const vmc::VmcResult res = vmc::runVmc(packed, netCfg, opts);
   ScalingPoint pt;
   pt.ranks = ranks;
+  pt.kernel = decode == nqs::DecodePolicy::kKvCache
+                  ? nn::kernels::effectiveKernelName(kernel)
+                  : "full-fwd";
   pt.sampling = res.secondsPerIteration.sampling;
   pt.localEnergy = res.secondsPerIteration.localEnergy;
   pt.gradient = res.secondsPerIteration.gradient;

@@ -43,21 +43,22 @@ Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
           ai[j] = s * scale;
           mx = std::max(mx, ai[j]);
         }
-        Real denom = 0;
-        for (Index j = 0; j <= i; ++j) {
-          ai[j] = std::exp(ai[j] - mx);
-          denom += ai[j];
-        }
-        for (Index j = 0; j <= i; ++j) ai[j] /= denom;
+        // Softmax + context follow the decode-kernel arithmetic contract
+        // (src/nn/kernels/attn_row.hpp): the shared softmaxNormalize plus an
+        // unnormalized context scaled once by 1/denom, so full-forward and
+        // every decode backend produce bit-identical activations.
+        const Real rinv = kernels::softmaxNormalize(ai, i + 1, mx);
         for (Index j = i + 1; j < L; ++j) ai[j] = 0.0;  // causal mask
-        // Context = sum_j a_ij v_j.
+        // Context = (sum_j e_ij v_j) * rinv.
         Real* ci = ctx.data.data() + (b * L + i) * d_ + qOff;
         for (Index j = 0; j <= i; ++j) {
-          const Real a = ai[j];
-          if (a == 0.0) continue;
+          const Real e = ai[j];
           const Real* vj = qkv.data.data() + (b * L + j) * 3 * d_ + vOff;
-          for (Index t = 0; t < headDim_; ++t) ci[t] += a * vj[t];
+          for (Index t = 0; t < headDim_; ++t) ci[t] += e * vj[t];
         }
+        for (Index t = 0; t < headDim_; ++t) ci[t] *= rinv;
+        // Normalized weights for backward's softmax-gradient cache.
+        for (Index j = 0; j <= i; ++j) ai[j] *= rinv;
       }
     }
 
@@ -70,58 +71,46 @@ Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
   return proj_.forward(ctx, cache);
 }
 
-Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState::LayerKV& kv,
-                                       Index pos, Index maxLen) {
+Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState& state,
+                                       Index layer) {
   const Index batch = x.numel() / d_;
+  const Index pos = state.len;
+  const Index maxLen = state.maxLen;
   const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
 
   Tensor qkv = qkv_.forward(x, /*cache=*/false);  // [B, 3D]: q | k | v per row
-  // Append this position's keys/values to the cache.
+  // Append this position's keys/values to the arena: K position-transposed
+  // ([D][maxLen] per slot), V position-major ([maxLen][D] per slot) — the
+  // layouts the kernel backends stream contiguously (decode_state.hpp).
+  Real* kBase = state.kSlot(layer, 0);
+  Real* vBase = state.vSlot(layer, 0);
   for (Index b = 0; b < batch; ++b) {
     const Real* row = qkv.data.data() + b * 3 * d_;
-    Real* kDst = kv.k.data.data() + (b * maxLen + pos) * d_;
-    Real* vDst = kv.v.data.data() + (b * maxLen + pos) * d_;
+    const Index slot = state.rowSlot[static_cast<std::size_t>(b)];
+    Real* kDst = kBase + slot * maxLen * d_ + pos;
+    Real* vDst = vBase + (slot * maxLen + pos) * d_;
     for (Index t = 0; t < d_; ++t) {
-      kDst[t] = row[d_ + t];
+      kDst[t * maxLen] = row[d_ + t];
       vDst[t] = row[2 * d_ + t];
     }
   }
 
   Tensor ctx({batch, d_});
-#pragma omp parallel if (batch * heads_ > 8)
-  {
-    // Per-thread scratch, reused across the whole (row, head) tile: the
-    // per-iteration work is only ~(pos+1) * headDim flops, so a heap
-    // allocation per iteration would dominate this decode hot loop.
-    std::vector<Real> ai(static_cast<std::size_t>(pos + 1));
-#pragma omp for collapse(2) schedule(static)
-    for (Index b = 0; b < batch; ++b)
-      for (Index h = 0; h < heads_; ++h) {
-        const Index hOff = h * headDim_;
-        const Real* qi = qkv.data.data() + b * 3 * d_ + hOff;
-        Real mx = -1e300;
-        for (Index j = 0; j <= pos; ++j) {
-          const Real* kj = kv.k.data.data() + (b * maxLen + j) * d_ + hOff;
-          Real s = 0;
-          for (Index t = 0; t < headDim_; ++t) s += qi[t] * kj[t];
-          ai[static_cast<std::size_t>(j)] = s * scale;
-          mx = std::max(mx, ai[static_cast<std::size_t>(j)]);
-        }
-        Real denom = 0;
-        for (Index j = 0; j <= pos; ++j) {
-          ai[static_cast<std::size_t>(j)] = std::exp(ai[static_cast<std::size_t>(j)] - mx);
-          denom += ai[static_cast<std::size_t>(j)];
-        }
-        for (Index j = 0; j <= pos; ++j) ai[static_cast<std::size_t>(j)] /= denom;
-        Real* ci = ctx.data.data() + b * d_ + hOff;
-        for (Index j = 0; j <= pos; ++j) {
-          const Real a = ai[static_cast<std::size_t>(j)];
-          if (a == 0.0) continue;
-          const Real* vj = kv.v.data.data() + (b * maxLen + j) * d_ + hOff;
-          for (Index t = 0; t < headDim_; ++t) ci[t] += a * vj[t];
-        }
-      }
-  }
+  kernels::DecodeAttnArgs args;
+  args.batch = batch;
+  args.heads = heads_;
+  args.headDim = headDim_;
+  args.dModel = d_;
+  args.pos = pos;
+  args.maxLen = maxLen;
+  args.q = qkv.data.data();  // q is the first D of each fused row
+  args.qStride = 3 * d_;
+  args.k = kBase;
+  args.v = vBase;
+  args.slots = state.rowSlot.data();
+  args.ctx = ctx.data.data();
+  args.scale = scale;
+  kernels::decodeAttention(args, state.kernel);
 
   return proj_.forward(ctx, /*cache=*/false);
 }

@@ -18,12 +18,13 @@ class CausalSelfAttention : public Module {
   void collectParameters(std::vector<Parameter*>& out) override;
 
   /// Incremental decode: x = [B, D] is one new token per row at position
-  /// `pos` (0-based).  Appends this token's K/V to `kv` and attends its query
-  /// against positions 0..pos, i.e. the single new row of the causal
-  /// attention matrix.  Arithmetic mirrors forward() row `pos` exactly, so
+  /// `state.len` (0-based).  Appends this token's K/V to layer `layer`'s
+  /// slice of the state's KV arena and attends its query against positions
+  /// 0..pos, i.e. the single new row of the causal attention matrix — run on
+  /// the kernel backend selected by `state.kernel` (src/nn/kernels/).
+  /// Arithmetic mirrors forward() row `pos` exactly under every backend, so
   /// full-forward and decode paths agree bit for bit.
-  Tensor decodeStep(const Tensor& x, DecodeState::LayerKV& kv, Index pos,
-                    Index maxLen);
+  Tensor decodeStep(const Tensor& x, DecodeState& state, Index layer);
 
   /// Sequence length of the next forward call (sampling uses growing
   /// prefix windows; the causal mask keeps shorter windows consistent).

@@ -1,20 +1,72 @@
 #include "nn/decode_state.hpp"
 
+#include <cassert>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 
 namespace nnqs::nn {
 
-void DecodeState::begin(Index b, Index L, Index d, Index nLayers) {
+void DecodeState::begin(Index b, Index L, Index d, Index layers,
+                        kernels::KernelPolicy k) {
   batch = b;
   len = 0;
   maxLen = L;
   dModel = d;
-  layers.assign(static_cast<std::size_t>(nLayers), LayerKV{});
-  for (auto& layer : layers) {
-    layer.k = Tensor({b, L, d});
-    layer.v = Tensor({b, L, d});
+  nLayers = layers;
+  kernel = k;
+  capacity = b > 0 ? b : 1;
+  arena.assignZero(static_cast<std::size_t>(nLayers * 2 * capacity * slotStride()));
+  rowSlot.resize(static_cast<std::size_t>(b));
+  std::iota(rowSlot.begin(), rowSlot.end(), Index{0});
+  freeSlots.clear();
+  for (Index s = b; s < capacity; ++s) freeSlots.push_back(s);
+  lastGather = GatherStats{};
+}
+
+Index DecodeState::copySlot(Index dst, Index src) {
+  const std::size_t liveK = static_cast<std::size_t>(len) * sizeof(Real);
+  const std::size_t liveV = static_cast<std::size_t>(len * dModel) * sizeof(Real);
+  Index copied = 0;
+  for (Index l = 0; l < nLayers; ++l) {
+    Real* kd = kSlot(l, dst);
+    const Real* ks = kSlot(l, src);
+    // K is position-transposed: each feature row holds `len` live positions.
+    for (Index t = 0; t < dModel; ++t)
+      std::memcpy(kd + t * maxLen, ks + t * maxLen, liveK);
+    std::memcpy(vSlot(l, dst), vSlot(l, src), liveV);
+    copied += len * dModel + len * dModel;
   }
+  return copied;
+}
+
+void DecodeState::growArena(Index neededFree, const std::vector<Index>& refs) {
+  Index newCap = capacity;
+  const Index used = capacity - static_cast<Index>(freeSlots.size());
+  while (newCap - used < neededFree) newCap *= 2;
+
+  kernels::HugeBuffer next;
+  next.assignZero(static_cast<std::size_t>(nLayers * 2 * newCap * slotStride()));
+  const Index ss = slotStride();
+  for (Index l = 0; l < nLayers; ++l) {
+    for (Index b = 0; b < batch; ++b) {
+      if (refs[static_cast<std::size_t>(b)] == 0) continue;  // pruned: dead data
+      const Index slot = rowSlot[static_cast<std::size_t>(b)];
+      // K: live prefix of each feature row.
+      const Real* ks = kSlot(l, slot);
+      Real* kd = next.data() + (l * 2 * newCap + slot) * ss;
+      for (Index t = 0; t < dModel; ++t)
+        std::memcpy(kd + t * maxLen, ks + t * maxLen,
+                    static_cast<std::size_t>(len) * sizeof(Real));
+      // V: live positions are one contiguous prefix.
+      std::memcpy(next.data() + ((l * 2 + 1) * newCap + slot) * ss, vSlot(l, slot),
+                  static_cast<std::size_t>(len * dModel) * sizeof(Real));
+    }
+  }
+  for (Index s = capacity; s < newCap; ++s) freeSlots.push_back(s);
+  arena.swap(next);
+  capacity = newCap;
+  ++lastGather.grows;
 }
 
 void DecodeState::gather(const std::vector<Index>& rows) {
@@ -22,23 +74,44 @@ void DecodeState::gather(const std::vector<Index>& rows) {
   for (Index r : rows)
     if (r < 0 || r >= batch)
       throw std::out_of_range("DecodeState::gather: row index out of range");
-  const std::size_t rowBytes =
-      static_cast<std::size_t>(len) * static_cast<std::size_t>(dModel) * sizeof(Real);
-  for (auto& layer : layers) {
-    Tensor k({newBatch, maxLen, dModel});
-    Tensor v({newBatch, maxLen, dModel});
-    for (Index r = 0; r < newBatch; ++r) {
-      const std::size_t src = static_cast<std::size_t>(rows[static_cast<std::size_t>(r)]) *
-                              static_cast<std::size_t>(maxLen) * static_cast<std::size_t>(dModel);
-      const std::size_t dst = static_cast<std::size_t>(r) *
-                              static_cast<std::size_t>(maxLen) * static_cast<std::size_t>(dModel);
-      std::memcpy(k.data.data() + dst, layer.k.data.data() + src, rowBytes);
-      std::memcpy(v.data.data() + dst, layer.v.data.data() + src, rowBytes);
-    }
-    layer.k = std::move(k);
-    layer.v = std::move(v);
+
+  lastGather = GatherStats{};
+  lastGather.rows = newBatch;
+
+  std::vector<Index> refs(static_cast<std::size_t>(batch), 0);
+  for (Index r : rows) ++refs[static_cast<std::size_t>(r)];
+  Index distinct = 0;
+  for (Index b = 0; b < batch; ++b) {
+    if (refs[static_cast<std::size_t>(b)] == 0)
+      freeSlots.push_back(rowSlot[static_cast<std::size_t>(b)]);  // pruned
+    else
+      ++distinct;
   }
+  const Index dups = newBatch - distinct;
+  if (static_cast<Index>(freeSlots.size()) < dups) growArena(dups, refs);
+
+  std::vector<Index> newSlots(static_cast<std::size_t>(newBatch));
+  std::vector<char> taken(static_cast<std::size_t>(batch), 0);
+  for (Index r = 0; r < newBatch; ++r) {
+    const Index old = rows[static_cast<std::size_t>(r)];
+    if (!taken[static_cast<std::size_t>(old)]) {
+      taken[static_cast<std::size_t>(old)] = 1;  // remap, no bytes move
+      newSlots[static_cast<std::size_t>(r)] = rowSlot[static_cast<std::size_t>(old)];
+    } else {
+      const Index s = freeSlots.back();
+      freeSlots.pop_back();
+      lastGather.realsCopied += copySlot(s, rowSlot[static_cast<std::size_t>(old)]);
+      ++lastGather.rowsCopied;
+      newSlots[static_cast<std::size_t>(r)] = s;
+    }
+  }
+  rowSlot.swap(newSlots);
   batch = newBatch;
+
+  // Regression guard (ROADMAP "single-allocation KV cache"): the arena path
+  // copies only duplicated rows, and only their live positions — a reworked
+  // copy that touches maxLen-sized blocks again would trip this.
+  assert(lastGather.realsCopied == lastGather.rowsCopied * 2 * nLayers * len * dModel);
 }
 
 }  // namespace nnqs::nn

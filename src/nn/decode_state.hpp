@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "nn/tensor.hpp"
+#include "nn/kernels/kernels.hpp"
 
 namespace nnqs::nn {
 
@@ -19,30 +19,78 @@ namespace nnqs::nn {
 /// when a node splits into up to 4 children or is pruned, `gather()`
 /// re-indexes the cache rows so row b of the cache is always the prefix of
 /// frontier node b.  Rows may be duplicated (splits) or dropped (prunes).
+///
+/// Storage is a single capacity-doubling **arena** of physical slots with a
+/// row-index indirection (`rowSlot`): a gather that only permutes or prunes
+/// rows is a pure index remap (no K/V bytes move), and only rows duplicated
+/// by a split copy their cache — and then only the `len` live positions, not
+/// the full `maxLen` capacity.  Per-slot layouts are chosen for the decode
+/// kernels (src/nn/kernels/):
+///   K: [dModel][maxLen]  — position-transposed, so a kernel scanning keys at
+///      fixed feature t reads contiguously (SIMD across key positions);
+///   V: [maxLen][dModel]  — position-major, so the context accumulation at
+///      fixed position reads contiguously (SIMD across features).
 struct DecodeState {
-  Index batch = 0;   ///< live rows (sampling-tree frontier)
-  Index len = 0;     ///< tokens decoded so far per row
-  Index maxLen = 0;  ///< per-row capacity (sequence length)
+  Index batch = 0;     ///< live rows (sampling-tree frontier)
+  Index len = 0;       ///< tokens decoded so far per row
+  Index maxLen = 0;    ///< per-row capacity (sequence length)
   Index dModel = 0;
+  Index nLayers = 0;
+  Index capacity = 0;  ///< physical arena slots (>= batch, doubles on demand)
+  kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto;
 
-  /// One decoder layer's cache: K and V, each [batch, maxLen, dModel] with
-  /// row b, position t at offset ((b * maxLen) + t) * dModel.  Heads are
-  /// contiguous slices of the dModel axis, exactly as in the fused qkv
-  /// projection, so no per-head reshuffle is needed.
-  struct LayerKV {
-    Tensor k, v;
+  kernels::HugeBuffer arena;    ///< [nLayers][K|V][capacity] slot blocks
+  std::vector<Index> rowSlot;   ///< [batch] live row -> arena slot (distinct)
+  std::vector<Index> freeSlots; ///< unassigned slot ids
+
+  /// Work accounting of the most recent gather(), for regression tests: the
+  /// arena path must copy only duplicated rows and only live positions.
+  struct GatherStats {
+    Index rows = 0;        ///< new batch size
+    Index rowsCopied = 0;  ///< duplicated rows that required a slot copy
+    Index realsCopied = 0; ///< Real elements copied (== rowsCopied * 2 * nLayers * len * dModel)
+    Index grows = 0;       ///< capacity doublings triggered
   };
-  std::vector<LayerKV> layers;
+  GatherStats lastGather;
 
-  [[nodiscard]] bool active() const { return !layers.empty(); }
+  [[nodiscard]] bool active() const { return nLayers > 0; }
+
+  /// Elements per K (or V) slot.
+  [[nodiscard]] Index slotStride() const { return maxLen * dModel; }
+  /// Layer `layer`'s K block for `slot`: element (t, j) at [t * maxLen + j].
+  [[nodiscard]] Real* kSlot(Index layer, Index slot) {
+    return arena.data() + (layer * 2 * capacity + slot) * slotStride();
+  }
+  [[nodiscard]] const Real* kSlot(Index layer, Index slot) const {
+    return arena.data() + (layer * 2 * capacity + slot) * slotStride();
+  }
+  /// Layer `layer`'s V block for `slot`: element (j, t) at [j * dModel + t].
+  [[nodiscard]] Real* vSlot(Index layer, Index slot) {
+    return arena.data() + ((layer * 2 + 1) * capacity + slot) * slotStride();
+  }
+  [[nodiscard]] const Real* vSlot(Index layer, Index slot) const {
+    return arena.data() + ((layer * 2 + 1) * capacity + slot) * slotStride();
+  }
 
   /// Start a fresh decode over `batch` rows of up to `maxLen` steps.
-  void begin(Index batch, Index maxLen, Index dModel, Index nLayers);
+  void begin(Index batch, Index maxLen, Index dModel, Index nLayers,
+             kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto);
 
   /// Re-index the batch rows: new row r becomes a copy of old row rows[r].
-  /// `rows` may repeat old rows (node splits) and omit old rows (prunes);
-  /// only the first `len` positions are copied.
+  /// `rows` may repeat old rows (node splits) and omit old rows (prunes).
+  /// The first occurrence of an old row keeps its slot (remap only); each
+  /// further occurrence copies the `len` live positions into a free slot.
   void gather(const std::vector<Index>& rows);
+
+ private:
+  /// Grow the arena until at least `neededFree` slots are free, re-laying
+  /// the surviving rows' slots (refs[b] > 0) out at the doubled capacity
+  /// (amortized O(1) per gather).  Pruned rows' slots are already free and
+  /// their data dead, so they are not copied.
+  void growArena(Index neededFree, const std::vector<Index>& refs);
+  /// Copy slot `src`'s live positions (all layers) into `dst`; returns the
+  /// number of Real elements copied.
+  Index copySlot(Index dst, Index src);
 };
 
 }  // namespace nnqs::nn

@@ -1,0 +1,13 @@
+// Scalar reference decode-attention kernel.  This translation unit is built
+// with the project's portable flags (no SIMD, FP contraction off), so it is
+// the ground truth the vectorized backends are tested bit-for-bit against.
+
+#include "nn/kernels/attn_row.hpp"
+
+namespace nnqs::nn::kernels::detail {
+
+void scalarRow(const DecodeAttnArgs& a, Index b, Real* scores) {
+  for (Index h = 0; h < a.heads; ++h) attnHeadScalar(a, b, h, scores);
+}
+
+}  // namespace nnqs::nn::kernels::detail

@@ -21,9 +21,8 @@ Tensor DecoderBlock::forward(const Tensor& x, bool cache) {
   return f;
 }
 
-Tensor DecoderBlock::decodeStep(const Tensor& x, DecodeState::LayerKV& kv,
-                                Index pos, Index maxLen) {
-  Tensor h = attn_.decodeStep(ln1_.stepForward(x), kv, pos, maxLen);
+Tensor DecoderBlock::decodeStep(const Tensor& x, DecodeState& state, Index layer) {
+  Tensor h = attn_.decodeStep(ln1_.stepForward(x), state, layer);
   for (std::size_t i = 0; i < h.data.size(); ++i) h.data[i] += x.data[i];
   Tensor f = ff2_.stepForward(gelu_.stepForward(ff1_.stepForward(ln2_.stepForward(h))));
   for (std::size_t i = 0; i < f.data.size(); ++i) f.data[i] += h.data[i];
@@ -71,8 +70,9 @@ Tensor TransformerAR::forward(const std::vector<int>& tokens, Index window,
   return head_.forward(x, cache);
 }
 
-void TransformerAR::beginDecode(DecodeState& state, Index batch) const {
-  state.begin(batch, seqLen_, d_, static_cast<Index>(blocks_.size()));
+void TransformerAR::beginDecode(DecodeState& state, Index batch,
+                                kernels::KernelPolicy kernel) const {
+  state.begin(batch, seqLen_, d_, static_cast<Index>(blocks_.size()), kernel);
 }
 
 Tensor TransformerAR::decodeStep(DecodeState& state, const std::vector<int>& tokens) {
@@ -83,7 +83,7 @@ Tensor TransformerAR::decodeStep(DecodeState& state, const std::vector<int>& tok
   const Index pos = state.len;
   Tensor x = embed_.stepForward(tokens, pos);
   for (std::size_t l = 0; l < blocks_.size(); ++l)
-    x = blocks_[l]->decodeStep(x, state.layers[l], pos, state.maxLen);
+    x = blocks_[l]->decodeStep(x, state, static_cast<Index>(l));
   ++state.len;
   x = lnFinal_.stepForward(x);
   return head_.stepForward(x);  // [B, 4]

@@ -16,10 +16,9 @@ class DecoderBlock : public Module {
   void collectParameters(std::vector<Parameter*>& out) override;
   void setWindow(Index w) { attn_.setWindow(w); }
 
-  /// Incremental decode of one token per row (x = [B, D]) at position `pos`,
-  /// reading/extending this block's KV cache.
-  Tensor decodeStep(const Tensor& x, DecodeState::LayerKV& kv, Index pos,
-                    Index maxLen);
+  /// Incremental decode of one token per row (x = [B, D]) at position
+  /// `state.len`, reading/extending layer `layer`'s slice of the KV arena.
+  Tensor decodeStep(const Tensor& x, DecodeState& state, Index layer);
 
  private:
   LayerNorm ln1_, ln2_;
@@ -44,8 +43,9 @@ class TransformerAR {
   void collectParameters(std::vector<Parameter*>& out);
 
   /// Start a stateful incremental decode over `batch` rows (KV caches sized
-  /// for the full sequence length).
-  void beginDecode(DecodeState& state, Index batch) const;
+  /// for the full sequence length), run on the given kernel backend.
+  void beginDecode(DecodeState& state, Index batch,
+                   kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto) const;
   /// Feed tokens[B] at position state.len and return the next-outcome logits
   /// [B, 4].  Bit-identical to the last position of forward() over the same
   /// prefixes.  Advances state.len.

@@ -70,8 +70,9 @@ std::vector<Real> QiankunNet::conditionals(const std::vector<int>& prefixTokens,
   return probs;
 }
 
-void QiankunNet::beginDecode(nn::DecodeState& state, int batch) const {
-  amplitude_.beginDecode(state, batch);
+void QiankunNet::beginDecode(nn::DecodeState& state, int batch,
+                             nn::kernels::KernelPolicy kernel) const {
+  amplitude_.beginDecode(state, batch, kernel);
 }
 
 std::vector<Real> QiankunNet::stepConditionals(nn::DecodeState& state,

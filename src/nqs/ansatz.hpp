@@ -63,7 +63,12 @@ class QiankunNet {
                                  int s, const std::vector<std::array<int, 2>>& counts);
 
   /// Start a stateful incremental decode over `batch` sampling-tree rows.
-  void beginDecode(nn::DecodeState& state, int batch) const;
+  /// `kernel` selects the decode-attention backend (src/nn/kernels/): the
+  /// scalar reference, the AVX2/FMA SIMD kernel, or SIMD + OpenMP over
+  /// (row, head) tiles — all bit-identical, so any choice samples the same.
+  void beginDecode(nn::DecodeState& state, int batch,
+                   nn::kernels::KernelPolicy kernel =
+                       nn::kernels::KernelPolicy::kAuto) const;
 
   /// One incremental step of the masked conditionals: returns pi(x_s | prefix)
   /// [B, 4] for step s = state.len.  `prevTokens[b]` is row b's outcome chosen

@@ -101,14 +101,14 @@ Expansion splitLayer(const Layer& cur, const std::vector<Real>& probs, Rng& rng)
 /// rows track the live sampling-tree frontier exactly.
 class ConditionalEngine {
  public:
-  ConditionalEngine(QiankunNet& net, DecodePolicy policy)
-      : net_(net), policy_(policy) {}
+  ConditionalEngine(QiankunNet& net, const SamplerOptions& opts)
+      : net_(net), policy_(opts.decode), kernel_(opts.kernel) {}
 
   /// Arm the engine on the given (root) layer.  In kKvCache mode this must
   /// see the tree before any node has been expanded.
   void begin(const Layer& root) {
     if (policy_ != DecodePolicy::kKvCache) return;
-    net_.beginDecode(state_, static_cast<int>(root.nodes()));
+    net_.beginDecode(state_, static_cast<int>(root.nodes()), kernel_);
     feed_.clear();
   }
 
@@ -142,6 +142,7 @@ class ConditionalEngine {
  private:
   QiankunNet& net_;
   DecodePolicy policy_;
+  nn::kernels::KernelPolicy kernel_;
   nn::DecodeState state_;
   std::vector<int> feed_;  ///< token appended to each live row at the last split
 };
@@ -199,14 +200,15 @@ std::array<std::uint64_t, 4> multinomialSplit4(Rng& rng, std::uint64_t n,
   return out;
 }
 
-Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng, DecodePolicy decode) {
+Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng, DecodePolicy decode,
+                                nn::kernels::KernelPolicy kernel) {
   const int L = net.nSteps();
   std::vector<int> tokens;
   std::array<int, 2> counts{0, 0};
   Bits128 x;
   nn::DecodeState state;
   std::vector<int> prev;
-  if (decode == DecodePolicy::kKvCache) net.beginDecode(state, 1);
+  if (decode == DecodePolicy::kKvCache) net.beginDecode(state, 1, kernel);
   for (int s = 0; s < L; ++s) {
     const std::vector<Real> probs =
         decode == DecodePolicy::kKvCache
@@ -235,7 +237,7 @@ SampleSet batchAutoregressiveSample(QiankunNet& net, const SamplerOptions& opts)
   Rng rng(opts.seed);
   Layer layer = rootLayer(opts.nSamples);
   const int L = net.nSteps();
-  ConditionalEngine engine(net, opts.decode);
+  ConditionalEngine engine(net, opts);
   engine.begin(layer);
   for (int s = 0; s < L; ++s) layer = expand(engine, layer, rng, s + 1 < L);
   return layerToSamples(net, layer);
@@ -247,7 +249,7 @@ SampleSet parallelBatchSample(QiankunNet& net, const SamplerOptions& opts,
   const int L = net.nSteps();
   Rng rng(opts.seed);  // shared stream: the serial prefix is identical on all ranks
   Layer layer = rootLayer(opts.nSamples);
-  ConditionalEngine engine(net, opts.decode);
+  ConditionalEngine engine(net, opts);
   engine.begin(layer);
   int s = 0;
   for (; s < L; ++s) {

@@ -38,6 +38,10 @@ struct SamplerOptions {
   std::uint64_t nSamples = 1 << 12;  ///< N_s; can be huge (the paper uses 1e12)
   std::uint64_t seed = 7;
   DecodePolicy decode = DecodePolicy::kKvCache;
+  /// Decode-attention kernel backend of the kKvCache engine (scalar
+  /// reference / AVX2 SIMD / SIMD + OpenMP tiles; src/nn/kernels/).  All
+  /// backends are bit-identical, so this is purely a performance knob.
+  nn::kernels::KernelPolicy kernel = nn::kernels::KernelPolicy::kAuto;
 };
 
 /// Exact multinomial-style draw: split `n` trials over the 4 outcome
@@ -48,7 +52,9 @@ std::array<std::uint64_t, 4> multinomialSplit4(Rng& rng, std::uint64_t n,
 
 /// Fig. 3(a): plain autoregressive sampling, one bitstring per call.
 Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng,
-                                DecodePolicy decode = DecodePolicy::kKvCache);
+                                DecodePolicy decode = DecodePolicy::kKvCache,
+                                nn::kernels::KernelPolicy kernel =
+                                    nn::kernels::KernelPolicy::kAuto);
 
 /// Fig. 3(b): batch autoregressive sampling.  Generates N_s samples in one
 /// sweep over the quadtree (two qubits per step), pruning zero-weight and

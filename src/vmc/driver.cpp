@@ -69,6 +69,7 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       sOpts.nSamples = nsCurrent;
       sOpts.seed = opts.seed + static_cast<std::uint64_t>(iter) * 0x9E37u;
       sOpts.decode = opts.decodePolicy;
+      sOpts.kernel = opts.kernelPolicy;
       nqs::SampleSet local = nqs::parallelBatchSample(
           net, sOpts, rank, nRanks,
           opts.uniqueThresholdPerRank * static_cast<std::uint64_t>(nRanks));

@@ -32,6 +32,10 @@ struct VmcOptions {
   /// incremental decode (default) or the stateless full-forward reference.
   /// Both sample identically; kKvCache is O(L) cheaper per sweep.
   nqs::DecodePolicy decodePolicy = nqs::DecodePolicy::kKvCache;
+  /// Decode-attention kernel backend of the kKvCache engine (scalar
+  /// reference / AVX2 SIMD / SIMD + OpenMP tiles); all backends draw
+  /// bit-identical samples, so this only moves the sampling wall clock.
+  nn::kernels::KernelPolicy kernelPolicy = nn::kernels::KernelPolicy::kAuto;
   int logEvery = 0;  ///< 0 = silent
   /// Optional per-iteration observer: (iteration, energy, nUnique).
   std::function<void(int, Real, std::size_t)> observer;

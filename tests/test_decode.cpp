@@ -115,17 +115,34 @@ TEST(Decode, StepConditionalsMatchesFullForwardUnderRandomGathers) {
   }
 }
 
+namespace {
+
+constexpr nn::kernels::KernelPolicy kAllKernels[] = {
+    nn::kernels::KernelPolicy::kScalar, nn::kernels::KernelPolicy::kSimd,
+    nn::kernels::KernelPolicy::kThreaded, nn::kernels::KernelPolicy::kAuto};
+
+}  // namespace
+
 TEST(Decode, BatchBasBitIdenticalAcrossPolicies) {
+  // Every KernelPolicy x DecodePolicy combination must draw the very same
+  // sample set: the kernel backends share one arithmetic contract
+  // (src/nn/kernels/attn_row.hpp), so this holds bit for bit, not just
+  // statistically.
   QiankunNet net(smallConfig(12, 3, 3));
   SamplerOptions opts;
   opts.nSamples = 1 << 14;
   opts.seed = 41;
   opts.decode = DecodePolicy::kFullForward;
   const SampleSet ref = batchAutoregressiveSample(net, opts);
-  opts.decode = DecodePolicy::kKvCache;
-  const SampleSet inc = batchAutoregressiveSample(net, opts);
   EXPECT_GT(ref.nUnique(), 1u);
-  expectSameSampleSet(ref, inc);
+  // The kernel policy is only consulted on the kKvCache path (the reference
+  // full-forward run above covers the kFullForward side of every combo).
+  opts.decode = DecodePolicy::kKvCache;
+  for (auto kernel : kAllKernels) {
+    opts.kernel = kernel;
+    const SampleSet got = batchAutoregressiveSample(net, opts);
+    expectSameSampleSet(ref, got);
+  }
 }
 
 TEST(Decode, ParallelBasBitIdenticalAcrossPolicies) {
@@ -138,8 +155,11 @@ TEST(Decode, ParallelBasBitIdenticalAcrossPolicies) {
       opts.decode = DecodePolicy::kFullForward;
       const SampleSet ref = parallelBatchSample(net, opts, r, ranks, 8);
       opts.decode = DecodePolicy::kKvCache;
-      const SampleSet inc = parallelBatchSample(net, opts, r, ranks, 8);
-      expectSameSampleSet(ref, inc);
+      for (auto kernel : kAllKernels) {
+        opts.kernel = kernel;
+        const SampleSet inc = parallelBatchSample(net, opts, r, ranks, 8);
+        expectSameSampleSet(ref, inc);
+      }
     }
   }
 }
