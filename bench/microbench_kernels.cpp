@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "nn/kernels/gemm.hpp"
 #include "nn/kernels/kernels.hpp"
 #include "nqs/sampler.hpp"
 #include "vmc/local_energy.hpp"
@@ -188,6 +189,110 @@ BENCHMARK(BM_DecodeAttnKernel)
     ->Args({0, 256, 4})->Args({1, 256, 4})->Args({2, 256, 4})
     ->Args({0, 256, 8})->Args({1, 256, 8})->Args({2, 256, 8})
     ->Args({0, 1024, 4})->Args({1, 1024, 4})->Args({2, 1024, 4});
+
+// The Linear GEMMs of the decode step in isolation: y = x W^T + b at the
+// decode shapes (frontier 256, d_model 64): qkv 64->192, proj 64->64,
+// ff1 64->256, ff2 256->64.  Impl -1 is the historical naive per-row loop
+// (the pre-GEMM-backend Linear::forward, serial), 0/1/2 the kernels::gemm
+// policies; the naive/simd time ratio is the single-core GEMM speedup quoted
+// in the README (>= 2x required by the backend's acceptance bar).
+void BM_LinearGemm(benchmark::State& state) {
+  const std::int64_t impl = state.range(0);
+  const auto rows = static_cast<Index>(state.range(1));
+  const auto in = static_cast<Index>(state.range(2));
+  const auto out = static_cast<Index>(state.range(3));
+  Rng rng(23);
+  std::vector<Real> x(static_cast<std::size_t>(rows * in));
+  std::vector<Real> w(static_cast<std::size_t>(out * in));
+  std::vector<Real> b(static_cast<std::size_t>(out));
+  std::vector<Real> y(static_cast<std::size_t>(rows * out));
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : w) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+
+  if (impl < 0) {
+    for (auto _ : state) {
+      for (Index r = 0; r < rows; ++r) {
+        const Real* xr = x.data() + r * in;
+        Real* yr = y.data() + r * out;
+        for (Index o = 0; o < out; ++o) {
+          const Real* wo = w.data() + o * in;
+          Real s = b[static_cast<std::size_t>(o)];
+          for (Index i = 0; i < in; ++i) s += wo[i] * xr[i];
+          yr[o] = s;
+        }
+      }
+      benchmark::DoNotOptimize(y.data());
+    }
+    state.SetLabel("naive");
+  } else {
+    const auto policy = kernelArg(impl);
+    nn::kernels::GemmArgs g;
+    g.m = rows;
+    g.n = out;
+    g.k = in;
+    g.a = x.data();
+    g.lda = in;
+    g.b = w.data();
+    g.ldb = in;
+    g.transB = true;
+    g.c = y.data();
+    g.ldc = out;
+    g.bias = b.data();
+    for (auto _ : state) {
+      nn::kernels::gemm(g, policy);
+      benchmark::DoNotOptimize(y.data());
+    }
+    state.SetLabel(nn::kernels::kernelPolicyName(policy));
+  }
+  // items = FLOPs (2 per multiply-add), so items/s is directly FLOP/s.
+  state.SetItemsProcessed(state.iterations() * 2 * rows * in * out);
+}
+// Args: impl (-1 = historical naive loop, 0 = scalar reference, 1 = SIMD,
+// 2 = SIMD + OpenMP row blocks), rows, in, out.
+BENCHMARK(BM_LinearGemm)
+    ->Args({-1, 256, 64, 192})->Args({0, 256, 64, 192})->Args({1, 256, 64, 192})->Args({2, 256, 64, 192})
+    ->Args({-1, 256, 64, 64})->Args({1, 256, 64, 64})
+    ->Args({-1, 256, 64, 256})->Args({1, 256, 64, 256})
+    ->Args({-1, 256, 256, 64})->Args({1, 256, 256, 64})
+    ->Args({-1, 4096, 64, 192})->Args({1, 4096, 64, 192})->Args({2, 4096, 64, 192});
+
+// Training-side GEMM: the dW += dY^T X accumulation (transA, accumulate),
+// which used to be a serial loop in Linear::backward.
+void BM_GemmAccumulateTN(benchmark::State& state) {
+  const auto policy = kernelArg(state.range(0));
+  const Index rows = 4096, in = 64, out = 192;
+  Rng rng(29);
+  std::vector<Real> dy(static_cast<std::size_t>(rows * out));
+  std::vector<Real> x(static_cast<std::size_t>(rows * in));
+  std::vector<Real> dw(static_cast<std::size_t>(out * in));
+  for (auto& v : dy) v = rng.normal();
+  for (auto& v : x) v = rng.normal();
+  nn::kernels::GemmArgs g;
+  g.m = out;
+  g.n = in;
+  g.k = rows;
+  g.a = dy.data();
+  g.lda = out;
+  g.transA = true;
+  g.b = x.data();
+  g.ldb = in;
+  g.c = dw.data();
+  g.ldc = in;
+  g.accumulate = true;
+  for (auto _ : state) {
+    // Reset outside the timed region: without it the accumulator grows by
+    // the same dY^T X every iteration and saturates to +-inf.
+    state.PauseTiming();
+    std::fill(dw.begin(), dw.end(), 0.0);
+    state.ResumeTiming();
+    nn::kernels::gemm(g, policy);
+    benchmark::DoNotOptimize(dw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * in * out);
+  state.SetLabel(nn::kernels::kernelPolicyName(policy));
+}
+BENCHMARK(BM_GemmAccumulateTN)->Arg(0)->Arg(1)->Arg(2);
 
 // End-to-end incremental decode: a full 32-step TransformerAR sweep at the
 // acceptance shape (includes the qkv/ff matmuls around the attention kernel).

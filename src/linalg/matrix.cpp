@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/kernels/gemm.hpp"
+
 namespace nnqs::linalg {
 
 Matrix& Matrix::operator+=(const Matrix& o) {
@@ -49,34 +51,38 @@ Matrix operator*(Matrix a, Real s) { return a *= s; }
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  const Index m = a.rows(), k = a.cols(), n = b.cols();
-#pragma omp parallel for schedule(static) if (m * n * k > 1 << 16)
-  for (Index i = 0; i < m; ++i) {
-    Real* ci = c.data() + i * n;
-    for (Index l = 0; l < k; ++l) {
-      const Real ail = a(i, l);
-      if (ail == 0.0) continue;
-      const Real* bl = b.data() + l * n;
-      for (Index j = 0; j < n; ++j) ci[j] += ail * bl[j];
-    }
-  }
+  // Register-blocked GEMM backend (src/nn/kernels/gemm.hpp), bit-identical
+  // to the naive ascending-l row loop it replaced; kAuto threads past the
+  // same work threshold as the historical OpenMP if-clause.
+  nn::kernels::GemmArgs g;
+  g.m = a.rows();
+  g.n = b.cols();
+  g.k = a.cols();
+  g.a = a.data();
+  g.lda = a.cols();
+  g.b = b.data();
+  g.ldb = b.cols();
+  g.c = c.data();
+  g.ldc = b.cols();
+  nn::kernels::gemm(g);
   return c;
 }
 
 Matrix matmulTN(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
-  const Index m = a.cols(), k = a.rows(), n = b.cols();
-#pragma omp parallel for schedule(static) if (m * n * k > 1 << 16)
-  for (Index i = 0; i < m; ++i) {
-    Real* ci = c.data() + i * n;
-    for (Index l = 0; l < k; ++l) {
-      const Real ali = a(l, i);
-      if (ali == 0.0) continue;
-      const Real* bl = b.data() + l * n;
-      for (Index j = 0; j < n; ++j) ci[j] += ali * bl[j];
-    }
-  }
+  nn::kernels::GemmArgs g;
+  g.m = a.cols();
+  g.n = b.cols();
+  g.k = a.rows();
+  g.a = a.data();
+  g.lda = a.cols();
+  g.transA = true;  // A[i,l] = a(l, i)
+  g.b = b.data();
+  g.ldb = b.cols();
+  g.c = c.data();
+  g.ldc = b.cols();
+  nn::kernels::gemm(g);
   return c;
 }
 

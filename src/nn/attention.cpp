@@ -67,6 +67,13 @@ Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
     cachedAttn_ = attn;
     cachedBatch_ = batch;
     cachedWindow_ = L;
+    hasCache_ = true;
+  } else {
+    cachedQkv_ = Tensor{};
+    cachedAttn_ = Tensor{};
+    cachedBatch_ = 0;
+    cachedWindow_ = 0;
+    hasCache_ = false;
   }
   return proj_.forward(ctx, cache);
 }
@@ -78,7 +85,16 @@ Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState& state,
   const Index maxLen = state.maxLen;
   const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
 
-  Tensor qkv = qkv_.forward(x, /*cache=*/false);  // [B, 3D]: q | k | v per row
+  // A decode step is a non-caching forward: invalidate the backward cache
+  // like every other inference path (modules.hpp invariant).
+  cachedQkv_ = Tensor{};
+  cachedAttn_ = Tensor{};
+  cachedBatch_ = 0;
+  cachedWindow_ = 0;
+  hasCache_ = false;
+
+  // [B, 3D]: q | k | v per row, on the GEMM backend of the state's policy.
+  Tensor qkv = qkv_.forward(x, /*cache=*/false, state.kernel);
   // Append this position's keys/values to the arena: K position-transposed
   // ([D][maxLen] per slot), V position-major ([maxLen][D] per slot) — the
   // layouts the kernel backends stream contiguously (decode_state.hpp).
@@ -112,11 +128,13 @@ Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState& state,
   args.scale = scale;
   kernels::decodeAttention(args, state.kernel);
 
-  return proj_.forward(ctx, /*cache=*/false);
+  return proj_.forward(ctx, /*cache=*/false, state.kernel);
 }
 
 Tensor CausalSelfAttention::backward(const Tensor& dy) {
-  if (cachedQkv_.empty()) throw std::logic_error("attention backward without cache");
+  if (!hasCache_)
+    throw std::logic_error(
+        "attention backward without cache (last forward ran with cache=false)");
   const Index batch = cachedBatch_;
   const Index Lc = cachedWindow_;
   const Index rows = batch * Lc;

@@ -35,11 +35,13 @@ class CausalSelfAttention : public Module {
   Index window_;
   Linear qkv_;   ///< D -> 3D
   Linear proj_;  ///< D -> D
-  // Caches for backward.
+  // Caches for backward (invalidated by any cache=false forward, like the
+  // row-wise modules).
   Tensor cachedQkv_;   ///< [B*L, 3D]
   Tensor cachedAttn_;  ///< [B, heads, L, L] row-softmaxed weights
   Index cachedBatch_ = 0;
   Index cachedWindow_ = 0;
+  bool hasCache_ = false;
 };
 
 }  // namespace nnqs::nn

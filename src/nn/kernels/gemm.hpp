@@ -1,0 +1,68 @@
+#pragma once
+
+#include "nn/kernels/kernels.hpp"
+
+namespace nnqs::nn::kernels {
+
+/// One dense double-precision GEMM problem:
+///
+///   C[i,j] = init_ij + sum_{l = 0 .. k-1, ascending} A[i,l] * B[l,j]
+///
+/// where init_ij is `bias[j]` when a bias row is given, the existing C[i,j]
+/// when `accumulate` is set, and 0 otherwise.  `transA`/`transB` select how
+/// the operand buffers are indexed (both buffers are row-major with the given
+/// leading dimension):
+///   A[i,l] = a[i*lda + l]   or, with transA, a[l*lda + i]
+///   B[l,j] = b[l*ldb + j]   or, with transB, b[j*ldb + l]
+/// so one entry point covers all four shapes the NN and linalg stacks need:
+///   Linear::forward   y = x W^T + b       (transB, bias)
+///   Linear::backward  dX = dY W           (plain)
+///                     dW += dY^T X        (transA, accumulate)
+///   linalg::matmul    C = A B             (plain)
+///   linalg::matmulTN  C = A^T B           (transA)
+///
+/// The arithmetic contract (the GEMM extension of the decode-attention
+/// contract in attn_row.hpp): every output element is one IEEE-754 sum in a
+/// fixed sequential k-order starting from init_ij, with FP contraction off.
+/// Backends may vectorize and block only across *independent* output
+/// elements — lanes are distinct output columns j, register blocks are
+/// distinct output rows i, and the k-loop per accumulator stays sequential —
+/// so every KernelPolicy backend produces exactly the naive loop's bits.
+/// k-strip blocking is allowed: flushing a register accumulator to C and
+/// resuming from the stored value is exact, so strips preserve the per-element
+/// operation sequence.  Packed B panels are pure copies (zero-padded lanes
+/// are never stored), so packing cannot perturb results either.
+///
+/// The optional BLAS path (-DNNQS_WITH_BLAS) is the one deliberate exception:
+/// it routes every non-kScalar policy to dgemm, which is fast but *not*
+/// bit-identical; kScalar remains the exact reference even in BLAS builds.
+struct GemmArgs {
+  Index m = 0, n = 0, k = 0;
+  const Real* a = nullptr;
+  Index lda = 0;
+  bool transA = false;
+  const Real* b = nullptr;
+  Index ldb = 0;
+  bool transB = false;
+  Real* c = nullptr;
+  Index ldc = 0;
+  const Real* bias = nullptr;  ///< [n] row added first, or nullptr
+  bool accumulate = false;     ///< C += instead of C = (exclusive with bias)
+};
+
+/// Run the GEMM under the given policy.  kScalar is the naive reference
+/// (ground truth); kSimd is the single-threaded register-blocked kernel
+/// (AVX-512 > AVX2 > scalar panels by cpuid); kThreaded adds the OpenMP
+/// row-block driver; kAuto picks kThreaded past a work threshold.
+void gemm(const GemmArgs& args, KernelPolicy policy = KernelPolicy::kAuto);
+
+/// Resolve kAuto against the problem size (mirrors resolvePolicy for the
+/// decode-attention kernels).
+KernelPolicy resolveGemmPolicy(KernelPolicy policy, Index m, Index n, Index k);
+
+/// True when this build routes non-kScalar GEMMs through an external BLAS
+/// (-DNNQS_WITH_BLAS): results are then close but not bit-identical, and
+/// tolerance-0 tests must degrade to epsilon comparisons.
+bool gemmUsesBlas();
+
+}  // namespace nnqs::nn::kernels

@@ -1,0 +1,155 @@
+// GEMM policy resolution and the blocked driver over the packed-panel
+// micro-kernels: C initialization (bias / accumulate / zero), k-strip
+// blocking with per-strip B packing, and the OpenMP tiling loop over row
+// blocks (disjoint C rows, so the threaded backend is trivially
+// bit-identical).  Also hosts the optional -DNNQS_WITH_BLAS route.
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "nn/kernels/gemm_micro.hpp"
+
+namespace nnqs::nn::kernels {
+
+namespace {
+
+/// Above this m*n*k the fork/join overhead of the threaded driver is paid
+/// back.  Deliberately unified upward from the historical if-clauses (the
+/// naive Linear threaded above 1<<15, linalg::matmul above 1<<16): the
+/// blocked kernel clears sub-1<<16 problems in well under the fork/join
+/// cost, so the old lower Linear threshold would only add overhead.
+constexpr Index kGemmThreadWork = Index{1} << 16;
+
+/// k-strip depth: bounds the packed buffer at ~kKc * n doubles and keeps a
+/// panel (kKc * nr reals) L2-resident.  Strip boundaries are exact: each C
+/// element's sum resumes from its stored partial, preserving the contract's
+/// sequential k-order.
+constexpr Index kKc = 384;
+
+/// Row-block height of the OpenMP tiling loop: an MR-blocked sweep of one
+/// block re-reads its packed panel from L2 while the A rows stay hot.
+constexpr Index kMc = 64;
+
+/// C[i,j] = init_ij: bias row, untouched accumulator, or zero.
+void initC(const GemmArgs& g) {
+  if (g.bias != nullptr) {
+    for (Index i = 0; i < g.m; ++i)
+      std::memcpy(g.c + i * g.ldc, g.bias, static_cast<std::size_t>(g.n) * sizeof(Real));
+  } else if (!g.accumulate) {
+    for (Index i = 0; i < g.m; ++i)
+      std::memset(g.c + i * g.ldc, 0, static_cast<std::size_t>(g.n) * sizeof(Real));
+  }
+}
+
+#ifdef NNQS_WITH_BLAS
+extern "C" void dgemm_(const char* transa, const char* transb, const int* m,
+                       const int* n, const int* k, const double* alpha,
+                       const double* a, const int* lda, const double* b,
+                       const int* ldb, const double* beta, double* c,
+                       const int* ldc);
+
+/// Row-major C = A B as column-major C^T = B^T A^T: the col-major view of a
+/// row-major buffer is its transpose, so an untransposed operand passes 'N'.
+/// beta = 1 because initC already wrote init_ij.
+void blasGemm(const GemmArgs& g) {
+  const char ta = g.transB ? 'T' : 'N';
+  const char tb = g.transA ? 'T' : 'N';
+  const int m = static_cast<int>(g.n), n = static_cast<int>(g.m),
+            k = static_cast<int>(g.k);
+  const int lda = static_cast<int>(g.ldb), ldb = static_cast<int>(g.lda),
+            ldc = static_cast<int>(g.ldc);
+  const double one = 1.0;
+  dgemm_(&ta, &tb, &m, &n, &k, &one, g.b, &lda, g.a, &ldb, &one, g.c, &ldc);
+}
+#endif
+
+/// The blocked path shared by kSimd and kThreaded: pack each k-strip of B
+/// into zero-padded nr-wide panels, then sweep row blocks x panels.
+void gemmBlocked(const GemmArgs& g, const detail::GemmMicro& micro, bool threaded) {
+  const Index nr = micro.nr;
+  const Index nPanels = (g.n + nr - 1) / nr;
+  const Index rowBlocks = (g.m + kMc - 1) / kMc;
+  // Per-thread scratch reused across calls: the decode path runs 4+ Linears
+  // per layer per step, and a fresh zero-filled allocation each time would be
+  // exactly the per-step churn this backend exists to remove.  The pack loop
+  // below overwrites every element it uses (valid lanes and padding alike),
+  // so stale contents are harmless.  OpenMP workers only *read* the packed
+  // panels; packing happens on the calling thread.
+  static thread_local std::vector<Real> packedScratch;
+  const auto need = static_cast<std::size_t>(nPanels * nr * std::min(kKc, g.k));
+  if (packedScratch.size() < need) packedScratch.resize(need);
+  std::vector<Real>& packed = packedScratch;
+
+  for (Index l0 = 0; l0 < g.k; l0 += kKc) {
+    const Index lc = std::min(kKc, g.k - l0);
+    // Pack: pure copies into [lc][nr] panels, lanes >= w zero-padded.
+    for (Index p = 0; p < nPanels; ++p) {
+      const Index j0 = p * nr;
+      const Index w = std::min(nr, g.n - j0);
+      Real* bp = packed.data() + p * lc * nr;
+      for (Index l = 0; l < lc; ++l) {
+        Real* row = bp + l * nr;
+        for (Index jj = 0; jj < w; ++jj) row[jj] = detail::gemmB(g, l0 + l, j0 + jj);
+        for (Index jj = w; jj < nr; ++jj) row[jj] = 0.0;
+      }
+    }
+    // Sweep: a tile = (row block, panel) owns a disjoint C sub-block, so
+    // tiles parallelize freely; flattening both dimensions keeps tall-skinny
+    // problems (few row blocks, many panels — the matmulTN Gram shapes) and
+    // short-wide ones equally well supplied with parallel work.
+    const Index tiles = rowBlocks * nPanels;
+#pragma omp parallel for schedule(static) if (threaded && tiles > 1)
+    for (Index t = 0; t < tiles; ++t) {
+      const Index ib = t / nPanels, p = t % nPanels;
+      const Index i0 = ib * kMc;
+      const Index j0 = p * nr;
+      micro.panel(g, i0, std::min(kMc, g.m - i0), l0, lc,
+                  packed.data() + p * lc * nr, j0, std::min(nr, g.n - j0));
+    }
+  }
+}
+
+}  // namespace
+
+KernelPolicy resolveGemmPolicy(KernelPolicy policy, Index m, Index n, Index k) {
+  if (policy != KernelPolicy::kAuto) return policy;
+  return m * n * k > kGemmThreadWork ? KernelPolicy::kThreaded
+                                     : KernelPolicy::kSimd;
+}
+
+bool gemmUsesBlas() {
+#ifdef NNQS_WITH_BLAS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void gemm(const GemmArgs& g, KernelPolicy policy) {
+  assert(!(g.bias != nullptr && g.accumulate) &&
+         "gemm: bias and accumulate are exclusive init modes");
+  if (g.m <= 0 || g.n <= 0) return;
+  initC(g);
+  if (g.k <= 0) return;  // C = init only
+
+#ifdef NNQS_WITH_BLAS
+  if (policy != KernelPolicy::kScalar) {
+    blasGemm(g);
+    return;
+  }
+#endif
+
+  policy = resolveGemmPolicy(policy, g.m, g.n, g.k);
+  if (policy == KernelPolicy::kScalar) {
+    detail::gemmScalarRef(g);
+    return;
+  }
+  const detail::GemmMicro* micro = detail::avx512GemmMicro();
+  if (micro == nullptr) micro = detail::avx2GemmMicro();
+  if (micro == nullptr) micro = detail::scalarGemmMicro();
+  gemmBlocked(g, *micro, policy == KernelPolicy::kThreaded);
+}
+
+}  // namespace nnqs::nn::kernels

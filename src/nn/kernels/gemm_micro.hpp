@@ -1,0 +1,51 @@
+#pragma once
+
+// Internal header of the GEMM kernel backends: operand accessors, the packed
+// B-panel micro-kernel function type, and the backend probes.  The arithmetic
+// contract lives in gemm.hpp; the scalar implementations that define it are
+// in gemm_scalar.cpp.
+
+#include "nn/kernels/gemm.hpp"
+
+namespace nnqs::nn::kernels::detail {
+
+/// A[i,l] and B[l,j] of the math problem, through the trans flags.
+inline Real gemmA(const GemmArgs& g, Index i, Index l) {
+  return g.transA ? g.a[l * g.lda + i] : g.a[i * g.lda + l];
+}
+inline Real gemmB(const GemmArgs& g, Index l, Index j) {
+  return g.transB ? g.b[j * g.ldb + l] : g.b[l * g.ldb + j];
+}
+
+/// One packed-panel update: C[i0 .. i0+mc, j0 .. j0+w) += A[., l0 .. l0+lc) *
+/// panel.  `bp` is the panel of B columns j0 .. j0+w packed as [lc][nr]
+/// (column lanes contiguous per k-row, lanes >= w zero-padded; padded lanes
+/// are computed but never stored).  C must already hold init_ij (or the
+/// partial sum of earlier k-strips); the kernel loads C, accumulates the
+/// strip's terms in ascending l per element, and stores back — exactly the
+/// contract's sequential sum, register-blocked over MR rows x nr columns.
+using GemmPanelFn = void (*)(const GemmArgs& g, Index i0, Index mc, Index l0,
+                             Index lc, const Real* bp, Index j0, Index w);
+
+/// A backend = its panel width (the packing granularity) + the panel kernel.
+struct GemmMicro {
+  Index nr;
+  GemmPanelFn panel;
+};
+
+/// Whole-problem naive reference for KernelPolicy::kScalar — the loop the
+/// contract is defined by (C pre-initialized by the driver).
+void gemmScalarRef(const GemmArgs& g);
+
+/// Packed-path scalar panels: the fallback micro-kernel when no SIMD backend
+/// is compiled in / supported, and the ground truth for the packed loop
+/// structure itself.
+const GemmMicro* scalarGemmMicro();
+
+/// AVX2 / AVX-512 register-blocked micro-kernels, or nullptr when not
+/// compiled in or not supported by this CPU (cpuid probe, as for the
+/// decode-attention kernels).
+const GemmMicro* avx2GemmMicro();
+const GemmMicro* avx512GemmMicro();
+
+}  // namespace nnqs::nn::kernels::detail

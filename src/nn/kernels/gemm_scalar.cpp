@@ -1,0 +1,46 @@
+// Scalar GEMM backends: the naive reference loop that defines the arithmetic
+// contract (gemm.hpp), and the scalar packed-panel micro-kernel used both as
+// the no-SIMD fallback of the blocked driver and as the ground truth for the
+// packed loop structure.  Compiled with -ffp-contract=off like every file
+// that implements contract arithmetic.
+
+#include "nn/kernels/gemm_micro.hpp"
+
+namespace nnqs::nn::kernels::detail {
+
+void gemmScalarRef(const GemmArgs& g) {
+  // C holds init_ij already (driver); one sequential ascending-l sum each.
+  for (Index i = 0; i < g.m; ++i) {
+    Real* ci = g.c + i * g.ldc;
+    for (Index j = 0; j < g.n; ++j) {
+      Real s = ci[j];
+      for (Index l = 0; l < g.k; ++l) s += gemmA(g, i, l) * gemmB(g, l, j);
+      ci[j] = s;
+    }
+  }
+}
+
+namespace {
+
+constexpr Index kScalarNr = 8;
+
+void scalarPanel(const GemmArgs& g, Index i0, Index mc, Index l0, Index lc,
+                 const Real* bp, Index j0, Index w) {
+  for (Index i = i0; i < i0 + mc; ++i) {
+    Real* ci = g.c + i * g.ldc + j0;
+    for (Index jj = 0; jj < w; ++jj) {
+      Real s = ci[jj];
+      for (Index l = 0; l < lc; ++l)
+        s += gemmA(g, i, l0 + l) * bp[l * kScalarNr + jj];
+      ci[jj] = s;
+    }
+  }
+}
+
+constexpr GemmMicro kScalarMicro{kScalarNr, &scalarPanel};
+
+}  // namespace
+
+const GemmMicro* scalarGemmMicro() { return &kScalarMicro; }
+
+}  // namespace nnqs::nn::kernels::detail

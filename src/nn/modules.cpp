@@ -17,60 +17,82 @@ Linear::Linear(Index in, Index out, Rng& rng, std::string name)
 }
 
 Tensor Linear::forward(const Tensor& x, bool cache) {
+  return forward(x, cache, kernels::KernelPolicy::kAuto);
+}
+
+Tensor Linear::forward(const Tensor& x, bool cache, kernels::KernelPolicy policy) {
+  if (x.numel() % in_ != 0)
+    throw std::invalid_argument("Linear::forward: input numel not divisible by in features");
   const Index rows = x.numel() / in_;
   Tensor y({rows, out_});
-  const Real* xd = x.data.data();
-  const Real* wd = w.value.data.data();
-  const Real* bd = b.value.data.data();
-  Real* yd = y.data.data();
-#pragma omp parallel for schedule(static) if (rows * in_ * out_ > 1 << 15)
-  for (Index r = 0; r < rows; ++r) {
-    const Real* xr = xd + r * in_;
-    Real* yr = yd + r * out_;
-    for (Index o = 0; o < out_; ++o) {
-      const Real* wo = wd + o * in_;
-      Real s = bd[o];
-      for (Index i = 0; i < in_; ++i) s += wo[i] * xr[i];
-      yr[o] = s;
-    }
+  // y = x W^T + b on the register-blocked GEMM backend (bit-identical to the
+  // naive loop under every policy).
+  kernels::GemmArgs g;
+  g.m = rows;
+  g.n = out_;
+  g.k = in_;
+  g.a = x.data.data();
+  g.lda = in_;
+  g.b = w.value.data.data();
+  g.ldb = in_;
+  g.transB = true;  // W is [out, in]: B[l,j] = W[j,l]
+  g.c = y.data.data();
+  g.ldc = out_;
+  g.bias = b.value.data.data();
+  kernels::gemm(g, policy);
+  if (cache) {
+    cachedX_ = x;
+    hasCache_ = true;
+  } else {
+    cachedX_ = Tensor{};
+    hasCache_ = false;
   }
-  if (cache) cachedX_ = x;
   return y;
 }
 
 Tensor Linear::backward(const Tensor& dy) {
-  if (cachedX_.empty()) throw std::logic_error("Linear::backward without cache");
+  if (!hasCache_)
+    throw std::logic_error("Linear::backward without cache (last forward ran with cache=false)");
+  if (dy.numel() % out_ != 0)
+    throw std::invalid_argument("Linear::backward: dy numel not divisible by out features");
   const Index rows = dy.numel() / out_;
+  if (rows * in_ != cachedX_.numel())
+    throw std::invalid_argument("Linear::backward: dy rows do not match cached input");
   Tensor dx({rows, in_});
-  const Real* dyd = dy.data.data();
-  const Real* xd = cachedX_.data.data();
-  const Real* wd = w.value.data.data();
-  Real* dxd = dx.data.data();
   // dX = dY W
-#pragma omp parallel for schedule(static) if (rows * in_ * out_ > 1 << 15)
-  for (Index r = 0; r < rows; ++r) {
-    const Real* dyr = dyd + r * out_;
-    Real* dxr = dxd + r * in_;
-    for (Index o = 0; o < out_; ++o) {
-      const Real g = dyr[o];
-      if (g == 0.0) continue;
-      const Real* wo = wd + o * in_;
-      for (Index i = 0; i < in_; ++i) dxr[i] += g * wo[i];
-    }
-  }
-  // dW += dY^T X ; db += colsum(dY)   (serial: params are shared state)
-  Real* dwd = w.grad.data.data();
+  kernels::GemmArgs gx;
+  gx.m = rows;
+  gx.n = in_;
+  gx.k = out_;
+  gx.a = dy.data.data();
+  gx.lda = out_;
+  gx.b = w.value.data.data();
+  gx.ldb = in_;  // B[l,j] = W[l,j]
+  gx.c = dx.data.data();
+  gx.ldc = in_;
+  kernels::gemm(gx);
+  // dW += dY^T X (threaded rows of dW are disjoint, so accumulating into the
+  // shared parameter is race-free; the ascending-r sum per element matches
+  // the historical serial loop bit for bit).
+  kernels::GemmArgs gw;
+  gw.m = out_;
+  gw.n = in_;
+  gw.k = rows;
+  gw.a = dy.data.data();
+  gw.lda = out_;
+  gw.transA = true;  // A[o,r] = dY[r,o]
+  gw.b = cachedX_.data.data();
+  gw.ldb = in_;
+  gw.c = w.grad.data.data();
+  gw.ldc = in_;
+  gw.accumulate = true;
+  kernels::gemm(gw);
+  // db += colsum(dY): ascending-r per output, as before.
+  const Real* dyd = dy.data.data();
   Real* dbd = b.grad.data.data();
   for (Index r = 0; r < rows; ++r) {
     const Real* dyr = dyd + r * out_;
-    const Real* xr = xd + r * in_;
-    for (Index o = 0; o < out_; ++o) {
-      const Real g = dyr[o];
-      if (g == 0.0) continue;
-      dbd[o] += g;
-      Real* dwo = dwd + o * in_;
-      for (Index i = 0; i < in_; ++i) dwo[i] += g * xr[i];
-    }
+    for (Index o = 0; o < out_; ++o) dbd[o] += dyr[o];
   }
   return dx;
 }
@@ -88,6 +110,8 @@ LayerNorm::LayerNorm(Index dim, std::string name)
 }
 
 Tensor LayerNorm::forward(const Tensor& x, bool cache) {
+  if (x.numel() % dim_ != 0)
+    throw std::invalid_argument("LayerNorm::forward: input numel not divisible by dim");
   const Index rows = x.numel() / dim_;
   Tensor y({rows, dim_});
   Tensor xhat({rows, dim_});
@@ -112,13 +136,23 @@ Tensor LayerNorm::forward(const Tensor& x, bool cache) {
   if (cache) {
     cachedXhat_ = std::move(xhat);
     cachedInvStd_ = std::move(invStd);
+    hasCache_ = true;
+  } else {
+    cachedXhat_ = Tensor{};
+    cachedInvStd_.clear();
+    hasCache_ = false;
   }
   return y;
 }
 
 Tensor LayerNorm::backward(const Tensor& dy) {
-  if (cachedXhat_.empty()) throw std::logic_error("LayerNorm::backward without cache");
+  if (!hasCache_)
+    throw std::logic_error("LayerNorm::backward without cache (last forward ran with cache=false)");
+  if (dy.numel() % dim_ != 0)
+    throw std::invalid_argument("LayerNorm::backward: dy numel not divisible by dim");
   const Index rows = dy.numel() / dim_;
+  if (rows * dim_ != cachedXhat_.numel())
+    throw std::invalid_argument("LayerNorm::backward: dy rows do not match cached input");
   Tensor dx({rows, dim_});
   for (Index r = 0; r < rows; ++r) {
     const Real* dyr = dy.data.data() + r * dim_;
@@ -156,12 +190,21 @@ Tensor Gelu::forward(const Tensor& x, bool cache) {
     const Real t = std::tanh(kGeluC * (v + 0.044715 * v * v * v));
     v = 0.5 * v * (1.0 + t);
   }
-  if (cache) cachedX_ = x;
+  if (cache) {
+    cachedX_ = x;
+    hasCache_ = true;
+  } else {
+    cachedX_ = Tensor{};
+    hasCache_ = false;
+  }
   return y;
 }
 
 Tensor Gelu::backward(const Tensor& dy) {
-  if (cachedX_.empty()) throw std::logic_error("Gelu::backward without cache");
+  if (!hasCache_)
+    throw std::logic_error("Gelu::backward without cache (last forward ran with cache=false)");
+  if (dy.numel() != cachedX_.numel())
+    throw std::invalid_argument("Gelu::backward: dy shape does not match cached input");
   Tensor dx = dy;
   for (std::size_t i = 0; i < dx.data.size(); ++i) {
     const Real v = cachedX_.data[i];
@@ -179,12 +222,21 @@ Tensor Gelu::backward(const Tensor& dy) {
 Tensor TanhAct::forward(const Tensor& x, bool cache) {
   Tensor y = x;
   for (auto& v : y.data) v = std::tanh(v);
-  if (cache) cachedY_ = y;
+  if (cache) {
+    cachedY_ = y;
+    hasCache_ = true;
+  } else {
+    cachedY_ = Tensor{};
+    hasCache_ = false;
+  }
   return y;
 }
 
 Tensor TanhAct::backward(const Tensor& dy) {
-  if (cachedY_.empty()) throw std::logic_error("TanhAct::backward without cache");
+  if (!hasCache_)
+    throw std::logic_error("TanhAct::backward without cache (last forward ran with cache=false)");
+  if (dy.numel() != cachedY_.numel())
+    throw std::invalid_argument("TanhAct::backward: dy shape does not match cached output");
   Tensor dx = dy;
   for (std::size_t i = 0; i < dx.data.size(); ++i)
     dx.data[i] *= 1.0 - cachedY_.data[i] * cachedY_.data[i];
@@ -214,13 +266,23 @@ Tensor Embedding::forward(const std::vector<int>& tokens, Index seqLen, bool cac
   if (cache) {
     cachedTokens_ = tokens;
     cachedSeqLen_ = seqLen;
+    hasCache_ = true;
+  } else {
+    cachedTokens_.clear();
+    cachedSeqLen_ = 0;
+    hasCache_ = false;
   }
   return y;
 }
 
 void Embedding::backward(const Tensor& dy) {
-  if (cachedTokens_.empty()) throw std::logic_error("Embedding::backward without cache");
+  // hasCache_, not cachedTokens_.empty(): a cached zero-row forward is a
+  // legitimate empty batch whose backward is a no-op, not a logic error.
+  if (!hasCache_)
+    throw std::logic_error("Embedding::backward without cache (last forward ran with cache=false)");
   const Index rows = static_cast<Index>(cachedTokens_.size());
+  if (dy.numel() != rows * dim_)
+    throw std::invalid_argument("Embedding::backward: dy rows do not match cached tokens");
   for (Index r = 0; r < rows; ++r) {
     const Index t = cachedTokens_[static_cast<std::size_t>(r)];
     const Index pos = r % cachedSeqLen_;

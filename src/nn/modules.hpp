@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/kernels/gemm.hpp"
 #include "nn/tensor.hpp"
 
 namespace nnqs::nn {
@@ -13,6 +14,11 @@ namespace nnqs::nn {
 /// single subsequent `backward(dy)` can return dx and accumulate parameter
 /// gradients.  (The VMC driver runs exactly one cached forward + one backward
 /// per iteration; sampling uses cache=false inference calls.)
+///
+/// A `cache=false` forward *invalidates* any previously cached activations:
+/// `backward` must consume the immediately preceding cached forward, and a
+/// backward after a non-caching forward throws instead of silently computing
+/// gradients against stale inputs.
 class Module {
  public:
   virtual ~Module() = default;
@@ -28,11 +34,16 @@ class Module {
   Tensor stepForward(const Tensor& x) { return forward(x, /*cache=*/false); }
 };
 
-/// Y = X W^T + b with W[out,in].
+/// Y = X W^T + b with W[out,in].  Forward and both backward GEMMs (dX = dY W,
+/// dW += dY^T X) run on the register-blocked kernels::gemm backend; every
+/// KernelPolicy is bit-identical to the naive loops this replaced.
 class Linear : public Module {
  public:
   Linear(Index in, Index out, Rng& rng, std::string name);
   Tensor forward(const Tensor& x, bool cache) override;
+  /// Policy-selecting forward for the decode path (DecodeState::kernel); the
+  /// Module override uses kAuto.
+  Tensor forward(const Tensor& x, bool cache, kernels::KernelPolicy policy);
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>& out) override;
 
@@ -41,6 +52,7 @@ class Linear : public Module {
  private:
   Index in_, out_;
   Tensor cachedX_;
+  bool hasCache_ = false;
 };
 
 /// LayerNorm over the last dimension.
@@ -57,6 +69,7 @@ class LayerNorm : public Module {
   Index dim_;
   Tensor cachedXhat_;
   std::vector<Real> cachedInvStd_;
+  bool hasCache_ = false;
 };
 
 /// GELU (tanh approximation), elementwise.
@@ -68,6 +81,7 @@ class Gelu : public Module {
 
  private:
   Tensor cachedX_;
+  bool hasCache_ = false;
 };
 
 /// Tanh, elementwise (phase network).
@@ -79,6 +93,7 @@ class TanhAct : public Module {
 
  private:
   Tensor cachedY_;
+  bool hasCache_ = false;
 };
 
 /// Token + learned positional embedding: tokens[R] (R = B*L) -> [R, d].
@@ -98,6 +113,9 @@ class Embedding {
   Index dim_;
   std::vector<int> cachedTokens_;
   Index cachedSeqLen_ = 0;
+  // Distinguishes "no cached forward" from a legitimately cached empty batch
+  // (cachedTokens_ is empty in both; only the first must make backward throw).
+  bool hasCache_ = false;
 };
 
 }  // namespace nnqs::nn

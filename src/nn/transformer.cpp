@@ -24,7 +24,10 @@ Tensor DecoderBlock::forward(const Tensor& x, bool cache) {
 Tensor DecoderBlock::decodeStep(const Tensor& x, DecodeState& state, Index layer) {
   Tensor h = attn_.decodeStep(ln1_.stepForward(x), state, layer);
   for (std::size_t i = 0; i < h.data.size(); ++i) h.data[i] += x.data[i];
-  Tensor f = ff2_.stepForward(gelu_.stepForward(ff1_.stepForward(ln2_.stepForward(h))));
+  // The ff GEMMs run on the state's kernel policy, like the qkv/proj ones.
+  Tensor f = ff2_.forward(
+      gelu_.stepForward(ff1_.forward(ln2_.stepForward(h), false, state.kernel)),
+      false, state.kernel);
   for (std::size_t i = 0; i < f.data.size(); ++i) f.data[i] += h.data[i];
   return f;
 }
@@ -86,7 +89,7 @@ Tensor TransformerAR::decodeStep(DecodeState& state, const std::vector<int>& tok
     x = blocks_[l]->decodeStep(x, state, static_cast<Index>(l));
   ++state.len;
   x = lnFinal_.stepForward(x);
-  return head_.stepForward(x);  // [B, 4]
+  return head_.forward(x, /*cache=*/false, state.kernel);  // [B, 4]
 }
 
 void TransformerAR::backward(const Tensor& dLogits) {

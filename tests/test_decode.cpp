@@ -8,10 +8,19 @@
 #include <cmath>
 #include <vector>
 
+#include "nn/kernels/gemm.hpp"
 #include "nqs/sampler.hpp"
 
 using namespace nnqs;
 using namespace nnqs::nqs;
+
+// The bit-identity tests assume every GEMM policy reproduces the naive
+// loop's bits.  A -DNNQS_WITH_BLAS build deliberately trades that away for
+// dgemm speed (only kScalar stays exact there), so the cross-engine
+// sample-set comparisons are skipped rather than left latently flaky.
+#define NNQS_SKIP_IF_BLAS()                                                  \
+  if (nnqs::nn::kernels::gemmUsesBlas())                                     \
+    GTEST_SKIP() << "BLAS GEMM route is not bit-identical across policies"
 
 namespace {
 
@@ -128,6 +137,7 @@ TEST(Decode, BatchBasBitIdenticalAcrossPolicies) {
   // sample set: the kernel backends share one arithmetic contract
   // (src/nn/kernels/attn_row.hpp), so this holds bit for bit, not just
   // statistically.
+  NNQS_SKIP_IF_BLAS();
   QiankunNet net(smallConfig(12, 3, 3));
   SamplerOptions opts;
   opts.nSamples = 1 << 14;
@@ -146,6 +156,7 @@ TEST(Decode, BatchBasBitIdenticalAcrossPolicies) {
 }
 
 TEST(Decode, ParallelBasBitIdenticalAcrossPolicies) {
+  NNQS_SKIP_IF_BLAS();
   QiankunNet net(smallConfig(12, 3, 2));
   SamplerOptions opts;
   opts.nSamples = 1 << 13;
@@ -165,6 +176,7 @@ TEST(Decode, ParallelBasBitIdenticalAcrossPolicies) {
 }
 
 TEST(Decode, SingleSampleBitIdenticalAcrossPolicies) {
+  NNQS_SKIP_IF_BLAS();
   QiankunNet net(smallConfig(10, 2, 3));
   for (std::uint64_t seed : {3u, 17u, 90u}) {
     Rng rngA(seed), rngB(seed);

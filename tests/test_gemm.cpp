@@ -1,0 +1,239 @@
+// GEMM kernel backends: exact (tolerance-0) agreement between the naive
+// reference loop, the scalar packed path, and the SIMD/threaded blocked
+// backends, over ragged/odd shapes, all four operand layouts, bias /
+// accumulate init modes, empty rows, and the linalg::matmul / matmulTN and
+// Linear rewirings.  In a -DNNQS_WITH_BLAS build the non-kScalar policies
+// route to dgemm, which is close but not bit-identical, so the comparisons
+// degrade to epsilon tolerances there (gemmUsesBlas()).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/modules.hpp"
+
+using namespace nnqs;
+using namespace nnqs::nn;
+using kernels::GemmArgs;
+using kernels::KernelPolicy;
+
+namespace {
+
+/// A randomized GEMM problem owning its buffers; run() returns a fresh C.
+struct Problem {
+  Index m, n, k;
+  bool transA, transB;
+  std::vector<Real> a, b, bias, c0;
+
+  Problem(Index m_, Index n_, Index k_, bool ta, bool tb, Rng& rng)
+      : m(m_), n(n_), k(k_), transA(ta), transB(tb),
+        a(static_cast<std::size_t>(m * k)), b(static_cast<std::size_t>(k * n)),
+        bias(static_cast<std::size_t>(n)), c0(static_cast<std::size_t>(m * n)) {
+    for (auto& v : a) v = rng.normal();
+    for (auto& v : b) v = rng.normal();
+    for (auto& v : bias) v = rng.normal();
+    for (auto& v : c0) v = rng.normal();  // accumulate-mode initial C
+  }
+
+  /// mode 0: C = A B; mode 1: C = bias + A B; mode 2: C += A B (from c0).
+  [[nodiscard]] std::vector<Real> run(KernelPolicy policy, int mode) const {
+    std::vector<Real> c = mode == 2 ? c0 : std::vector<Real>(static_cast<std::size_t>(m * n), -7.0);
+    GemmArgs g;
+    g.m = m;
+    g.n = n;
+    g.k = k;
+    g.a = a.data();
+    g.lda = transA ? m : k;
+    g.transA = transA;
+    g.b = b.data();
+    g.ldb = transB ? k : n;
+    g.transB = transB;
+    g.c = c.data();
+    g.ldc = n;
+    if (mode == 1) g.bias = bias.data();
+    if (mode == 2) g.accumulate = true;
+    kernels::gemm(g, policy);
+    return c;
+  }
+
+  /// Independent naive evaluation of the contract (not via the backend).
+  [[nodiscard]] std::vector<Real> reference(int mode) const {
+    std::vector<Real> c(static_cast<std::size_t>(m * n));
+    for (Index i = 0; i < m; ++i)
+      for (Index j = 0; j < n; ++j) {
+        Real s = mode == 1 ? bias[static_cast<std::size_t>(j)]
+                           : (mode == 2 ? c0[static_cast<std::size_t>(i * n + j)] : 0.0);
+        for (Index l = 0; l < k; ++l) {
+          const Real av = transA ? a[static_cast<std::size_t>(l * m + i)]
+                                 : a[static_cast<std::size_t>(i * k + l)];
+          const Real bv = transB ? b[static_cast<std::size_t>(j * k + l)]
+                                 : b[static_cast<std::size_t>(l * n + j)];
+          s += av * bv;
+        }
+        c[static_cast<std::size_t>(i * n + j)] = s;
+      }
+    return c;
+  }
+};
+
+void expectSame(const std::vector<Real>& ref, const std::vector<Real>& got,
+                const char* what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (kernels::gemmUsesBlas())
+      EXPECT_NEAR(got[i], ref[i], 1e-11 * (1.0 + std::abs(ref[i]))) << what << " c[" << i << "]";
+    else
+      EXPECT_EQ(ref[i], got[i]) << what << " c[" << i << "]";  // tolerance 0
+  }
+}
+
+}  // namespace
+
+TEST(Gemm, BackendsBitIdenticalOnRaggedShapes) {
+  // Odd everything: panel tails (n mod 16 / mod 8), row-block and MR tails
+  // (m mod 64 / mod 4), multi-strip k (> 384), and single rows/cols.
+  Rng rng(2025);
+  struct Shape {
+    Index m, n, k;
+  };
+  const Shape shapes[] = {
+      {1, 1, 1},    {1, 17, 5},   {4, 16, 8},    {5, 3, 7},
+      {33, 21, 13}, {64, 192, 64}, {65, 15, 70}, {7, 130, 401},  // k > one strip
+      {130, 7, 3},  {2, 8, 390},
+  };
+  for (const auto& s : shapes)
+    for (const bool ta : {false, true})
+      for (const bool tb : {false, true})
+        for (int mode = 0; mode < 3; ++mode) {
+          Problem p(s.m, s.n, s.k, ta, tb, rng);
+          const auto ref = p.run(KernelPolicy::kScalar, mode);
+          // kScalar must equal the independent naive loop exactly (including
+          // in BLAS builds: kScalar stays the exact reference there).
+          const auto naive = p.reference(mode);
+          for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(naive[i], ref[i]) << "scalar ref m=" << s.m << " n=" << s.n;
+          expectSame(ref, p.run(KernelPolicy::kSimd, mode), "simd");
+          expectSame(ref, p.run(KernelPolicy::kThreaded, mode), "threaded");
+          expectSame(ref, p.run(KernelPolicy::kAuto, mode), "auto");
+        }
+}
+
+TEST(Gemm, EmptyDimensionsAreHandled) {
+  Rng rng(3);
+  for (auto policy : {KernelPolicy::kScalar, KernelPolicy::kSimd,
+                      KernelPolicy::kThreaded, KernelPolicy::kAuto}) {
+    // m = 0: nothing to write.
+    Problem pm(0, 4, 3, false, false, rng);
+    EXPECT_TRUE(pm.run(policy, 0).empty());
+    // k = 0: C = init only (zero / bias / untouched accumulator).
+    Problem pk(3, 4, 0, false, false, rng);
+    const auto zero = pk.run(policy, 0);
+    for (Real v : zero) EXPECT_EQ(v, 0.0);
+    const auto biased = pk.run(policy, 1);
+    for (Index i = 0; i < 3; ++i)
+      for (Index j = 0; j < 4; ++j)
+        EXPECT_EQ(biased[static_cast<std::size_t>(i * 4 + j)],
+                  pk.bias[static_cast<std::size_t>(j)]);
+    const auto kept = pk.run(policy, 2);
+    EXPECT_EQ(kept, pk.c0);
+  }
+}
+
+TEST(Gemm, PolicyResolution) {
+  // kAuto threads only past the work threshold; explicit policies stick.
+  EXPECT_EQ(kernels::resolveGemmPolicy(KernelPolicy::kAuto, 4, 4, 4),
+            KernelPolicy::kSimd);
+  EXPECT_EQ(kernels::resolveGemmPolicy(KernelPolicy::kAuto, 256, 256, 256),
+            KernelPolicy::kThreaded);
+  EXPECT_EQ(kernels::resolveGemmPolicy(KernelPolicy::kScalar, 256, 256, 256),
+            KernelPolicy::kScalar);
+  EXPECT_EQ(kernels::resolveGemmPolicy(KernelPolicy::kSimd, 256, 256, 256),
+            KernelPolicy::kSimd);
+}
+
+TEST(Gemm, LinearForwardMatchesHandLoop) {
+  // The Linear rewiring end to end: y = x W^T + b, bit-identical to the
+  // naive per-row loop it replaced (epsilon under BLAS).
+  Rng rng(11);
+  const Index in = 19, out = 23, rows = 9;
+  Linear lin(in, out, rng, "t");
+  Tensor x({rows, in});
+  x.randn(rng, 1.0);
+  const Tensor y = lin.forward(x, false);
+  ASSERT_EQ(y.numel(), rows * out);
+  for (Index r = 0; r < rows; ++r)
+    for (Index o = 0; o < out; ++o) {
+      Real s = lin.b.value[static_cast<std::size_t>(o)];
+      for (Index i = 0; i < in; ++i)
+        s += lin.w.value[static_cast<std::size_t>(o * in + i)] *
+             x.data[static_cast<std::size_t>(r * in + i)];
+      const Real got = y.data[static_cast<std::size_t>(r * out + o)];
+      if (kernels::gemmUsesBlas())
+        EXPECT_NEAR(got, s, 1e-12 * (1.0 + std::abs(s)));
+      else
+        EXPECT_EQ(got, s) << "y[" << r << "," << o << "]";
+    }
+}
+
+TEST(Gemm, LinearPoliciesAgree) {
+  // The decode path plumbs DecodeState::kernel into Linear: every policy
+  // must produce the same activations (bit-identical without BLAS).
+  Rng rng(13);
+  const Index in = 64, out = 192, rows = 37;
+  Linear lin(in, out, rng, "qkv");
+  Tensor x({rows, in});
+  x.randn(rng, 1.0);
+  const Tensor ref = lin.forward(x, false, KernelPolicy::kScalar);
+  for (auto policy : {KernelPolicy::kSimd, KernelPolicy::kThreaded, KernelPolicy::kAuto}) {
+    const Tensor got = lin.forward(x, false, policy);
+    for (std::size_t i = 0; i < ref.data.size(); ++i) {
+      if (kernels::gemmUsesBlas())
+        EXPECT_NEAR(got.data[i], ref.data[i], 1e-11 * (1.0 + std::abs(ref.data[i])));
+      else
+        EXPECT_EQ(ref.data[i], got.data[i]) << i;
+    }
+  }
+}
+
+TEST(Gemm, MatmulMatchesReferenceLoop) {
+  Rng rng(17);
+  linalg::Matrix a(23, 37), b(37, 29);
+  for (Index i = 0; i < 23; ++i)
+    for (Index j = 0; j < 37; ++j) a(i, j) = rng.normal();
+  for (Index i = 0; i < 37; ++i)
+    for (Index j = 0; j < 29; ++j) b(i, j) = rng.normal();
+  const linalg::Matrix c = linalg::matmul(a, b);
+  for (Index i = 0; i < 23; ++i)
+    for (Index j = 0; j < 29; ++j) {
+      Real s = 0;
+      for (Index l = 0; l < 37; ++l) s += a(i, l) * b(l, j);
+      if (kernels::gemmUsesBlas())
+        EXPECT_NEAR(c(i, j), s, 1e-11 * (1.0 + std::abs(s)));
+      else
+        EXPECT_EQ(c(i, j), s) << i << "," << j;
+    }
+}
+
+TEST(Gemm, MatmulTNMatchesTransposedMatmulExactly) {
+  // Both run the same contract with the same k-order, so they agree to the
+  // bit (not just to rounding) without BLAS.
+  Rng rng(19);
+  linalg::Matrix a(31, 14), b(31, 18);
+  for (Index i = 0; i < 31; ++i) {
+    for (Index j = 0; j < 14; ++j) a(i, j) = rng.normal();
+    for (Index j = 0; j < 18; ++j) b(i, j) = rng.normal();
+  }
+  const linalg::Matrix c1 = linalg::matmulTN(a, b);
+  const linalg::Matrix c2 = linalg::matmul(a.transposed(), b);
+  for (Index i = 0; i < 14; ++i)
+    for (Index j = 0; j < 18; ++j) {
+      if (kernels::gemmUsesBlas())
+        EXPECT_NEAR(c1(i, j), c2(i, j), 1e-11 * (1.0 + std::abs(c2(i, j))));
+      else
+        EXPECT_EQ(c1(i, j), c2(i, j)) << i << "," << j;
+    }
+}

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/modules.hpp"
 #include "nn/optimizer.hpp"
@@ -110,6 +111,154 @@ TEST(TransformerAR, PrefixWindowConsistency) {
     for (int t = 0; t < 4; ++t)
       EXPECT_NEAR(part.data[(w - 1) * 4 + t], all.data[(w - 1) * 4 + t], 1e-10);
   }
+}
+
+// ---- stale-cache regression: a cache=false forward invalidates the cache,
+// so a subsequent backward throws instead of silently computing gradients
+// against the *previous* cached activations.
+
+TEST(StaleCache, LinearThrowsAfterNonCachingForward) {
+  Rng rng(21);
+  Linear lin(3, 2, rng, "t");
+  Tensor x({2, 3}), dy({2, 2});
+  x.randn(rng, 1.0);
+  dy.randn(rng, 1.0);
+  lin.forward(x, true);
+  EXPECT_NO_THROW(lin.backward(dy));  // proper cached flow still works
+  lin.forward(x, true);
+  lin.forward(x, false);  // invalidates: backward must not use the stale cache
+  EXPECT_THROW(lin.backward(dy), std::logic_error);
+  EXPECT_THROW(lin.backward(dy), std::logic_error);  // stays invalid
+}
+
+TEST(StaleCache, LayerNormThrowsAfterNonCachingForward) {
+  Rng rng(22);
+  LayerNorm ln(4, "t");
+  Tensor x({3, 4}), dy({3, 4});
+  x.randn(rng, 1.0);
+  dy.randn(rng, 1.0);
+  ln.forward(x, true);
+  EXPECT_NO_THROW(ln.backward(dy));
+  ln.forward(x, true);
+  ln.forward(x, false);
+  EXPECT_THROW(ln.backward(dy), std::logic_error);
+}
+
+TEST(StaleCache, GeluThrowsAfterNonCachingForward) {
+  Rng rng(23);
+  Gelu g;
+  Tensor x({2, 5}), dy({2, 5});
+  x.randn(rng, 1.0);
+  dy.randn(rng, 1.0);
+  g.forward(x, true);
+  EXPECT_NO_THROW(g.backward(dy));
+  g.forward(x, true);
+  g.forward(x, false);
+  EXPECT_THROW(g.backward(dy), std::logic_error);
+}
+
+TEST(StaleCache, TanhActThrowsAfterNonCachingForward) {
+  Rng rng(24);
+  TanhAct t;
+  Tensor x({2, 5}), dy({2, 5});
+  x.randn(rng, 1.0);
+  dy.randn(rng, 1.0);
+  t.forward(x, true);
+  EXPECT_NO_THROW(t.backward(dy));
+  t.forward(x, true);
+  t.forward(x, false);
+  EXPECT_THROW(t.backward(dy), std::logic_error);
+}
+
+TEST(StaleCache, EmbeddingThrowsAfterNonCachingForward) {
+  Rng rng(25);
+  Embedding emb(5, 4, 3, rng, "t");
+  Tensor dy({2, 3});
+  dy.randn(rng, 1.0);
+  emb.forward({1, 2}, 2, true);
+  EXPECT_NO_THROW(emb.backward(dy));
+  emb.forward({1, 2}, 2, true);
+  emb.forward({1, 2}, 2, false);
+  EXPECT_THROW(emb.backward(dy), std::logic_error);
+}
+
+TEST(StaleCache, AttentionThrowsAfterNonCachingForward) {
+  Rng rng(26);
+  CausalSelfAttention attn(8, 2, 3, rng, "t");
+  Tensor x({6, 8}), dy({6, 8});
+  x.randn(rng, 1.0);
+  dy.randn(rng, 1.0);
+  attn.forward(x, true);
+  EXPECT_NO_THROW(attn.backward(dy));
+  attn.forward(x, true);
+  attn.forward(x, false);
+  EXPECT_THROW(attn.backward(dy), std::logic_error);
+  // A decode step is an inference forward too: it must invalidate as well.
+  attn.forward(x, true);
+  DecodeState st;
+  st.begin(2, 3, 8, 1);
+  Tensor step({2, 8});
+  step.randn(rng, 1.0);
+  attn.decodeStep(step, st, 0);
+  EXPECT_THROW(attn.backward(dy), std::logic_error);
+}
+
+// ---- empty-batch regression: a *cached* zero-row forward is a valid cache
+// (empty batches occur on ranks with no local samples); backward must be a
+// no-op, not a logic_error — the old cachedTokens_.empty() sentinel conflated
+// the two.
+
+TEST(EmptyBatch, EmbeddingBackwardAfterCachedEmptyForwardIsNoOp) {
+  Rng rng(27);
+  Embedding emb(5, 4, 3, rng, "t");
+  const Tensor y = emb.forward({}, 4, true);
+  EXPECT_EQ(y.numel(), 0);
+  Tensor dy({0, 3});
+  EXPECT_NO_THROW(emb.backward(dy));
+  for (Real v : emb.token.grad.data) EXPECT_EQ(v, 0.0);
+  // Without any cached forward it still throws.
+  emb.forward({}, 4, false);
+  EXPECT_THROW(emb.backward(dy), std::logic_error);
+}
+
+TEST(EmptyBatch, LinearCachedEmptyForwardBackwardIsNoOp) {
+  Rng rng(28);
+  Linear lin(3, 2, rng, "t");
+  lin.forward(Tensor({0, 3}), true);
+  Tensor dx;
+  EXPECT_NO_THROW(dx = lin.backward(Tensor({0, 2})));
+  EXPECT_EQ(dx.numel(), 0);
+  for (Real v : lin.w.grad.data) EXPECT_EQ(v, 0.0);
+}
+
+// ---- shape-mismatch regression: inputs whose numel is not divisible by the
+// feature width used to be silently truncated to whole rows.
+
+TEST(ShapeCheck, LinearRejectsIndivisibleInput) {
+  Rng rng(29);
+  Linear lin(3, 2, rng, "t");
+  Tensor bad({2, 4});  // 8 % 3 != 0
+  EXPECT_THROW(lin.forward(bad, false), std::invalid_argument);
+  // backward: dy not divisible by out, and dy rows != cached rows.
+  Tensor x({2, 3});
+  x.randn(rng, 1.0);
+  lin.forward(x, true);
+  Tensor badDy({1, 3});  // 3 % 2 != 0
+  EXPECT_THROW(lin.backward(badDy), std::invalid_argument);
+  Tensor wrongRows({3, 2});  // divisible but 3 rows vs 2 cached
+  EXPECT_THROW(lin.backward(wrongRows), std::invalid_argument);
+}
+
+TEST(ShapeCheck, LayerNormRejectsIndivisibleInput) {
+  LayerNorm ln(4, "t");
+  Tensor bad({2, 3});  // 6 % 4 != 0
+  EXPECT_THROW(ln.forward(bad, false), std::invalid_argument);
+  Rng rng(30);
+  Tensor x({2, 4});
+  x.randn(rng, 1.0);
+  ln.forward(x, true);
+  Tensor badDy({3, 3});
+  EXPECT_THROW(ln.backward(badDy), std::invalid_argument);
 }
 
 TEST(AdamW, ConvergesOnQuadratic) {
