@@ -64,6 +64,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   g.ldb = b.cols();
   g.c = c.data();
   g.ldc = b.cols();
+  g.cZeroed = true;  // the Matrix constructor just value-initialized C
   nn::kernels::gemm(g);
   return c;
 }
@@ -82,6 +83,7 @@ Matrix matmulTN(const Matrix& a, const Matrix& b) {
   g.ldb = b.cols();
   g.c = c.data();
   g.ldc = b.cols();
+  g.cZeroed = true;  // the Matrix constructor just value-initialized C
   nn::kernels::gemm(g);
   return c;
 }

@@ -1,6 +1,7 @@
 #include "nn/attention.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace nnqs::nn {
@@ -78,9 +79,9 @@ Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
   return proj_.forward(ctx, cache);
 }
 
-Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState& state,
-                                       Index layer) {
-  const Index batch = x.numel() / d_;
+void CausalSelfAttention::decodeStep(const Real* x, Index batch,
+                                     DecodeState& state, Index layer,
+                                     Real* out) {
   const Index pos = state.len;
   const Index maxLen = state.maxLen;
   const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
@@ -93,15 +94,17 @@ Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState& state,
   cachedWindow_ = 0;
   hasCache_ = false;
 
-  // [B, 3D]: q | k | v per row, on the GEMM backend of the state's policy.
-  Tensor qkv = qkv_.forward(x, /*cache=*/false, state.kernel);
+  // [B, 3D]: q | k | v per row, on the GEMM backend of the state's policy,
+  // carved from the decode workspace (no per-step tensor churn).
+  Real* qkv = state.ws.alloc(batch * 3 * d_);
+  qkv_.forwardInto(x, batch, qkv, state.kernel);
   // Append this position's keys/values to the arena: K position-transposed
   // ([D][maxLen] per slot), V position-major ([maxLen][D] per slot) — the
   // layouts the kernel backends stream contiguously (decode_state.hpp).
   Real* kBase = state.kSlot(layer, 0);
   Real* vBase = state.vSlot(layer, 0);
   for (Index b = 0; b < batch; ++b) {
-    const Real* row = qkv.data.data() + b * 3 * d_;
+    const Real* row = qkv + b * 3 * d_;
     const Index slot = state.rowSlot[static_cast<std::size_t>(b)];
     Real* kDst = kBase + slot * maxLen * d_ + pos;
     Real* vDst = vBase + (slot * maxLen + pos) * d_;
@@ -111,7 +114,10 @@ Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState& state,
     }
   }
 
-  Tensor ctx({batch, d_});
+  // The attention kernel accumulates into ctx, so the carved span needs the
+  // explicit zero the Tensor constructor used to provide.
+  Real* ctx = state.ws.alloc(batch * d_);
+  std::memset(ctx, 0, static_cast<std::size_t>(batch * d_) * sizeof(Real));
   kernels::DecodeAttnArgs args;
   args.batch = batch;
   args.heads = heads_;
@@ -119,16 +125,16 @@ Tensor CausalSelfAttention::decodeStep(const Tensor& x, DecodeState& state,
   args.dModel = d_;
   args.pos = pos;
   args.maxLen = maxLen;
-  args.q = qkv.data.data();  // q is the first D of each fused row
+  args.q = qkv;  // q is the first D of each fused row
   args.qStride = 3 * d_;
   args.k = kBase;
   args.v = vBase;
   args.slots = state.rowSlot.data();
-  args.ctx = ctx.data.data();
+  args.ctx = ctx;
   args.scale = scale;
   kernels::decodeAttention(args, state.kernel);
 
-  return proj_.forward(ctx, /*cache=*/false, state.kernel);
+  proj_.forwardInto(ctx, batch, out, state.kernel);
 }
 
 Tensor CausalSelfAttention::backward(const Tensor& dy) {

@@ -24,7 +24,12 @@ class CausalSelfAttention : public Module {
   /// the kernel backend selected by `state.kernel` (src/nn/kernels/).
   /// Arithmetic mirrors forward() row `pos` exactly under every backend, so
   /// full-forward and decode paths agree bit for bit.
-  Tensor decodeStep(const Tensor& x, DecodeState& state, Index layer);
+  ///
+  /// Zero-allocation contract: `out` [B, D] is caller storage and the qkv /
+  /// context scratch is carved from `state.ws`, so a warm step touches no
+  /// heap (counts as a cache=false forward; invalidates the backward cache).
+  void decodeStep(const Real* x, Index batch, DecodeState& state, Index layer,
+                  Real* out);
 
   /// Sequence length of the next forward call (sampling uses growing
   /// prefix windows; the causal mask keeps shorter windows consistent).

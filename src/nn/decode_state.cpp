@@ -9,14 +9,22 @@ namespace nnqs::nn {
 
 void DecodeState::begin(Index b, Index L, Index d, Index layers,
                         kernels::KernelPolicy k) {
+  const Index needCap = b > 0 ? b : 1;
+  // Arena reuse across sweeps (see the header): same layout + enough slots
+  // means no reallocation and no re-zeroing.
+  const bool reuse =
+      maxLen == L && dModel == d && nLayers == layers && capacity >= needCap &&
+      arena.size() == static_cast<std::size_t>(layers * 2 * capacity * L * d);
   batch = b;
   len = 0;
   maxLen = L;
   dModel = d;
   nLayers = layers;
   kernel = k;
-  capacity = b > 0 ? b : 1;
-  arena.assignZero(static_cast<std::size_t>(nLayers * 2 * capacity * slotStride()));
+  if (!reuse) {
+    capacity = needCap;
+    arena.assignZero(static_cast<std::size_t>(nLayers * 2 * capacity * slotStride()));
+  }
   rowSlot.resize(static_cast<std::size_t>(b));
   std::iota(rowSlot.begin(), rowSlot.end(), Index{0});
   freeSlots.clear();

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "nn/kernels/kernels.hpp"
+#include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
 
 namespace nnqs::nn {
 
@@ -43,6 +45,13 @@ struct DecodeState {
   std::vector<Index> rowSlot;   ///< [batch] live row -> arena slot (distinct)
   std::vector<Index> freeSlots; ///< unassigned slot ids
 
+  /// Scratch arena all per-step activation buffers are carved from, and the
+  /// state-owned logits tensor decodeStep writes its [batch, 4] output into —
+  /// both persist across steps *and* across begin() calls, so a warm
+  /// steady-state sweep performs zero heap allocations (workspace.hpp).
+  Workspace ws;
+  Tensor logits;
+
   /// Work accounting of the most recent gather(), for regression tests: the
   /// arena path must copy only duplicated rows and only live positions.
   struct GatherStats {
@@ -72,7 +81,13 @@ struct DecodeState {
     return arena.data() + ((layer * 2 + 1) * capacity + slot) * slotStride();
   }
 
-  /// Start a fresh decode over `batch` rows of up to `maxLen` steps.
+  /// Start a fresh decode over `batch` rows of up to `maxLen` steps.  When
+  /// the layout (maxLen, dModel, nLayers) matches the previous decode and the
+  /// rows fit the existing capacity, the arena allocation is reused without
+  /// re-zeroing: every K/V position a sweep reads is written earlier in that
+  /// same sweep (appends fill 0..len-1 of every live row; split copies move
+  /// only live positions), so stale contents are never observed and the
+  /// fresh zero-fill would be pure cost.
   void begin(Index batch, Index maxLen, Index dModel, Index nLayers,
              kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto);
 

@@ -92,20 +92,24 @@ void decodeAttention(const DecodeAttnArgs& a, KernelPolicy policy) {
   if (policy == KernelPolicy::kScalar || row == nullptr) row = &detail::scalarRow;
 
   // Per-head e_j arrays plus one rinv per head (attn_row.hpp scratch layout).
+  // The scratch is thread_local and kept across calls (like the GEMM pack
+  // buffer): the decode path runs one decodeAttention per layer per step, and
+  // a fresh vector each call was a steady-state heap allocation the
+  // zero-allocation decode contract forbids.
   const auto scratchLen =
       static_cast<std::size_t>(a.heads * (a.pos + 1) + a.heads);
+  static thread_local std::vector<Real> scoresScratch;
   if (policy == KernelPolicy::kThreaded && a.batch * a.heads > kMinTilesForThreads) {
 #pragma omp parallel
     {
-      // Per-thread scratch reused across the whole row sweep: a heap
-      // allocation per row would dominate this decode hot loop.
-      std::vector<Real> scores(scratchLen);
+      // Each worker grows its own thread_local once, then reuses it.
+      if (scoresScratch.size() < scratchLen) scoresScratch.resize(scratchLen);
 #pragma omp for schedule(static)
-      for (Index b = 0; b < a.batch; ++b) row(a, b, scores.data());
+      for (Index b = 0; b < a.batch; ++b) row(a, b, scoresScratch.data());
     }
   } else {
-    std::vector<Real> scores(scratchLen);
-    for (Index b = 0; b < a.batch; ++b) row(a, b, scores.data());
+    if (scoresScratch.size() < scratchLen) scoresScratch.resize(scratchLen);
+    for (Index b = 0; b < a.batch; ++b) row(a, b, scoresScratch.data());
   }
 }
 

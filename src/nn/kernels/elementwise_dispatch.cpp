@@ -1,0 +1,100 @@
+// Elementwise-kernel policy resolution and the serial / OpenMP-threaded
+// drivers: disjoint element chunks for the GELU sweeps, disjoint rows for the
+// fused residual + LayerNorm kernels.  Chunk and row boundaries cannot
+// perturb results (every output element's operation sequence is local to its
+// chunk/row), so the threaded backend is trivially bit-identical.
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/kernels/elementwise_impl.hpp"
+
+namespace nnqs::nn::kernels {
+
+namespace {
+
+/// Below this many elements the fork/join overhead of the threaded driver
+/// exceeds the sweep work (GELU is ~20 FLOPs/element, so this is a smaller
+/// threshold than the GEMM one).
+constexpr Index kEwThreadWork = Index{1} << 14;
+
+/// Element chunk of the threaded GELU driver: big enough to amortize the
+/// loop, small enough to load-balance ragged sizes.
+constexpr Index kEwChunk = Index{1} << 12;
+
+const detail::EwBackend* pickBackend(KernelPolicy policy) {
+  if (policy == KernelPolicy::kScalar) return detail::scalarEwBackend();
+  const detail::EwBackend* be = detail::avx512EwBackend();
+  if (be == nullptr) be = detail::avx2EwBackend();
+  if (be == nullptr) be = detail::scalarEwBackend();
+  return be;
+}
+
+template <typename RangeFn>
+void runChunked(KernelPolicy policy, Index n, const RangeFn& fn) {
+  if (policy == KernelPolicy::kThreaded && n > kEwChunk) {
+    const Index chunks = (n + kEwChunk - 1) / kEwChunk;
+#pragma omp parallel for schedule(static)
+    for (Index c = 0; c < chunks; ++c) {
+      const Index off = c * kEwChunk;
+      fn(off, std::min(kEwChunk, n - off));
+    }
+  } else {
+    fn(Index{0}, n);
+  }
+}
+
+}  // namespace
+
+KernelPolicy resolveElementwisePolicy(KernelPolicy policy, Index work) {
+  if (policy != KernelPolicy::kAuto) return policy;
+  return work > kEwThreadWork ? KernelPolicy::kThreaded : KernelPolicy::kSimd;
+}
+
+void gelu(const Real* x, Real* y, Index n, KernelPolicy policy) {
+  if (n <= 0) return;
+  policy = resolveElementwisePolicy(policy, n);
+  const detail::EwBackend* be = pickBackend(policy);
+  runChunked(policy, n,
+             [&](Index off, Index len) { be->geluForward(x + off, y + off, len); });
+}
+
+void geluBackward(const Real* x, const Real* dy, Real* dx, Index n,
+                  KernelPolicy policy) {
+  if (n <= 0) return;
+  policy = resolveElementwisePolicy(policy, n);
+  const detail::EwBackend* be = pickBackend(policy);
+  runChunked(policy, n, [&](Index off, Index len) {
+    be->geluBackward(x + off, dy + off, dx + off, len);
+  });
+}
+
+void residualLayerNorm(const ResidualLnArgs& a, KernelPolicy policy) {
+  if (a.rows <= 0 || a.dim <= 0) return;
+  assert((a.res == nullptr) == (a.h == nullptr) &&
+         "residualLayerNorm: res and h go together");
+  policy = resolveElementwisePolicy(policy, a.rows * a.dim);
+  const detail::EwBackend* be = pickBackend(policy);
+  if (policy == KernelPolicy::kThreaded && a.rows > 1) {
+#pragma omp parallel for schedule(static)
+    for (Index r = 0; r < a.rows; ++r) be->lnRowForward(a, r);
+  } else {
+    for (Index r = 0; r < a.rows; ++r) be->lnRowForward(a, r);
+  }
+}
+
+void layerNormBackward(const LayerNormBwdArgs& a, KernelPolicy policy) {
+  if (a.rows <= 0 || a.dim <= 0) return;
+  policy = resolveElementwisePolicy(policy, a.rows * a.dim);
+  const detail::EwBackend* be = pickBackend(policy);
+  // Param grads first: shared ascending-row accumulators, serial by contract.
+  be->lnParamGrads(a);
+  if (policy == KernelPolicy::kThreaded && a.rows > 1) {
+#pragma omp parallel for schedule(static)
+    for (Index r = 0; r < a.rows; ++r) be->lnRowBackward(a, r);
+  } else {
+    for (Index r = 0; r < a.rows; ++r) be->lnRowBackward(a, r);
+  }
+}
+
+}  // namespace nnqs::nn::kernels

@@ -48,6 +48,10 @@ struct GemmArgs {
   Index ldc = 0;
   const Real* bias = nullptr;  ///< [n] row added first, or nullptr
   bool accumulate = false;     ///< C += instead of C = (exclusive with bias)
+  /// The caller guarantees C is already zero-filled (a value-initialized
+  /// destination): the plain C = A B init skips its redundant re-zeroing.
+  /// Only meaningful without bias/accumulate.
+  bool cZeroed = false;
 };
 
 /// Run the GEMM under the given policy.  kScalar is the naive reference

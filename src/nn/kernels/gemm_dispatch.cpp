@@ -32,12 +32,15 @@ constexpr Index kKc = 384;
 /// block re-reads its packed panel from L2 while the A rows stay hot.
 constexpr Index kMc = 64;
 
-/// C[i,j] = init_ij: bias row, untouched accumulator, or zero.
+/// C[i,j] = init_ij: bias row, untouched accumulator, or zero.  cZeroed
+/// callers already hold a value-initialized C, so re-zeroing it here was a
+/// pure double fill (the uninitialized Tensor path covers the bias mode,
+/// where the destination needs no fill at all).
 void initC(const GemmArgs& g) {
   if (g.bias != nullptr) {
     for (Index i = 0; i < g.m; ++i)
       std::memcpy(g.c + i * g.ldc, g.bias, static_cast<std::size_t>(g.n) * sizeof(Real));
-  } else if (!g.accumulate) {
+  } else if (!g.accumulate && !g.cZeroed) {
     for (Index i = 0; i < g.m; ++i)
       std::memset(g.c + i * g.ldc, 0, static_cast<std::size_t>(g.n) * sizeof(Real));
   }

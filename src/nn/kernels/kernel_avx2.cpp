@@ -27,42 +27,11 @@
 
 #include <immintrin.h>
 
+#include "nn/kernels/simd_exp.hpp"  // exp4: softmaxExp per lane
+
 namespace nnqs::nn::kernels::detail {
 
 namespace {
-
-/// softmaxExp() on 4 lanes: the same IEEE mul/add/round sequence per lane.
-inline __m256d exp4(__m256d x) {
-  const __m256d n = _mm256_round_pd(_mm256_mul_pd(x, _mm256_set1_pd(kExpLog2e)),
-                                    _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  const __m256d r = _mm256_sub_pd(
-      _mm256_sub_pd(x, _mm256_mul_pd(n, _mm256_set1_pd(kExpLn2Hi))),
-      _mm256_mul_pd(n, _mm256_set1_pd(kExpLn2Lo)));
-  const __m256d r2 = _mm256_mul_pd(r, r);
-  const __m256d r4 = _mm256_mul_pd(r2, r2);
-  const __m256d r8 = _mm256_mul_pd(r4, r4);
-  const auto pair = [&r](double c0, double c1) {
-    return _mm256_add_pd(_mm256_set1_pd(c0),
-                         _mm256_mul_pd(_mm256_set1_pd(c1), r));
-  };
-  const __m256d g0 = _mm256_add_pd(pair(kExpC[0], kExpC[1]),
-                                   _mm256_mul_pd(r2, pair(kExpC[2], kExpC[3])));
-  const __m256d g1 = _mm256_add_pd(pair(kExpC[4], kExpC[5]),
-                                   _mm256_mul_pd(r2, pair(kExpC[6], kExpC[7])));
-  const __m256d g2 = _mm256_add_pd(pair(kExpC[8], kExpC[9]),
-                                   _mm256_mul_pd(r2, pair(kExpC[10], kExpC[11])));
-  const __m256d g3 = pair(kExpC[12], kExpC[13]);
-  const __m256d p = _mm256_add_pd(_mm256_add_pd(g0, _mm256_mul_pd(r4, g1)),
-                                  _mm256_mul_pd(r8, _mm256_add_pd(g2, _mm256_mul_pd(r4, g3))));
-  // 2^n via the exponent field, as in softmaxExp (n integral, in int32 range
-  // for all non-underflowing inputs; underflowing lanes are masked to 0).
-  const __m128i n32 = _mm256_cvtpd_epi32(n);
-  const __m256i bits = _mm256_slli_epi64(
-      _mm256_add_epi64(_mm256_cvtepi32_epi64(n32), _mm256_set1_epi64x(1023)), 52);
-  const __m256d res = _mm256_mul_pd(p, _mm256_castsi256_pd(bits));
-  const __m256d live = _mm256_cmp_pd(x, _mm256_set1_pd(kExpLowest), _CMP_GT_OQ);
-  return _mm256_and_pd(res, live);
-}
 
 void avx2Head(const DecodeAttnArgs& a, Index b, Index h, Real* scores) {
   const Index slot = a.slots[b];

@@ -20,40 +20,11 @@
 
 #include <immintrin.h>
 
+#include "nn/kernels/simd_exp.hpp"  // exp8: softmaxExp per lane
+
 namespace nnqs::nn::kernels::detail {
 
 namespace {
-
-/// softmaxExp() on 8 lanes: the same IEEE mul/add/round sequence per lane.
-inline __m512d exp8(__m512d x) {
-  const __m512d n = _mm512_roundscale_pd(_mm512_mul_pd(x, _mm512_set1_pd(kExpLog2e)),
-                                         _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  const __m512d r = _mm512_sub_pd(
-      _mm512_sub_pd(x, _mm512_mul_pd(n, _mm512_set1_pd(kExpLn2Hi))),
-      _mm512_mul_pd(n, _mm512_set1_pd(kExpLn2Lo)));
-  const __m512d r2 = _mm512_mul_pd(r, r);
-  const __m512d r4 = _mm512_mul_pd(r2, r2);
-  const __m512d r8 = _mm512_mul_pd(r4, r4);
-  const auto pair = [&r](double c0, double c1) {
-    return _mm512_add_pd(_mm512_set1_pd(c0),
-                         _mm512_mul_pd(_mm512_set1_pd(c1), r));
-  };
-  const __m512d g0 = _mm512_add_pd(pair(kExpC[0], kExpC[1]),
-                                   _mm512_mul_pd(r2, pair(kExpC[2], kExpC[3])));
-  const __m512d g1 = _mm512_add_pd(pair(kExpC[4], kExpC[5]),
-                                   _mm512_mul_pd(r2, pair(kExpC[6], kExpC[7])));
-  const __m512d g2 = _mm512_add_pd(pair(kExpC[8], kExpC[9]),
-                                   _mm512_mul_pd(r2, pair(kExpC[10], kExpC[11])));
-  const __m512d g3 = pair(kExpC[12], kExpC[13]);
-  const __m512d p = _mm512_add_pd(_mm512_add_pd(g0, _mm512_mul_pd(r4, g1)),
-                                  _mm512_mul_pd(r8, _mm512_add_pd(g2, _mm512_mul_pd(r4, g3))));
-  const __m256i n32 = _mm512_cvtpd_epi32(n);
-  const __m512i bits = _mm512_slli_epi64(
-      _mm512_add_epi64(_mm512_cvtepi32_epi64(n32), _mm512_set1_epi64(1023)), 52);
-  const __m512d res = _mm512_mul_pd(p, _mm512_castsi512_pd(bits));
-  const __mmask8 live = _mm512_cmp_pd_mask(x, _mm512_set1_pd(kExpLowest), _CMP_GT_OQ);
-  return _mm512_maskz_mov_pd(live, res);
-}
 
 /// Scores + softmax numerator of one head: e_j into `scores`, returns rinv.
 Real headScoresExp(const DecodeAttnArgs& a, const Real* q, const Real* kHead,

@@ -5,10 +5,6 @@
 
 namespace nnqs::nn {
 
-namespace {
-constexpr Real kGeluC = 0.7978845608028654;  // sqrt(2/pi)
-}
-
 // ---------------------------------------------------------------- Linear ---
 
 Linear::Linear(Index in, Index out, Rng& rng, std::string name)
@@ -24,30 +20,37 @@ Tensor Linear::forward(const Tensor& x, bool cache, kernels::KernelPolicy policy
   if (x.numel() % in_ != 0)
     throw std::invalid_argument("Linear::forward: input numel not divisible by in features");
   const Index rows = x.numel() / in_;
-  Tensor y({rows, out_});
+  // Uninitialized destination: the GEMM's bias init writes every element, so
+  // a zero-filled constructor would be the double-fill the kernels remove.
+  Tensor y = Tensor::uninit({rows, out_});
+  forwardInto(x.data.data(), rows, y.data.data(), policy);
+  if (cache) {
+    cachedX_ = x;
+    hasCache_ = true;
+  }
+  return y;
+}
+
+void Linear::forwardInto(const Real* x, Index rows, Real* y,
+                         kernels::KernelPolicy policy) {
+  // A raw-buffer call is a cache=false forward: invalidate (modules.hpp).
+  cachedX_ = Tensor{};
+  hasCache_ = false;
   // y = x W^T + b on the register-blocked GEMM backend (bit-identical to the
   // naive loop under every policy).
   kernels::GemmArgs g;
   g.m = rows;
   g.n = out_;
   g.k = in_;
-  g.a = x.data.data();
+  g.a = x;
   g.lda = in_;
   g.b = w.value.data.data();
   g.ldb = in_;
   g.transB = true;  // W is [out, in]: B[l,j] = W[j,l]
-  g.c = y.data.data();
+  g.c = y;
   g.ldc = out_;
   g.bias = b.value.data.data();
   kernels::gemm(g, policy);
-  if (cache) {
-    cachedX_ = x;
-    hasCache_ = true;
-  } else {
-    cachedX_ = Tensor{};
-    hasCache_ = false;
-  }
-  return y;
 }
 
 Tensor Linear::backward(const Tensor& dy) {
@@ -58,7 +61,8 @@ Tensor Linear::backward(const Tensor& dy) {
   const Index rows = dy.numel() / out_;
   if (rows * in_ != cachedX_.numel())
     throw std::invalid_argument("Linear::backward: dy rows do not match cached input");
-  Tensor dx({rows, in_});
+  // Uninitialized: the GEMM's zero init is the single fill of dx.
+  Tensor dx = Tensor::uninit({rows, in_});
   // dX = dY W
   kernels::GemmArgs gx;
   gx.m = rows;
@@ -113,35 +117,24 @@ Tensor LayerNorm::forward(const Tensor& x, bool cache) {
   if (x.numel() % dim_ != 0)
     throw std::invalid_argument("LayerNorm::forward: input numel not divisible by dim");
   const Index rows = x.numel() / dim_;
-  Tensor y({rows, dim_});
-  Tensor xhat({rows, dim_});
-  std::vector<Real> invStd(static_cast<std::size_t>(rows));
-  for (Index r = 0; r < rows; ++r) {
-    const Real* xr = x.data.data() + r * dim_;
-    Real mean = 0;
-    for (Index i = 0; i < dim_; ++i) mean += xr[i];
-    mean /= static_cast<Real>(dim_);
-    Real var = 0;
-    for (Index i = 0; i < dim_; ++i) var += (xr[i] - mean) * (xr[i] - mean);
-    var /= static_cast<Real>(dim_);
-    const Real is = 1.0 / std::sqrt(var + 1e-5);
-    invStd[static_cast<std::size_t>(r)] = is;
-    for (Index i = 0; i < dim_; ++i) {
-      const Real xh = (xr[i] - mean) * is;
-      xhat.data[static_cast<std::size_t>(r * dim_ + i)] = xh;
-      y.data[static_cast<std::size_t>(r * dim_ + i)] =
-          gamma.value[static_cast<std::size_t>(i)] * xh + beta.value[static_cast<std::size_t>(i)];
-    }
-  }
+  Tensor y = Tensor::uninit({rows, dim_});
+  kernels::ResidualLnArgs a;
+  a.rows = rows;
+  a.dim = dim_;
+  a.x = x.data.data();
+  a.gamma = gamma.value.data.data();
+  a.beta = beta.value.data.data();
+  a.y = y.data.data();
   if (cache) {
-    cachedXhat_ = std::move(xhat);
-    cachedInvStd_ = std::move(invStd);
+    cachedXhat_ = Tensor::uninit({rows, dim_});
+    cachedInvStd_.resize(static_cast<std::size_t>(rows));
+    a.xhat = cachedXhat_.data.data();
+    a.invStd = cachedInvStd_.data();
     hasCache_ = true;
   } else {
-    cachedXhat_ = Tensor{};
-    cachedInvStd_.clear();
-    hasCache_ = false;
+    invalidate();
   }
+  kernels::residualLayerNorm(a);
   return y;
 }
 
@@ -153,27 +146,18 @@ Tensor LayerNorm::backward(const Tensor& dy) {
   const Index rows = dy.numel() / dim_;
   if (rows * dim_ != cachedXhat_.numel())
     throw std::invalid_argument("LayerNorm::backward: dy rows do not match cached input");
-  Tensor dx({rows, dim_});
-  for (Index r = 0; r < rows; ++r) {
-    const Real* dyr = dy.data.data() + r * dim_;
-    const Real* xh = cachedXhat_.data.data() + r * dim_;
-    // dxhat = dy * gamma ; accumulate param grads.
-    Real sumDxh = 0, sumDxhXh = 0;
-    std::vector<Real> dxh(static_cast<std::size_t>(dim_));
-    for (Index i = 0; i < dim_; ++i) {
-      gamma.grad[static_cast<std::size_t>(i)] += dyr[i] * xh[i];
-      beta.grad[static_cast<std::size_t>(i)] += dyr[i];
-      dxh[static_cast<std::size_t>(i)] = dyr[i] * gamma.value[static_cast<std::size_t>(i)];
-      sumDxh += dxh[static_cast<std::size_t>(i)];
-      sumDxhXh += dxh[static_cast<std::size_t>(i)] * xh[i];
-    }
-    const Real is = cachedInvStd_[static_cast<std::size_t>(r)];
-    for (Index i = 0; i < dim_; ++i)
-      dx.data[static_cast<std::size_t>(r * dim_ + i)] =
-          is * (dxh[static_cast<std::size_t>(i)] -
-                sumDxh / static_cast<Real>(dim_) -
-                xh[i] * sumDxhXh / static_cast<Real>(dim_));
-  }
+  Tensor dx = Tensor::uninit({rows, dim_});
+  kernels::LayerNormBwdArgs a;
+  a.rows = rows;
+  a.dim = dim_;
+  a.dy = dy.data.data();
+  a.xhat = cachedXhat_.data.data();
+  a.invStd = cachedInvStd_.data();
+  a.gamma = gamma.value.data.data();
+  a.dgamma = gamma.grad.data.data();
+  a.dbeta = beta.grad.data.data();
+  a.dx = dx.data.data();
+  kernels::layerNormBackward(a);
   return dx;
 }
 
@@ -185,17 +169,13 @@ void LayerNorm::collectParameters(std::vector<Parameter*>& out) {
 // ------------------------------------------------------------------ Gelu ---
 
 Tensor Gelu::forward(const Tensor& x, bool cache) {
-  Tensor y = x;
-  for (auto& v : y.data) {
-    const Real t = std::tanh(kGeluC * (v + 0.044715 * v * v * v));
-    v = 0.5 * v * (1.0 + t);
-  }
+  Tensor y = Tensor::uninit(x.shape);
+  kernels::gelu(x.data.data(), y.data.data(), x.numel());
   if (cache) {
     cachedX_ = x;
     hasCache_ = true;
   } else {
-    cachedX_ = Tensor{};
-    hasCache_ = false;
+    invalidate();
   }
   return y;
 }
@@ -205,15 +185,9 @@ Tensor Gelu::backward(const Tensor& dy) {
     throw std::logic_error("Gelu::backward without cache (last forward ran with cache=false)");
   if (dy.numel() != cachedX_.numel())
     throw std::invalid_argument("Gelu::backward: dy shape does not match cached input");
-  Tensor dx = dy;
-  for (std::size_t i = 0; i < dx.data.size(); ++i) {
-    const Real v = cachedX_.data[i];
-    const Real u = kGeluC * (v + 0.044715 * v * v * v);
-    const Real t = std::tanh(u);
-    const Real du = kGeluC * (1.0 + 3.0 * 0.044715 * v * v);
-    const Real grad = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
-    dx.data[i] *= grad;
-  }
+  Tensor dx = Tensor::uninit(dy.shape);
+  kernels::geluBackward(cachedX_.data.data(), dy.data.data(), dx.data.data(),
+                        dy.numel());
   return dx;
 }
 
@@ -254,7 +228,7 @@ Embedding::Embedding(Index vocab, Index maxLen, Index dim, Rng& rng, std::string
 
 Tensor Embedding::forward(const std::vector<int>& tokens, Index seqLen, bool cache) {
   const Index rows = static_cast<Index>(tokens.size());
-  Tensor y({rows, dim_});
+  Tensor y = Tensor::uninit({rows, dim_});
   for (Index r = 0; r < rows; ++r) {
     const Index t = tokens[static_cast<std::size_t>(r)];
     const Index pos = r % seqLen;
@@ -296,17 +270,15 @@ void Embedding::backward(const Tensor& dy) {
   }
 }
 
-Tensor Embedding::stepForward(const std::vector<int>& tokens, Index pos) const {
+void Embedding::stepInto(const std::vector<int>& tokens, Index pos, Real* y) const {
   const Index rows = static_cast<Index>(tokens.size());
-  Tensor y({rows, dim_});
   const Real* pe = position.value.data.data() + pos * dim_;
   for (Index r = 0; r < rows; ++r) {
     const Index t = tokens[static_cast<std::size_t>(r)];
     const Real* te = token.value.data.data() + t * dim_;
-    Real* yr = y.data.data() + r * dim_;
+    Real* yr = y + r * dim_;
     for (Index i = 0; i < dim_; ++i) yr[i] = te[i] + pe[i];
   }
-  return y;
 }
 
 void Embedding::collectParameters(std::vector<Parameter*>& out) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/kernels/elementwise.hpp"
 #include "nn/kernels/gemm.hpp"
 #include "nn/tensor.hpp"
 
@@ -18,20 +19,15 @@ namespace nnqs::nn {
 /// A `cache=false` forward *invalidates* any previously cached activations:
 /// `backward` must consume the immediately preceding cached forward, and a
 /// backward after a non-caching forward throws instead of silently computing
-/// gradients against stale inputs.
+/// gradients against stale inputs.  The raw-buffer decode paths (`forwardInto`
+/// and the kernel calls in the transformer's decodeStep) are cache=false
+/// forwards under this invariant and invalidate the same way.
 class Module {
  public:
   virtual ~Module() = default;
   virtual Tensor forward(const Tensor& x, bool cache) = 0;
   virtual Tensor backward(const Tensor& dy) = 0;
   virtual void collectParameters(std::vector<Parameter*>& out) = 0;
-
-  /// Single-step inference for incremental decoding: one new token per batch
-  /// row, x = [B, dim].  Every row-wise module (Linear / LayerNorm / the
-  /// activations) is position-independent, so the default is exactly the
-  /// non-caching forward; only position-dependent modules (attention,
-  /// embedding) need dedicated step paths.
-  Tensor stepForward(const Tensor& x) { return forward(x, /*cache=*/false); }
 };
 
 /// Y = X W^T + b with W[out,in].  Forward and both backward GEMMs (dX = dY W,
@@ -44,6 +40,10 @@ class Linear : public Module {
   /// Policy-selecting forward for the decode path (DecodeState::kernel); the
   /// Module override uses kAuto.
   Tensor forward(const Tensor& x, bool cache, kernels::KernelPolicy policy);
+  /// Raw-buffer inference for the zero-allocation decode path: y [rows, out]
+  /// is caller storage (workspace-carved), fully overwritten.  Counts as a
+  /// cache=false forward (invalidates the backward cache).
+  void forwardInto(const Real* x, Index rows, Real* y, kernels::KernelPolicy policy);
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>& out) override;
 
@@ -55,13 +55,25 @@ class Linear : public Module {
   bool hasCache_ = false;
 };
 
-/// LayerNorm over the last dimension.
+/// LayerNorm over the last dimension, on the kernels::residualLayerNorm /
+/// kernels::layerNormBackward backends (elementwise.hpp; the decode path
+/// calls the same kernels directly with its residual fused in, so full-
+/// forward and decode activations stay bit-identical).
 class LayerNorm : public Module {
  public:
   LayerNorm(Index dim, std::string name);
   Tensor forward(const Tensor& x, bool cache) override;
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>& out) override;
+
+  /// Decode-path cache invalidation: the transformer's decodeStep runs this
+  /// module's arithmetic on the kernels directly (a cache=false forward under
+  /// the Module invariant), so it clears the backward cache through this.
+  void invalidate() {
+    cachedXhat_ = Tensor{};
+    cachedInvStd_.clear();
+    hasCache_ = false;
+  }
 
   Parameter gamma, beta;
 
@@ -72,12 +84,19 @@ class LayerNorm : public Module {
   bool hasCache_ = false;
 };
 
-/// GELU (tanh approximation), elementwise.
+/// GELU (tanh approximation), elementwise, on the kernels::gelu backends
+/// (vectorized branch-free tanh; elementwise.hpp).
 class Gelu : public Module {
  public:
   Tensor forward(const Tensor& x, bool cache) override;
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>&) override {}
+
+  /// Decode-path cache invalidation (see LayerNorm::invalidate).
+  void invalidate() {
+    cachedX_ = Tensor{};
+    hasCache_ = false;
+  }
 
  private:
   Tensor cachedX_;
@@ -104,8 +123,9 @@ class Embedding {
   void backward(const Tensor& dy);
   void collectParameters(std::vector<Parameter*>& out);
 
-  /// Single-step decode: embed tokens[B], all at sequence position `pos`.
-  Tensor stepForward(const std::vector<int>& tokens, Index pos) const;
+  /// Single-step decode: embed tokens[B], all at sequence position `pos`,
+  /// into caller storage y [B, dim] (fully overwritten).
+  void stepInto(const std::vector<int>& tokens, Index pos, Real* y) const;
 
   Parameter token, position;
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -9,16 +10,53 @@
 
 namespace nnqs::nn {
 
+/// std::allocator, except that *value-initialization requested with no
+/// arguments* becomes default-initialization: `resize(n)` on a vector of
+/// Reals leaves the new elements uninitialized instead of writing zeros.
+/// This is the storage of Tensor's uninitialized-construction path — every
+/// GEMM / kernel destination is fully overwritten by its producer, and the
+/// constructor zero-fill was measurable per-step churn on the decode path
+/// (kernels::gemm re-initializes C right after it).  Explicit fills
+/// (`assign(n, 0.0)`, copies) are unaffected.
+template <class T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+using RealBuffer = std::vector<Real, DefaultInitAllocator<Real>>;
+
 /// Minimal dense tensor: row-major data + shape.  The NN engine uses explicit
 /// per-module backprop (forward caches what backward needs), so no autograd
 /// graph machinery is required.
 struct Tensor {
   std::vector<Index> shape;
-  std::vector<Real> data;
+  RealBuffer data;
 
   Tensor() = default;
   explicit Tensor(std::vector<Index> s) : shape(std::move(s)) {
     data.assign(static_cast<std::size_t>(numel(shape)), 0.0);
+  }
+
+  /// Uninitialized construction: the buffer is sized but *not* zero-filled.
+  /// Only for destinations whose producer overwrites every element (GEMM C
+  /// with its own init modes, the elementwise kernels' outputs); reading an
+  /// element before writing it is indeterminate.
+  static Tensor uninit(std::vector<Index> s) {
+    Tensor t;
+    t.shape = std::move(s);
+    t.data.resize(static_cast<std::size_t>(numel(t.shape)));  // default-init
+    return t;
   }
 
   /// Element count of a shape; an empty shape has no elements (a scalar is

@@ -8,7 +8,8 @@ namespace nnqs::nn {
 
 DecoderBlock::DecoderBlock(Index dModel, Index nHeads, Index ffDim, Index seqLen,
                            Rng& rng, std::string name)
-    : ln1_(dModel, name + ".ln1"), ln2_(dModel, name + ".ln2"),
+    : d_(dModel), ffDim_(ffDim),
+      ln1_(dModel, name + ".ln1"), ln2_(dModel, name + ".ln2"),
       attn_(dModel, nHeads, seqLen, rng, name + ".attn"),
       ff1_(dModel, ffDim, rng, name + ".ff1"),
       ff2_(ffDim, dModel, rng, name + ".ff2") {}
@@ -21,15 +22,64 @@ Tensor DecoderBlock::forward(const Tensor& x, bool cache) {
   return f;
 }
 
-Tensor DecoderBlock::decodeStep(const Tensor& x, DecodeState& state, Index layer) {
-  Tensor h = attn_.decodeStep(ln1_.stepForward(x), state, layer);
-  for (std::size_t i = 0; i < h.data.size(); ++i) h.data[i] += x.data[i];
-  // The ff GEMMs run on the state's kernel policy, like the qkv/proj ones.
-  Tensor f = ff2_.forward(
-      gelu_.stepForward(ff1_.forward(ln2_.stepForward(h), false, state.kernel)),
-      false, state.kernel);
-  for (std::size_t i = 0; i < f.data.size(); ++i) f.data[i] += h.data[i];
-  return f;
+void DecoderBlock::decodeStep(const Real* a, const Real* r, DecodeState& state,
+                              Index layer, const Real** aOut, const Real** rOut) {
+  const Index batch = state.batch;
+  const Index n = batch * d_;
+  Workspace& ws = state.ws;
+  // Kernel calls below are cache=false forwards (modules.hpp invariant).
+  ln1_.invalidate();
+  ln2_.invalidate();
+  gelu_.invalidate();
+
+  // ln1, fused with the previous stage's deferred residual: materializes the
+  // block input x = a + r (needed again as the attention residual) while the
+  // mean partials accumulate.
+  Real* pre = ws.alloc(n);
+  const Real* xMat = a;  // block input; a itself when there is no residual
+  kernels::ResidualLnArgs ln1;
+  ln1.rows = batch;
+  ln1.dim = d_;
+  ln1.x = a;
+  ln1.res = r;
+  ln1.gamma = ln1_.gamma.value.data.data();
+  ln1.beta = ln1_.beta.value.data.data();
+  ln1.y = pre;
+  if (r != nullptr) {
+    Real* h = ws.alloc(n);
+    ln1.h = h;
+    xMat = h;
+  }
+  kernels::residualLayerNorm(ln1, state.kernel);
+
+  Real* attnOut = ws.alloc(n);
+  attn_.decodeStep(pre, batch, state, layer, attnOut);
+
+  // ln2, fused with the attention residual: h2 = attnOut + x.
+  Real* h2 = ws.alloc(n);
+  Real* ln2out = ws.alloc(n);
+  kernels::ResidualLnArgs ln2;
+  ln2.rows = batch;
+  ln2.dim = d_;
+  ln2.x = attnOut;
+  ln2.res = xMat;
+  ln2.gamma = ln2_.gamma.value.data.data();
+  ln2.beta = ln2_.beta.value.data.data();
+  ln2.h = h2;
+  ln2.y = ln2out;
+  kernels::residualLayerNorm(ln2, state.kernel);
+
+  // FF on the state's kernel policy, like the qkv/proj GEMMs; GELU runs
+  // in place on the [B, ffDim] activations (elementwise, aliasing-safe).
+  Real* f1 = ws.alloc(batch * ffDim_);
+  ff1_.forwardInto(ln2out, batch, f1, state.kernel);
+  kernels::gelu(f1, f1, batch * ffDim_, state.kernel);
+  Real* f2 = ws.alloc(n);
+  ff2_.forwardInto(f1, batch, f2, state.kernel);
+
+  // Block output = f2 + h2, deferred into the next fused residual+LN.
+  *aOut = f2;
+  *rOut = h2;
 }
 
 Tensor DecoderBlock::backward(const Tensor& dy) {
@@ -78,18 +128,50 @@ void TransformerAR::beginDecode(DecodeState& state, Index batch,
   state.begin(batch, seqLen_, d_, static_cast<Index>(blocks_.size()), kernel);
 }
 
-Tensor TransformerAR::decodeStep(DecodeState& state, const std::vector<int>& tokens) {
+const Tensor& TransformerAR::decodeStep(DecodeState& state,
+                                        const std::vector<int>& tokens) {
   if (static_cast<Index>(tokens.size()) != state.batch)
     throw std::invalid_argument("TransformerAR::decodeStep: token/batch mismatch");
   if (state.len >= state.maxLen)
     throw std::logic_error("TransformerAR::decodeStep: sequence capacity exhausted");
   const Index pos = state.len;
-  Tensor x = embed_.stepForward(tokens, pos);
-  for (std::size_t l = 0; l < blocks_.size(); ++l)
-    x = blocks_[l]->decodeStep(x, state, static_cast<Index>(l));
+  const Index batch = state.batch;
+  const Index nLayers = static_cast<Index>(blocks_.size());
+  Workspace& ws = state.ws;
+  ws.reset();
+  // Upper bound on this step's carve total (embed + per block: pre, h, qkv,
+  // ctx, attnOut, h2, ln2out, f1 = 4d, f2 — 14d rows — + lnFinal h and out,
+  // + one cache line of alignment per span), so the first step of a sweep
+  // grows the block once instead of overflowing span by span.
+  ws.reserve(batch * d_ * (3 + 14 * nLayers) + 8 * (10 * nLayers + 4));
+
+  Real* x = ws.alloc(batch * d_);
+  embed_.stepInto(tokens, pos, x);
+  const Real* a = x;
+  const Real* r = nullptr;  // residual stream split: block input = a (+ r)
+  for (Index l = 0; l < nLayers; ++l) blocks_[l]->decodeStep(a, r, state, l, &a, &r);
   ++state.len;
-  x = lnFinal_.stepForward(x);
-  return head_.forward(x, /*cache=*/false, state.kernel);  // [B, 4]
+
+  // Final LayerNorm, fused with the last block's deferred residual.
+  lnFinal_.invalidate();
+  Real* lnOut = ws.alloc(batch * d_);
+  kernels::ResidualLnArgs lnf;
+  lnf.rows = batch;
+  lnf.dim = d_;
+  lnf.x = a;
+  lnf.res = r;
+  lnf.gamma = lnFinal_.gamma.value.data.data();
+  lnf.beta = lnFinal_.beta.value.data.data();
+  lnf.y = lnOut;
+  if (r != nullptr) lnf.h = ws.alloc(batch * d_);
+  kernels::residualLayerNorm(lnf, state.kernel);
+
+  // Head logits into the state-owned output tensor (resize reuses capacity:
+  // shrinks are free, growth only up to the sweep's high-water batch).
+  state.logits.shape.assign({batch, Index{kOutcomes}});
+  state.logits.data.resize(static_cast<std::size_t>(batch * kOutcomes));
+  head_.forwardInto(lnOut, batch, state.logits.data.data(), state.kernel);
+  return state.logits;  // [B, 4]
 }
 
 void TransformerAR::backward(const Tensor& dLogits) {

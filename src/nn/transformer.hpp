@@ -16,11 +16,19 @@ class DecoderBlock : public Module {
   void collectParameters(std::vector<Parameter*>& out) override;
   void setWindow(Index w) { attn_.setWindow(w); }
 
-  /// Incremental decode of one token per row (x = [B, D]) at position
-  /// `state.len`, reading/extending layer `layer`'s slice of the KV arena.
-  Tensor decodeStep(const Tensor& x, DecodeState& state, Index layer);
+  /// Incremental decode of one token per row at position `state.len`,
+  /// reading/extending layer `layer`'s slice of the KV arena.  The residual
+  /// stream arrives *split* as x = a (+ r, nullable): the previous stage's
+  /// residual add is deferred into this block's fused residual+LayerNorm
+  /// kernel (ln1), and the block's own output leaves split the same way
+  /// (*aOut = ff2 out, *rOut = post-attention residual) for the next block's
+  /// ln1 — so no separate residual sweep ever runs on the decode path.  All
+  /// buffers are carved from `state.ws`; a warm step touches no heap.
+  void decodeStep(const Real* a, const Real* r, DecodeState& state, Index layer,
+                  const Real** aOut, const Real** rOut);
 
  private:
+  Index d_, ffDim_;
   LayerNorm ln1_, ln2_;
   CausalSelfAttention attn_;
   Linear ff1_, ff2_;
@@ -48,8 +56,11 @@ class TransformerAR {
                    kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto) const;
   /// Feed tokens[B] at position state.len and return the next-outcome logits
   /// [B, 4].  Bit-identical to the last position of forward() over the same
-  /// prefixes.  Advances state.len.
-  Tensor decodeStep(DecodeState& state, const std::vector<int>& tokens);
+  /// prefixes.  Advances state.len.  The returned tensor is `state.logits`
+  /// (state-owned, overwritten by the next step): with every activation
+  /// carved from the state's workspace, a warm step performs zero heap
+  /// allocations.
+  const Tensor& decodeStep(DecodeState& state, const std::vector<int>& tokens);
 
   static constexpr int kVocab = 5;
   static constexpr int kBos = 4;

@@ -75,27 +75,38 @@ void QiankunNet::beginDecode(nn::DecodeState& state, int batch,
   amplitude_.beginDecode(state, batch, kernel);
 }
 
-std::vector<Real> QiankunNet::stepConditionals(nn::DecodeState& state,
-                                               const std::vector<int>& prevTokens,
-                                               const std::vector<std::array<int, 2>>& counts) {
+void QiankunNet::stepConditionals(nn::DecodeState& state,
+                                  const std::vector<int>& prevTokens,
+                                  const std::vector<std::array<int, 2>>& counts,
+                                  std::vector<Real>& probs) {
   const int s = static_cast<int>(state.len);
   const auto batch = static_cast<std::size_t>(state.batch);
   if (counts.size() != batch)
     throw std::invalid_argument("stepConditionals: counts/batch mismatch");
-  std::vector<int> feed;
+  // At s > 0 the previous tokens are fed as-is (no copy); only the BOS step
+  // materializes a feed vector.
+  const std::vector<int>* feed = &prevTokens;
+  std::vector<int> bos;
   if (s == 0) {
-    feed.assign(batch, nn::TransformerAR::kBos);
-  } else {
-    if (prevTokens.size() != batch)
-      throw std::invalid_argument("stepConditionals: prevTokens/batch mismatch");
-    feed = prevTokens;
+    bos.assign(batch, nn::TransformerAR::kBos);
+    feed = &bos;
+  } else if (prevTokens.size() != batch) {
+    throw std::invalid_argument("stepConditionals: prevTokens/batch mismatch");
   }
-  nn::Tensor logits = amplitude_.decodeStep(state, feed);  // [B, 4]
-  std::vector<Real> probs(batch * 4);
+  // [B, 4], state-owned storage (zero-allocation decode path).
+  const nn::Tensor& logits = amplitude_.decodeStep(state, *feed);
+  probs.resize(batch * 4);
   for (std::size_t b = 0; b < batch; ++b) {
     const auto mask = outcomeMask(s, counts[b][0], counts[b][1]);
     maskedSoftmax4(logits.data.data() + b * 4, mask, probs.data() + b * 4);
   }
+}
+
+std::vector<Real> QiankunNet::stepConditionals(nn::DecodeState& state,
+                                               const std::vector<int>& prevTokens,
+                                               const std::vector<std::array<int, 2>>& counts) {
+  std::vector<Real> probs;
+  stepConditionals(state, prevTokens, counts, probs);
   return probs;
 }
 

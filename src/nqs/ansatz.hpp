@@ -70,10 +70,17 @@ class QiankunNet {
                    nn::kernels::KernelPolicy kernel =
                        nn::kernels::KernelPolicy::kAuto) const;
 
-  /// One incremental step of the masked conditionals: returns pi(x_s | prefix)
-  /// [B, 4] for step s = state.len.  `prevTokens[b]` is row b's outcome chosen
-  /// at step s-1 (ignored at s = 0, where BOS is fed); counts are the per-row
-  /// (up, down) electron counts over the prefix.
+  /// One incremental step of the masked conditionals: writes pi(x_s | prefix)
+  /// [B, 4] into `probs` for step s = state.len.  `prevTokens[b]` is row b's
+  /// outcome chosen at step s-1 (ignored at s = 0, where BOS is fed); counts
+  /// are the per-row (up, down) electron counts over the prefix.  Taking the
+  /// output buffer lets the BAS inner loop reuse one vector across the whole
+  /// sweep instead of allocating per step.
+  void stepConditionals(nn::DecodeState& state,
+                        const std::vector<int>& prevTokens,
+                        const std::vector<std::array<int, 2>>& counts,
+                        std::vector<Real>& probs);
+  /// Returning convenience overload.
   std::vector<Real> stepConditionals(nn::DecodeState& state,
                                      const std::vector<int>& prevTokens,
                                      const std::vector<std::array<int, 2>>& counts);

@@ -112,12 +112,16 @@ class ConditionalEngine {
     feed_.clear();
   }
 
-  /// pi(x_s | prefix) for every node of the layer, [nodes, 4].
-  std::vector<Real> conditionals(const Layer& layer) {
+  /// pi(x_s | prefix) for every node of the layer, [nodes, 4].  Valid until
+  /// the next conditionals() call: the buffer is engine-owned so the KV-cached
+  /// sweep reuses one allocation across all L steps.
+  const std::vector<Real>& conditionals(const Layer& layer) {
     if (policy_ != DecodePolicy::kKvCache)
-      return net_.conditionals(layer.tokens, static_cast<int>(layer.nodes()),
-                               layer.step, layer.counts);
-    return net_.stepConditionals(state_, feed_, layer.counts);
+      probs_ = net_.conditionals(layer.tokens, static_cast<int>(layer.nodes()),
+                                 layer.step, layer.counts);
+    else
+      net_.stepConditionals(state_, feed_, layer.counts, probs_);
+    return probs_;
   }
 
   /// After a split: gather the cache rows onto the surviving children and
@@ -144,7 +148,8 @@ class ConditionalEngine {
   DecodePolicy policy_;
   nn::kernels::KernelPolicy kernel_;
   nn::DecodeState state_;
-  std::vector<int> feed_;  ///< token appended to each live row at the last split
+  std::vector<int> feed_;   ///< token appended to each live row at the last split
+  std::vector<Real> probs_; ///< reused conditionals buffer (one per sweep)
 };
 
 /// Expand one BAS layer: query the conditionals for every node, split the
@@ -154,7 +159,7 @@ class ConditionalEngine {
 /// expensive memory operation at the (largest) final frontier.
 Layer expand(ConditionalEngine& engine, const Layer& cur, Rng& rng,
              bool advanceEngine = true) {
-  const std::vector<Real> probs = engine.conditionals(cur);
+  const std::vector<Real>& probs = engine.conditionals(cur);
   Expansion e = splitLayer(cur, probs, rng);
   if (advanceEngine) engine.advance(e);
   return std::move(e.next);

@@ -36,6 +36,9 @@ class ThreadComm {
     std::vector<T> out(total / sizeof(T));
     std::size_t off = 0;
     for (const auto& c : st.contrib) {
+      // Ranks may legitimately contribute nothing (e.g. no local samples);
+      // memcpy from a null source is UB even for zero bytes.
+      if (c.second == 0) continue;
       std::memcpy(reinterpret_cast<char*>(out.data()) + off, c.first, c.second);
       off += c.second;
     }

@@ -186,6 +186,51 @@ TEST(Decode, SingleSampleBitIdenticalAcrossPolicies) {
   }
 }
 
+TEST(Decode, StateReuseAcrossSweepsIsBitIdentical) {
+  // A DecodeState (KV arena + workspace + logits tensor) is reusable across
+  // sweeps without re-allocation or re-zeroing; a reused state must produce
+  // exactly the bits of a fresh one — no stale K/V, workspace, or logits
+  // contents may leak into the next sweep.
+  NNQS_SKIP_IF_BLAS();
+  const Index L = 6, d = 16, heads = 4, layers = 2;
+  Rng rng(31);
+  nn::TransformerAR net(L, d, heads, layers, rng);
+  auto sweep = [&](nn::DecodeState& state, Index batch,
+                   nn::kernels::KernelPolicy kernel) {
+    net.beginDecode(state, batch, kernel);
+    std::vector<Real> flat;
+    std::vector<int> tokens(static_cast<std::size_t>(batch));
+    Rng step(7);
+    for (Index s = 0; s < L; ++s) {
+      for (auto& t : tokens)
+        t = s == 0 ? nn::TransformerAR::kBos : static_cast<int>(step.below(4));
+      const nn::Tensor& logits = net.decodeStep(state, tokens);
+      flat.insert(flat.end(), logits.data.begin(), logits.data.end());
+    }
+    return flat;
+  };
+  for (auto kernel : kAllKernels) {
+    nn::DecodeState fresh;
+    const auto ref = sweep(fresh, 8, kernel);
+    nn::DecodeState reused;
+    (void)sweep(reused, 8, kernel);            // warm-up sweep
+    const Real* arenaBefore = reused.arena.data();
+    const auto again = sweep(reused, 8, kernel);  // same shape: arena reused
+    EXPECT_EQ(reused.arena.data(), arenaBefore) << "same-shape begin reallocated";
+    ASSERT_EQ(ref.size(), again.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(ref[i], again[i]) << "logit " << i;
+    // Smaller batch still reuses the (larger) arena; bits must match a fresh
+    // state of that batch too.
+    nn::DecodeState freshSmall;
+    const auto refSmall = sweep(freshSmall, 3, kernel);
+    const auto smallReused = sweep(reused, 3, kernel);
+    ASSERT_EQ(refSmall.size(), smallReused.size());
+    for (std::size_t i = 0; i < refSmall.size(); ++i)
+      EXPECT_EQ(refSmall[i], smallReused[i]) << "small-batch logit " << i;
+  }
+}
+
 TEST(Decode, CapacityExhaustionThrows) {
   QiankunNet net(smallConfig(8, 2, 2));
   nn::DecodeState state;

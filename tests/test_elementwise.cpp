@@ -1,0 +1,325 @@
+// Elementwise kernel backends (kernels::gelu / residualLayerNorm and their
+// backwards): exact (tolerance-0) agreement between the scalar reference and
+// the vectorized/threaded backends on ragged shapes, the branch-free kernel
+// tanh's accuracy, and the Workspace arena's carve/reuse/grow behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/kernels/elementwise.hpp"
+#include "nn/modules.hpp"
+#include "nn/workspace.hpp"
+
+using namespace nnqs;
+using namespace nnqs::nn;
+using kernels::KernelPolicy;
+
+namespace {
+
+constexpr KernelPolicy kAllPolicies[] = {KernelPolicy::kScalar, KernelPolicy::kSimd,
+                                         KernelPolicy::kThreaded, KernelPolicy::kAuto};
+
+void expectBitIdentical(const std::vector<Real>& ref, const std::vector<Real>& got,
+                        const char* what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(ref[i], got[i]) << what << " [" << i << "]";  // tolerance 0
+}
+
+std::vector<Real> randomVec(Rng& rng, std::size_t n, Real scale = 2.0) {
+  std::vector<Real> v(n);
+  for (auto& x : v) x = scale * rng.normal();
+  return v;
+}
+
+}  // namespace
+
+TEST(ElementwiseKernels, KernelTanhTracksStdTanh) {
+  // The branch-free exp-based tanh must track std::tanh to a few ulp over
+  // the GELU input range and saturate exactly at the extremes.
+  for (Real u = -25.0; u <= 25.0; u += 0.0137) {
+    const Real ref = std::tanh(u);
+    EXPECT_NEAR(kernels::kernelTanh(u), ref, 1e-15) << "u = " << u;
+  }
+  EXPECT_EQ(kernels::kernelTanh(0.0), 0.0);
+  EXPECT_EQ(kernels::kernelTanh(400.0), 1.0);    // exp underflow: exact 1
+  EXPECT_EQ(kernels::kernelTanh(-400.0), -1.0);
+  EXPECT_EQ(kernels::kernelTanh(1e308), 1.0);
+  EXPECT_EQ(kernels::kernelTanh(-1e308), -1.0);
+}
+
+TEST(ElementwiseKernels, GeluKnownValuesAndGradient) {
+  EXPECT_EQ(kernels::geluScalar(0.0), 0.0);
+  EXPECT_NEAR(kernels::geluScalar(100.0), 100.0, 1e-6);
+  EXPECT_NEAR(kernels::geluScalar(-100.0), 0.0, 1e-6);
+  // Central finite difference of the scalar reference.
+  for (Real v : {-3.0, -0.7, 0.0, 0.3, 1.9, 4.0}) {
+    const Real eps = 1e-6;
+    const Real num =
+        (kernels::geluScalar(v + eps) - kernels::geluScalar(v - eps)) / (2 * eps);
+    EXPECT_NEAR(kernels::geluGradScalar(v), num, 1e-7) << "v = " << v;
+  }
+}
+
+TEST(ElementwiseKernels, GeluBackendsBitIdenticalOnRaggedSizes) {
+  Rng rng(404);
+  // Sizes straddling the SIMD widths, the chunk size, and the thread
+  // threshold; nothing a multiple of 8 except the big one.
+  for (Index n : {Index{1}, Index{3}, Index{7}, Index{33}, Index{255},
+                  Index{4099}, Index{1} << 15}) {
+    const auto x = randomVec(rng, static_cast<std::size_t>(n));
+    const auto dy = randomVec(rng, static_cast<std::size_t>(n));
+    std::vector<Real> ref(x.size()), refDx(x.size());
+    kernels::gelu(x.data(), ref.data(), n, KernelPolicy::kScalar);
+    kernels::geluBackward(x.data(), dy.data(), refDx.data(), n, KernelPolicy::kScalar);
+    for (auto policy : kAllPolicies) {
+      std::vector<Real> y(x.size()), dx(x.size());
+      kernels::gelu(x.data(), y.data(), n, policy);
+      kernels::geluBackward(x.data(), dy.data(), dx.data(), n, policy);
+      expectBitIdentical(ref, y, "gelu fwd");
+      expectBitIdentical(refDx, dx, "gelu bwd");
+      // In-place aliasing (the decode path runs GELU in place on the ff
+      // activations) must give the same bits.
+      std::vector<Real> inplace = x;
+      kernels::gelu(inplace.data(), inplace.data(), n, policy);
+      expectBitIdentical(ref, inplace, "gelu in-place");
+    }
+  }
+}
+
+namespace {
+
+/// One randomized fused residual+LN problem; returns (y, h, xhat, invStd).
+struct LnRun {
+  std::vector<Real> y, h, xhat, invStd;
+};
+
+LnRun runLn(const std::vector<Real>& x, const std::vector<Real>* res, Index rows,
+            Index dim, const std::vector<Real>& gamma, const std::vector<Real>& beta,
+            KernelPolicy policy, bool caches) {
+  LnRun out;
+  out.y.resize(x.size());
+  kernels::ResidualLnArgs a;
+  a.rows = rows;
+  a.dim = dim;
+  a.x = x.data();
+  a.gamma = gamma.data();
+  a.beta = beta.data();
+  a.y = out.y.data();
+  if (res != nullptr) {
+    out.h.resize(x.size());
+    a.res = res->data();
+    a.h = out.h.data();
+  }
+  if (caches) {
+    out.xhat.resize(x.size());
+    out.invStd.resize(static_cast<std::size_t>(rows));
+    a.xhat = out.xhat.data();
+    a.invStd = out.invStd.data();
+  }
+  kernels::residualLayerNorm(a, policy);
+  return out;
+}
+
+}  // namespace
+
+TEST(ElementwiseKernels, ResidualLayerNormBackendsBitIdentical) {
+  Rng rng(405);
+  struct Shape {
+    Index rows, dim;
+  };
+  // Ragged dims straddling the 8-lane blocks and odd row counts.
+  const Shape shapes[] = {{1, 1}, {3, 5}, {2, 8}, {5, 17}, {33, 64}, {7, 100}, {64, 256}};
+  for (const auto& s : shapes) {
+    const auto n = static_cast<std::size_t>(s.rows * s.dim);
+    const auto x = randomVec(rng, n);
+    const auto res = randomVec(rng, n);
+    auto gamma = randomVec(rng, static_cast<std::size_t>(s.dim), 0.5);
+    for (auto& g : gamma) g += 1.0;
+    const auto beta = randomVec(rng, static_cast<std::size_t>(s.dim), 0.3);
+    for (bool withRes : {false, true}) {
+      const auto ref = runLn(x, withRes ? &res : nullptr, s.rows, s.dim, gamma,
+                             beta, KernelPolicy::kScalar, true);
+      // The fused h output must be exactly the elementwise sum.
+      if (withRes)
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_EQ(ref.h[i], x[i] + res[i]) << i;
+      for (auto policy : kAllPolicies) {
+        const auto got = runLn(x, withRes ? &res : nullptr, s.rows, s.dim, gamma,
+                               beta, policy, true);
+        expectBitIdentical(ref.y, got.y, "ln y");
+        expectBitIdentical(ref.xhat, got.xhat, "ln xhat");
+        expectBitIdentical(ref.invStd, got.invStd, "ln invStd");
+        if (withRes) expectBitIdentical(ref.h, got.h, "ln h");
+        // Cache-less variant (the decode path) must produce the same y.
+        const auto noCache = runLn(x, withRes ? &res : nullptr, s.rows, s.dim,
+                                   gamma, beta, policy, false);
+        expectBitIdentical(ref.y, noCache.y, "ln y (no caches)");
+      }
+    }
+  }
+}
+
+TEST(ElementwiseKernels, LayerNormBackwardBackendsBitIdentical) {
+  Rng rng(406);
+  struct Shape {
+    Index rows, dim;
+  };
+  const Shape shapes[] = {{1, 1}, {3, 5}, {5, 17}, {33, 64}, {7, 100}};
+  for (const auto& s : shapes) {
+    const auto n = static_cast<std::size_t>(s.rows * s.dim);
+    const auto x = randomVec(rng, n);
+    const auto dy = randomVec(rng, n);
+    auto gamma = randomVec(rng, static_cast<std::size_t>(s.dim), 0.5);
+    for (auto& g : gamma) g += 1.0;
+    const auto beta = randomVec(rng, static_cast<std::size_t>(s.dim), 0.3);
+    const auto fwd = runLn(x, nullptr, s.rows, s.dim, gamma, beta,
+                           KernelPolicy::kScalar, true);
+    auto run = [&](KernelPolicy policy) {
+      struct {
+        std::vector<Real> dx, dgamma, dbeta;
+      } out;
+      out.dx.resize(n);
+      // Non-zero accumulators: backward *accumulates* param grads.
+      out.dgamma.assign(static_cast<std::size_t>(s.dim), 0.25);
+      out.dbeta.assign(static_cast<std::size_t>(s.dim), -0.5);
+      kernels::LayerNormBwdArgs a;
+      a.rows = s.rows;
+      a.dim = s.dim;
+      a.dy = dy.data();
+      a.xhat = fwd.xhat.data();
+      a.invStd = fwd.invStd.data();
+      a.gamma = gamma.data();
+      a.dgamma = out.dgamma.data();
+      a.dbeta = out.dbeta.data();
+      a.dx = out.dx.data();
+      kernels::layerNormBackward(a, policy);
+      return out;
+    };
+    const auto ref = run(KernelPolicy::kScalar);
+    for (auto policy : kAllPolicies) {
+      const auto got = run(policy);
+      expectBitIdentical(ref.dx, got.dx, "ln dx");
+      expectBitIdentical(ref.dgamma, got.dgamma, "ln dgamma");
+      expectBitIdentical(ref.dbeta, got.dbeta, "ln dbeta");
+    }
+  }
+}
+
+TEST(ElementwiseKernels, ModulesRunOnTheKernels) {
+  // The Gelu / LayerNorm modules (full-forward path) must produce exactly the
+  // scalar kernel sequences — that is what keeps full-forward and KV-decode
+  // sampling bit-identical.
+  Rng rng(407);
+  Gelu g;
+  Tensor x({3, 7});
+  x.randn(rng, 2.0);
+  const Tensor y = g.forward(x, false);
+  for (Index i = 0; i < x.numel(); ++i)
+    EXPECT_EQ(y.data[static_cast<std::size_t>(i)],
+              kernels::geluScalar(x.data[static_cast<std::size_t>(i)]));
+
+  LayerNorm ln(7, "t");
+  const Tensor ly = ln.forward(x, false);
+  std::vector<Real> xv(x.data.begin(), x.data.end());
+  const auto ref = runLn(xv, nullptr, 3, 7,
+                         {ln.gamma.value.data.begin(), ln.gamma.value.data.end()},
+                         {ln.beta.value.data.begin(), ln.beta.value.data.end()},
+                         KernelPolicy::kScalar, false);
+  for (std::size_t i = 0; i < ref.y.size(); ++i) EXPECT_EQ(ly.data[i], ref.y[i]);
+}
+
+// ------------------------------------------------------------- Workspace ---
+
+TEST(Workspace, CarvesAlignedDisjointSpans) {
+  Workspace ws;
+  ws.reset();
+  Real* a = ws.alloc(13);
+  Real* b = ws.alloc(64);
+  Real* c = ws.alloc(1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(b, a + 13);  // disjoint
+  EXPECT_GE(c, b + 64);
+  // Spans are writable end to end.
+  for (Index i = 0; i < 13; ++i) a[i] = 1.0;
+  for (Index i = 0; i < 64; ++i) b[i] = 2.0;
+  c[0] = 3.0;
+}
+
+TEST(Workspace, SteadyStateReusesOneBlockWithoutGrowth) {
+  Workspace ws;
+  // Cycle 1 at the working-set size: grows (possibly overflowing).
+  ws.reset();
+  for (int i = 0; i < 10; ++i) ws.alloc(1000);
+  ws.reset();  // coalesce
+  const auto grows = ws.stats().grows;
+  const auto capacity = ws.stats().capacity;
+  EXPECT_GE(ws.stats().highWater, std::size_t{10 * 1000});
+  EXPECT_GE(capacity, ws.stats().highWater);
+  // Steady state: same-shaped cycles never allocate or grow again, and the
+  // primary block stays put.
+  Real* first = nullptr;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    Real* p = ws.alloc(1000);
+    if (first == nullptr) first = p;
+    EXPECT_EQ(p, first) << "primary block moved between cycles";
+    for (int i = 0; i < 9; ++i) ws.alloc(1000);
+    ws.reset();
+    EXPECT_EQ(ws.stats().grows, grows) << "steady-state cycle grew";
+    EXPECT_EQ(ws.stats().capacity, capacity);
+  }
+}
+
+TEST(Workspace, MidCycleOverflowPreservesLiveSpansThenCoalesces) {
+  Workspace ws;
+  ws.reset();
+  ws.reserve(64);
+  Real* a = ws.alloc(64);
+  for (Index i = 0; i < 64; ++i) a[i] = static_cast<Real>(i);
+  // Overflows the reserved block: must come from a side chunk, leaving the
+  // live span `a` intact.
+  Real* b = ws.alloc(1 << 16);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GE(ws.stats().overflows, 1);
+  b[0] = -1.0;
+  b[(1 << 16) - 1] = -2.0;
+  for (Index i = 0; i < 64; ++i)
+    ASSERT_EQ(a[i], static_cast<Real>(i)) << "overflow clobbered a live span";
+  // The next reset coalesces: one block big enough for the whole cycle.
+  ws.reset();
+  EXPECT_GE(ws.stats().capacity, ws.stats().highWater);
+  const auto overflowsBefore = ws.stats().overflows;
+  ws.alloc(64);
+  ws.alloc(1 << 16);
+  EXPECT_EQ(ws.stats().overflows, overflowsBefore) << "coalesced cycle overflowed";
+}
+
+TEST(Workspace, ReserveAvoidsOverflowChunks) {
+  Workspace ws;
+  ws.reset();
+  ws.reserve(4096);
+  for (int i = 0; i < 4; ++i) ws.alloc(1024);
+  EXPECT_EQ(ws.stats().overflows, 0);
+  EXPECT_GE(ws.stats().capacity, std::size_t{4096});
+}
+
+TEST(Tensor, UninitHasShapeButNoFillGuarantee) {
+  // The uninit path must size the buffer exactly like the zeroing constructor.
+  const Tensor z({3, 4});
+  Tensor u = Tensor::uninit({3, 4});
+  EXPECT_EQ(u.numel(), z.numel());
+  ASSERT_EQ(u.shape.size(), 2u);
+  EXPECT_EQ(u.shape[0], 3);
+  EXPECT_EQ(u.shape[1], 4);
+  // Writable end to end (the only guarantee uninit makes).
+  for (auto& v : u.data) v = 7.0;
+  for (Real v : u.data) EXPECT_EQ(v, 7.0);
+  EXPECT_EQ(Tensor::uninit({}).numel(), 0);
+}

@@ -265,6 +265,33 @@ TEST(DecodeStateArena, LenEqualsMaxLenGatherCopiesWholeRows) {
   expectRows(st, {1, 1, 0});
 }
 
+TEST(DecodeStateArena, BeginReusesAllocationAcrossSweeps) {
+  DecodeState st;
+  st.begin(4, 8, 4, 2);
+  const Real* arena = st.arena.data();
+  const Index cap = st.capacity;
+  fillState(st, {0, 1, 2, 3}, 3);
+  // Same layout, same or smaller batch: no reallocation, state fully reset.
+  st.begin(4, 8, 4, 2);
+  EXPECT_EQ(st.arena.data(), arena);
+  EXPECT_EQ(st.len, 0);
+  EXPECT_EQ(st.capacity, cap);
+  st.begin(2, 8, 4, 2);
+  EXPECT_EQ(st.arena.data(), arena);
+  EXPECT_EQ(st.batch, 2);
+  EXPECT_EQ(static_cast<Index>(st.freeSlots.size()), cap - 2);
+  // Grown capacity from a gather is kept by later same-layout begins.
+  st.gather({0, 0, 1, 1, 0, 1});
+  const Index grownCap = st.capacity;
+  EXPECT_GE(grownCap, 6);
+  st.begin(5, 8, 4, 2);
+  EXPECT_EQ(st.capacity, grownCap);
+  // A layout change reallocates.
+  st.begin(2, 16, 4, 2);
+  EXPECT_EQ(st.maxLen, 16);
+  EXPECT_EQ(st.capacity, 2);
+}
+
 TEST(DecodeStateArena, GatherRejectsOutOfRangeRows) {
   DecodeState st;
   st.begin(2, 4, 2, 1);

@@ -197,9 +197,11 @@ TEST(StaleCache, AttentionThrowsAfterNonCachingForward) {
   attn.forward(x, true);
   DecodeState st;
   st.begin(2, 3, 8, 1);
+  st.ws.reset();
   Tensor step({2, 8});
   step.randn(rng, 1.0);
-  attn.decodeStep(step, st, 0);
+  Real* out = st.ws.alloc(2 * 8);
+  attn.decodeStep(step.data.data(), 2, st, 0, out);
   EXPECT_THROW(attn.backward(dy), std::logic_error);
 }
 
