@@ -373,6 +373,80 @@ void BM_DecodeStepSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeStepSweep)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
+// Teacher-forced batched evaluate on the decode engine vs. the full-forward
+// reference, at several L/batch shapes (d_model 64, 2 decoders — the
+// BM_DecodeStepSweep acceptance architecture).  Both impls produce the same
+// [B, L, 4] logits bit for bit (tests/test_evaluate.cpp); the decode/full
+// time ratio at L=32 on the large batch is the evaluate() speedup quoted in
+// the README (>= 2x acceptance bar).  The decode variant doubles as the
+// zero-allocation assertion of the warm teacher-forced sweep: after the
+// warm-up call, an evaluateDecode over the full batch must perform zero heap
+// allocations (operator-new hook), tiled KV arena and all.
+void BM_Evaluate(benchmark::State& state) {
+  const std::int64_t impl = state.range(0);  // 0 = full forward, 1 = decode
+  const auto L = static_cast<Index>(state.range(1));
+  const auto batch = static_cast<Index>(state.range(2));
+  const Index dModel = 64, heads = 4, layers = 2;
+  Rng rng(5);
+  nn::TransformerAR net(L, dModel, heads, layers, rng);
+  std::vector<int> tokens(static_cast<std::size_t>(batch * L));
+  Rng tok(11);
+  for (Index b = 0; b < batch; ++b) {
+    tokens[static_cast<std::size_t>(b * L)] = nn::TransformerAR::kBos;
+    for (Index s = 1; s < L; ++s)
+      tokens[static_cast<std::size_t>(b * L + s)] = static_cast<int>(tok.below(4));
+  }
+
+  if (impl == 0) {
+    for (auto _ : state) {
+      const nn::Tensor logits = net.forward(tokens, L, /*cache=*/false);
+      benchmark::DoNotOptimize(logits.data.data());
+    }
+    state.SetLabel("full");
+  } else {
+    nn::DecodeState ds;
+    // Per-tile accumulators: the tile-parallel driver may run tiles on
+    // different threads (shrinking them down to kMinEvalTileRows to cover
+    // the thread pool), so the sink writes only its own tile's slot — tile
+    // starts are multiples of the (>= kMinEvalTileRows) actual tile, making
+    // t0 / kMinEvalTileRows distinct per tile.
+    const Index minTile = nn::TransformerAR::kMinEvalTileRows;
+    std::vector<Real> acc(
+        static_cast<std::size_t>((batch + minTile - 1) / minTile));
+    auto sweep = [&] {
+      net.evaluateDecode(ds, tokens, batch, L, /*tileRows=*/0,
+                         nn::kernels::KernelPolicy::kAuto,
+                         [&](Index t0, Index tb, Index, const Real* logits) {
+                           acc[static_cast<std::size_t>(t0 / minTile)] +=
+                               logits[(tb - 1) * 4];
+                         });
+    };
+    sweep();  // warm-up: grows the KV arenas, workspaces, and token scratch
+    std::uint64_t lastSweepAllocs = 0;
+    for (auto _ : state) {
+      const std::uint64_t allocs0 = allocationCount();
+      sweep();
+      lastSweepAllocs = allocationCount() - allocs0;
+    }
+    benchmark::DoNotOptimize(acc.data());
+    state.SetLabel("decode");
+    state.counters["allocs/sweep"] = static_cast<double>(lastSweepAllocs);
+    if (lastSweepAllocs != 0)
+      state.SkipWithError("warm teacher-forced evaluate sweep heap-allocated");
+  }
+  state.SetItemsProcessed(state.iterations() * batch * L);
+}
+// Args: impl (0 = full-forward reference, 1 = teacher-forced decode), L,
+// batch.  L=32/batch=8192 is the acceptance shape — a batch big enough that
+// the full forward's B*L-row activations and [B, heads, L, L] attention
+// leave cache (the regime evaluate() actually runs in), while the decode
+// sweep stays tile-resident; the smaller points show the crossover.
+BENCHMARK(BM_Evaluate)
+    ->Args({0, 32, 8192})->Args({1, 32, 8192})
+    ->Args({0, 32, 2048})->Args({1, 32, 2048})
+    ->Args({0, 16, 2048})->Args({1, 16, 2048})
+    ->Unit(benchmark::kMillisecond);
+
 // The decode elementwise stages in isolation at the decode shapes: GELU over
 // the [256, 4*64] ff activations (op 0) and the fused residual+LayerNorm over
 // [256, 64] rows (op 1).  Impl -1 is the historical code these kernels

@@ -79,6 +79,18 @@ Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
   return proj_.forward(ctx, cache);
 }
 
+void CausalSelfAttention::invalidate() {
+  if (hasCache_) {
+    cachedQkv_ = Tensor{};
+    cachedAttn_ = Tensor{};
+    cachedBatch_ = 0;
+    cachedWindow_ = 0;
+    hasCache_ = false;
+  }
+  qkv_.invalidate();
+  proj_.invalidate();
+}
+
 void CausalSelfAttention::decodeStep(const Real* x, Index batch,
                                      DecodeState& state, Index layer,
                                      Real* out) {
@@ -88,11 +100,7 @@ void CausalSelfAttention::decodeStep(const Real* x, Index batch,
 
   // A decode step is a non-caching forward: invalidate the backward cache
   // like every other inference path (modules.hpp invariant).
-  cachedQkv_ = Tensor{};
-  cachedAttn_ = Tensor{};
-  cachedBatch_ = 0;
-  cachedWindow_ = 0;
-  hasCache_ = false;
+  invalidate();
 
   // [B, 3D]: q | k | v per row, on the GEMM backend of the state's policy,
   // carved from the decode workspace (no per-step tensor churn).

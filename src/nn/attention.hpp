@@ -35,6 +35,11 @@ class CausalSelfAttention : public Module {
   /// prefix windows; the causal mask keeps shorter windows consistent).
   void setWindow(Index w) { window_ = w; }
 
+  /// Decode-path cache invalidation of this module and its Linears.
+  /// Write-free when already clear, so pre-invalidated concurrent inference
+  /// tiles make no shared writes (see TransformerAR::evaluateDecode).
+  void invalidate();
+
  private:
   Index d_, heads_, headDim_, seqLen_;
   Index window_;

@@ -34,8 +34,7 @@ Tensor Linear::forward(const Tensor& x, bool cache, kernels::KernelPolicy policy
 void Linear::forwardInto(const Real* x, Index rows, Real* y,
                          kernels::KernelPolicy policy) {
   // A raw-buffer call is a cache=false forward: invalidate (modules.hpp).
-  cachedX_ = Tensor{};
-  hasCache_ = false;
+  invalidate();
   // y = x W^T + b on the register-blocked GEMM backend (bit-identical to the
   // naive loop under every policy).
   kernels::GemmArgs g;

@@ -47,6 +47,16 @@ class Linear : public Module {
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>& out) override;
 
+  /// Decode-path cache invalidation.  Write-free when already clear: the
+  /// tile-parallel evaluate sweep pre-invalidates on the calling thread, so
+  /// concurrent inference tiles perform no writes to shared module state
+  /// (see TransformerAR::evaluateDecode).
+  void invalidate() {
+    if (!hasCache_) return;
+    cachedX_ = Tensor{};
+    hasCache_ = false;
+  }
+
   Parameter w, b;
 
  private:
@@ -69,7 +79,9 @@ class LayerNorm : public Module {
   /// Decode-path cache invalidation: the transformer's decodeStep runs this
   /// module's arithmetic on the kernels directly (a cache=false forward under
   /// the Module invariant), so it clears the backward cache through this.
+  /// Write-free when already clear (see Linear::invalidate).
   void invalidate() {
+    if (!hasCache_) return;
     cachedXhat_ = Tensor{};
     cachedInvStd_.clear();
     hasCache_ = false;
@@ -92,8 +104,10 @@ class Gelu : public Module {
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>&) override {}
 
-  /// Decode-path cache invalidation (see LayerNorm::invalidate).
+  /// Decode-path cache invalidation (see LayerNorm::invalidate); write-free
+  /// when already clear.
   void invalidate() {
+    if (!hasCache_) return;
     cachedX_ = Tensor{};
     hasCache_ = false;
   }

@@ -90,6 +90,15 @@ Tensor DecoderBlock::backward(const Tensor& dy) {
   return dx;
 }
 
+void DecoderBlock::invalidate() {
+  ln1_.invalidate();
+  attn_.invalidate();
+  ln2_.invalidate();
+  ff1_.invalidate();
+  ff2_.invalidate();
+  gelu_.invalidate();
+}
+
 void DecoderBlock::collectParameters(std::vector<Parameter*>& out) {
   ln1_.collectParameters(out);
   attn_.collectParameters(out);
@@ -172,6 +181,15 @@ const Tensor& TransformerAR::decodeStep(DecodeState& state,
   state.logits.data.resize(static_cast<std::size_t>(batch * kOutcomes));
   head_.forwardInto(lnOut, batch, state.logits.data.data(), state.kernel);
   return state.logits;  // [B, 4]
+}
+
+void TransformerAR::invalidateDecodeCaches() {
+  for (auto& b : blocks_) b->invalidate();
+  lnFinal_.invalidate();
+  head_.invalidate();
+  // Embedding::stepInto is const (it never caches), so embed_ needs no
+  // clearing here; its cache only exists after a cache=true forward, which
+  // the QiankunNet-level guard already pairs with exactly one backward.
 }
 
 void TransformerAR::backward(const Tensor& dLogits) {

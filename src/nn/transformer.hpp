@@ -1,6 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "nn/attention.hpp"
 
@@ -26,6 +32,10 @@ class DecoderBlock : public Module {
   /// buffers are carved from `state.ws`; a warm step touches no heap.
   void decodeStep(const Real* a, const Real* r, DecodeState& state, Index layer,
                   const Real** aOut, const Real** rOut);
+
+  /// Invalidate every submodule's backward cache (write-free when already
+  /// clear; see TransformerAR::evaluateDecode's tile-parallel driver).
+  void invalidate();
 
  private:
   Index d_, ffDim_;
@@ -62,11 +72,116 @@ class TransformerAR {
   /// allocations.
   const Tensor& decodeStep(DecodeState& state, const std::vector<int>& tokens);
 
+  /// Teacher-forced batched evaluation on the incremental-decode engine:
+  /// `tokens` is the flattened [B, L'] input window exactly as forward()
+  /// takes it (BOS first), but instead of one O(B*L'^2)-activation full
+  /// forward, each position is produced by decodeStep with the *known* next
+  /// token per row.  After every step, `sink(row0, rows, s, logits)` receives
+  /// the [rows, 4] logits of global rows [row0, row0+rows) at position s —
+  /// bit-identical to the corresponding positions of forward() (the decode
+  /// contract), consumed in ascending (tile, s) order so callers can stream
+  /// per-row reductions without materializing a [B, L', 4] buffer.
+  ///
+  /// The batch is chunked into `tileRows`-row tiles (<= 0 selects
+  /// kEvalTileRows) swept depth-first, so the KV arena and workspace stay
+  /// cache/memory-bounded independent of the batch size — evaluate() batches
+  /// (every unique connected configuration of the local-energy estimator) are
+  /// far larger than any sampling frontier.  All activations are carved from
+  /// the state's workspace and the token feed lives in state.tokenScratch, so
+  /// a warm evaluation performs zero heap allocations for any batch size.
+  ///
+  /// Tiles are fully independent row ranges, so under kThreaded/kAuto (with
+  /// OpenMP and > 1 hardware thread) the tiles themselves are swept in
+  /// parallel, one DecodeState per thread (state.aux), each running the
+  /// single-threaded SIMD kernels — coarse-grained parallelism instead of
+  /// forking inside every 256-row step.  Per-tile arithmetic is unchanged,
+  /// so the bits stay identical; the sink must tolerate concurrent calls for
+  /// *different* tiles (within a tile, calls arrive in ascending s on one
+  /// thread).  Disjoint per-row outputs — the natural sink shape — need no
+  /// synchronization.
+  template <typename Sink>
+  void evaluateDecode(DecodeState& state, const std::vector<int>& tokens,
+                      Index batch, Index window, Index tileRows,
+                      kernels::KernelPolicy kernel, Sink&& sink) {
+    if (static_cast<Index>(tokens.size()) != batch * window)
+      throw std::invalid_argument("evaluateDecode: tokens/batch/window mismatch");
+    if (window > seqLen_)
+      throw std::invalid_argument("evaluateDecode: window exceeds sequence length");
+    if (tileRows <= 0) tileRows = kEvalTileRows;
+
+    auto sweepTile = [&](DecodeState& st, Index t0, Index tile,
+                         kernels::KernelPolicy tileKernel) {
+      const Index tb = std::min(tile, batch - t0);
+      beginDecode(st, tb, tileKernel);
+      st.tokenScratch.resize(static_cast<std::size_t>(tb));
+      for (Index s = 0; s < window; ++s) {
+        for (Index b = 0; b < tb; ++b)
+          st.tokenScratch[static_cast<std::size_t>(b)] =
+              tokens[static_cast<std::size_t>((t0 + b) * window + s)];
+        const Tensor& logits = decodeStep(st, st.tokenScratch);
+        sink(t0, tb, s, logits.data.data());
+      }
+    };
+
+#ifdef _OPENMP
+    const auto maxThreads = static_cast<Index>(omp_get_max_threads());
+    if ((kernel == kernels::KernelPolicy::kThreaded ||
+         kernel == kernels::KernelPolicy::kAuto) &&
+        maxThreads > 1 && batch > tileRows) {
+      // The worker threads share this network's modules.  Their decodeStep
+      // invalidation calls are write-free only once every backward cache is
+      // already clear, so clear them all here, on the calling thread, before
+      // forking — after this the tile sweeps only *read* shared state
+      // (parameters), and all mutation is per-thread (DecodeState).
+      invalidateDecodeCaches();
+      // Shrink the tile (not below kMinEvalTileRows, where the per-step
+      // GEMMs lose their efficiency) until the tile count covers the thread
+      // pool — otherwise a batch of 2 tiles on a 16-thread host would pin 14
+      // threads idle and evaluate *slower* than one intra-step-threaded
+      // tile.  Deterministic in (batch, tileRows, thread count), so warm
+      // sweeps keep hitting the same per-thread state shapes.
+      const Index want =
+          std::min(maxThreads, std::max<Index>(1, batch / kMinEvalTileRows));
+      const Index tile = std::min(tileRows, (batch + want - 1) / want);
+      const Index nTiles = (batch + tile - 1) / tile;
+      // Default-size team (threads beyond the tile count simply get no
+      // iterations): a num_threads clause varying per call would make the
+      // OpenMP runtime grow/shrink its pool, orphaning the kernels'
+      // thread_local scratch buffers.  aux is sized for any thread id the
+      // schedule might use; states never handed a tile stay empty.
+      while (static_cast<Index>(state.aux.size()) < maxThreads - 1)
+        state.aux.emplace_back(std::make_unique<DecodeState>());
+#pragma omp parallel for schedule(static)
+      for (Index t = 0; t < nTiles; ++t) {
+        const int tid = omp_get_thread_num();
+        DecodeState& st =
+            tid == 0 ? state : *state.aux[static_cast<std::size_t>(tid - 1)];
+        sweepTile(st, t * tile, tile, kernels::KernelPolicy::kSimd);
+      }
+      return;
+    }
+#endif
+    for (Index t0 = 0; t0 < batch; t0 += tileRows)
+      sweepTile(state, t0, tileRows, kernel);
+  }
+
   static constexpr int kVocab = 5;
   static constexpr int kBos = 4;
   static constexpr int kOutcomes = 4;
+  /// Default evaluateDecode tile: big enough that the per-step GEMMs run at
+  /// full micro-kernel efficiency, small enough that a tile's KV arena
+  /// (2 layers * 2 * 256 * L * d) stays inside L2/L3 at the decode shapes.
+  static constexpr Index kEvalTileRows = 256;
+  /// Floor when the tile-parallel driver shrinks tiles to cover the thread
+  /// pool: below this the per-step GEMMs are too short to amortize.
+  static constexpr Index kMinEvalTileRows = 32;
 
  private:
+  /// Clear every amplitude module's backward cache (each write-free when
+  /// already clear), making subsequent decode steps mutation-free on shared
+  /// module state — the precondition of the tile-parallel evaluate sweep.
+  void invalidateDecodeCaches();
+
   Index seqLen_, d_;
   Embedding embed_;
   std::vector<std::unique_ptr<DecoderBlock>> blocks_;

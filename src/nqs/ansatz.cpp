@@ -122,36 +122,90 @@ void QiankunNet::inputTokens(const std::vector<Bits128>& samples,
   }
 }
 
-void QiankunNet::evaluate(const std::vector<Bits128>& samples,
-                          std::vector<Real>& logAmp, std::vector<Real>& phase,
-                          bool cache) {
+void QiankunNet::stepLogAmp(const Real* lg, Bits128 sample, int s, int& nUp,
+                            int& nDown, Real& la, Real* pr) {
+  const auto mask = outcomeMask(s, nUp, nDown);
+  maskedSoftmax4(lg, mask, pr);
+  const int chosen = tokenOf(sample, s);
+  if (!mask[static_cast<std::size_t>(chosen)] || pr[chosen] <= 0.0) {
+    la = kLogZero;  // outside the number-conserving support
+    return;
+  }
+  la += 0.5 * std::log(pr[chosen]);
+  nUp += chosen & 1;
+  nDown += (chosen >> 1) & 1;
+}
+
+void QiankunNet::amplitudesFullForward(const std::vector<Bits128>& samples,
+                                       std::vector<Real>& logAmp, bool cache) {
   const int L = nSteps();
   const Index batch = static_cast<Index>(samples.size());
-  std::vector<int> tokens;
-  inputTokens(samples, tokens);
-  nn::Tensor logits = amplitude_.forward(tokens, L, cache);
+  inputTokens(samples, evalTokens_);
+  nn::Tensor logits = amplitude_.forward(evalTokens_, L, cache);
 
-  nn::Tensor probs({batch, L, 4});
+  nn::Tensor probs;
+  if (cache) probs = nn::Tensor({batch, L, 4});
   logAmp.assign(samples.size(), 0.0);
   for (Index b = 0; b < batch; ++b) {
     int nUp = 0, nDown = 0;
     Real la = 0;
+    Real prLocal[4];
     for (int s = 0; s < L; ++s) {
       const Real* lg = logits.data.data() + (b * L + s) * 4;
-      Real* pr = probs.data.data() + (b * L + s) * 4;
-      const auto mask = outcomeMask(s, nUp, nDown);
-      maskedSoftmax4(lg, mask, pr);
-      const int chosen = tokenOf(samples[static_cast<std::size_t>(b)], s);
-      if (!mask[static_cast<std::size_t>(chosen)] || pr[chosen] <= 0.0) {
-        la = kLogZero;  // outside the number-conserving support
-        break;
-      }
-      la += 0.5 * std::log(pr[chosen]);
-      nUp += chosen & 1;
-      nDown += (chosen >> 1) & 1;
+      Real* pr = cache ? probs.data.data() + (b * L + s) * 4 : prLocal;
+      stepLogAmp(lg, samples[static_cast<std::size_t>(b)], s, nUp, nDown, la, pr);
+      if (la <= kLogZero) break;
     }
     logAmp[static_cast<std::size_t>(b)] = la;
   }
+
+  if (cache) {
+    cachedBatch_ = static_cast<long>(samples.size());
+    cachedSamples_ = samples;
+    cachedProbs_ = std::move(probs);
+  }
+}
+
+void QiankunNet::amplitudesDecode(const std::vector<Bits128>& samples,
+                                  std::vector<Real>& logAmp) {
+  const int L = nSteps();
+  const Index batch = static_cast<Index>(samples.size());
+  inputTokens(samples, evalTokens_);
+  logAmp.assign(samples.size(), 0.0);
+  // Teacher-forced sweep: evaluateDecode hands back each row tile's [tb, 4]
+  // logits position by position; the per-position log-conditionals are
+  // folded into logAmp on the fly — same maskedSoftmax4, same ascending-s
+  // accumulation order as the full-forward path, so the bits match — and no
+  // [B, L, 4] buffer ever materializes.  evalUp_/evalDown_ carry every row's
+  // running electron counts between steps, indexed by *global* row so the
+  // sink only touches its own tile's entries (tiles may run concurrently); a
+  // row that leaves the number-conserving support is finished at kLogZero
+  // (its remaining teacher-forced steps cost nothing but the shared GEMMs).
+  evalUp_.assign(samples.size(), 0);
+  evalDown_.assign(samples.size(), 0);
+  amplitude_.evaluateDecode(
+      evalState_, evalTokens_, batch, L, evalTileRows_, evalKernel_,
+      [&](Index t0, Index tb, Index s, const Real* logits) {
+        for (Index b = 0; b < tb; ++b) {
+          const auto row = static_cast<std::size_t>(t0 + b);
+          if (logAmp[row] <= kLogZero) continue;
+          Real pr[4];
+          stepLogAmp(logits + b * 4, samples[row], static_cast<int>(s),
+                     evalUp_[row], evalDown_[row], logAmp[row], pr);
+        }
+      });
+}
+
+void QiankunNet::evaluate(const std::vector<Bits128>& samples,
+                          std::vector<Real>& logAmp, std::vector<Real>& phase,
+                          bool cache) {
+  const Index batch = static_cast<Index>(samples.size());
+  // Amplitude ln|Psi|.  cache=true must run the full forward (backward()
+  // consumes the activations only it stores); inference follows the policy.
+  if (cache || evalPolicy_ == DecodePolicy::kFullForward)
+    amplitudesFullForward(samples, logAmp, cache);
+  else
+    amplitudesDecode(samples, logAmp);
 
   // Phase network on the +-1 encoded qubit string.
   nn::Tensor xin({batch, cfg_.nQubits});
@@ -163,21 +217,26 @@ void QiankunNet::evaluate(const std::vector<Bits128>& samples,
   phase.resize(samples.size());
   for (Index b = 0; b < batch; ++b) phase[static_cast<std::size_t>(b)] = ph.data[static_cast<std::size_t>(b)];
 
-  if (cache) {
-    cachedBatch_ = static_cast<long>(samples.size());
-    cachedSamples_ = samples;
-    cachedProbs_ = std::move(probs);
+  // A cache=false evaluate invalidates like the modules' cache=false
+  // forwards (modules.hpp invariant): backward() after it throws instead of
+  // mixing stale cachedProbs_/cachedSamples_ with the fresh activations.
+  if (!cache) {
+    cachedBatch_ = -1;
+    cachedSamples_.clear();
+    cachedProbs_ = nn::Tensor{};
   }
+}
+
+Complex QiankunNet::psiValue(Real logAmp, Real phase) {
+  const Real a = (logAmp <= kLogZero) ? 0.0 : std::exp(logAmp);
+  return Complex{a * std::cos(phase), a * std::sin(phase)};
 }
 
 std::vector<Complex> QiankunNet::psi(const std::vector<Bits128>& samples) {
   std::vector<Real> la, ph;
   evaluate(samples, la, ph, /*cache=*/false);
   std::vector<Complex> out(samples.size());
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Real a = (la[i] <= kLogZero) ? 0.0 : std::exp(la[i]);
-    out[i] = Complex{a * std::cos(ph[i]), a * std::sin(ph[i])};
-  }
+  for (std::size_t i = 0; i < samples.size(); ++i) out[i] = psiValue(la[i], ph[i]);
   return out;
 }
 

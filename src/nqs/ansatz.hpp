@@ -10,6 +10,21 @@
 
 namespace nnqs::nqs {
 
+/// Which conditional-distribution engine the samplers — and, since the
+/// teacher-forced evaluate path, ln|Psi| inference — run on.
+///
+/// kFullForward is the stateless reference path: every step re-runs a full
+/// transformer forward over the whole prefix window (O(L^2) token work per
+/// sweep).  kKvCache is the stateful incremental-decode engine: per-layer
+/// key/value caches make each step O(1) token work, with cache rows gathered
+/// onto the live frontier as sampling-tree nodes split or are pruned.  Both
+/// produce bit-identical samples (and, via teacher forcing, bit-identical
+/// amplitudes) for a fixed seed.
+enum class DecodePolicy {
+  kFullForward,
+  kKvCache,
+};
+
 /// Configuration of the QiankunNet wave-function ansatz (paper Fig. 2 and
 /// §4.1 defaults: two decoders, d_model 16, 4 heads, 512-wide phase MLP).
 struct QiankunNetConfig {
@@ -91,12 +106,39 @@ class QiankunNet {
     state.gather(rows);
   }
 
+  /// Select the amplitude-inference engine of evaluate()/psi(): the
+  /// KV-cached teacher-forced decode sweep (default) or the stateless
+  /// full-forward reference.  Both are bit-identical, so the policy only
+  /// moves the inference wall clock.  `tileRows` bounds the decode KV arena
+  /// independent of the batch size (0 = TransformerAR::kEvalTileRows).
+  ///
+  /// The policy applies to cache=false (inference) evaluations: a cache=true
+  /// evaluate must run the full forward regardless, because backward()
+  /// consumes the activations only that path stores.
+  void setEvalPolicy(DecodePolicy policy,
+                     nn::kernels::KernelPolicy kernel =
+                         nn::kernels::KernelPolicy::kAuto,
+                     Index tileRows = 0) {
+    evalPolicy_ = policy;
+    evalKernel_ = kernel;
+    evalTileRows_ = tileRows;
+  }
+  [[nodiscard]] DecodePolicy evalPolicy() const { return evalPolicy_; }
+
   /// ln|Psi| and phase for a batch of samples.  cache=true stores activations
-  /// for exactly one subsequent backward().
+  /// for exactly one subsequent backward() (always full-forward); cache=false
+  /// runs the engine selected by setEvalPolicy() and *invalidates* any cached
+  /// evaluate, so a stale backward() throws instead of using old activations.
   void evaluate(const std::vector<Bits128>& samples, std::vector<Real>& logAmp,
                 std::vector<Real>& phase, bool cache);
 
-  /// Complex psi values (convenience; |psi| = sqrt(pi) <= 1 so no overflow).
+  /// The single (ln|Psi|, phi) -> psi convention: zero amplitude outside the
+  /// number-conserving support, |psi| = sqrt(pi) <= 1 so no overflow.  Every
+  /// consumer of evaluate() output (psi(), the VMC Allgather records, the
+  /// estimator helpers) goes through this instead of re-deriving it.
+  [[nodiscard]] static Complex psiValue(Real logAmp, Real phase);
+
+  /// Complex psi values (convenience; the evaluate() entry point + psiValue).
   std::vector<Complex> psi(const std::vector<Bits128>& samples);
 
   /// Backprop the VMC loss seeds d/d(ln|Psi|) and d/d(phi) per sample of the
@@ -115,12 +157,45 @@ class QiankunNet {
 
  private:
   /// Tokens of a full sample in network input order: [BOS, t_0 .. t_{L-2}].
+  /// The single token-marshalling point of full-sample evaluation — both the
+  /// full-forward and the teacher-forced decode path consume its layout.
   void inputTokens(const std::vector<Bits128>& samples, std::vector<int>& out) const;
+
+  /// ln|Psi| of `samples` via the stateless full transformer forward;
+  /// cache=true additionally stores the masked conditionals into
+  /// cachedProbs_ ([B, L, 4], the layout backward() consumes).
+  void amplitudesFullForward(const std::vector<Bits128>& samples,
+                             std::vector<Real>& logAmp, bool cache);
+  /// ln|Psi| via the teacher-forced incremental-decode sweep
+  /// (TransformerAR::evaluateDecode).  Bit-identical to the full-forward
+  /// path; zero heap allocations once warm.
+  void amplitudesDecode(const std::vector<Bits128>& samples,
+                        std::vector<Real>& logAmp);
+
+  /// Fold position s's masked log-conditional of `sample` (given its logits
+  /// lg[4]) into the running (la, nUp, nDown); pr[4] receives the masked
+  /// conditionals (the cachedProbs_ slot backward() consumes).  The single
+  /// accumulation step of *both* amplitude paths, so their arithmetic — and
+  /// the decode-vs-full bit-identity contract — cannot drift apart.
+  void stepLogAmp(const Real* lg, Bits128 sample, int s, int& nUp, int& nDown,
+                  Real& la, Real* pr);
 
   QiankunNetConfig cfg_;
   Rng rng_;
   nn::TransformerAR amplitude_;
   nn::PhaseMlp phase_;
+  // Inference-engine selection of evaluate()/psi() (setEvalPolicy).
+  DecodePolicy evalPolicy_ = DecodePolicy::kKvCache;
+  nn::kernels::KernelPolicy evalKernel_ = nn::kernels::KernelPolicy::kAuto;
+  Index evalTileRows_ = 0;
+  // Persistent evaluation scratch: the decode state (KV arena + workspace),
+  // the marshalled input tokens, and the per-row (up, down) running counts.
+  // All re-use their capacity, so the warm decode-path *amplitude* sweep of
+  // any batch size allocates nothing (the contract BM_Evaluate asserts); the
+  // phase MLP still builds its input/output tensors per call.
+  nn::DecodeState evalState_;
+  std::vector<int> evalTokens_;
+  std::vector<int> evalUp_, evalDown_;
   // Backward caches.  cachedBatch_ == -1 means "no cached forward"; an empty
   // cached batch (0) makes backward a no-op so ranks that received no samples
   // still participate in the gradient collectives with zero contributions.

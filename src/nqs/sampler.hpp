@@ -21,18 +21,8 @@ struct SampleSet {
   }
 };
 
-/// Which conditional-distribution engine the samplers run on.
-///
-/// kFullForward is the stateless reference path: every step re-runs a full
-/// transformer forward over the whole prefix window (O(L^2) token work per
-/// sweep).  kKvCache is the stateful incremental-decode engine: per-layer
-/// key/value caches make each step O(1) token work, with cache rows gathered
-/// onto the live frontier as sampling-tree nodes split or are pruned.  Both
-/// produce bit-identical samples for a fixed seed.
-enum class DecodePolicy {
-  kFullForward,
-  kKvCache,
-};
+// DecodePolicy (the kFullForward / kKvCache engine selector shared by the
+// samplers and the teacher-forced evaluate path) lives in nqs/ansatz.hpp.
 
 struct SamplerOptions {
   std::uint64_t nSamples = 1 << 12;  ///< N_s; can be huge (the paper uses 1e12)

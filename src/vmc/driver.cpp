@@ -44,6 +44,10 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
     // Identical seed => identical replicated parameters on every rank, the
     // paper's model-replicated / data-distributed layout.
     nqs::QiankunNet net(netConfig);
+    // Route psi inference (the Eloc LUT evaluation below — the largest batch
+    // the network ever sees) through the same decode/kernel policies as
+    // sampling; cache=true gradient evaluates stay full-forward regardless.
+    net.setEvalPolicy(opts.decodePolicy, opts.kernelPolicy);
     nn::AdamWOptions adamOpts;
     adamOpts.lr = opts.learningRate;
     adamOpts.weightDecay = opts.weightDecay;
@@ -83,9 +87,8 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       Timer t1;
       std::vector<GatherRecord> records(local.nUnique());
       for (std::size_t i = 0; i < local.nUnique(); ++i) {
-        const Real amp = std::exp(logAmp[i]);
-        records[i] = {local.samples[i], local.weights[i],
-                      amp * std::cos(phase[i]), amp * std::sin(phase[i])};
+        const Complex p = nqs::QiankunNet::psiValue(logAmp[i], phase[i]);
+        records[i] = {local.samples[i], local.weights[i], p.real(), p.imag()};
       }
       const std::vector<GatherRecord> all = comm.allGather(records);
       std::vector<Bits128> allSamples(all.size());

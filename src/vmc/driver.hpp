@@ -28,13 +28,14 @@ struct VmcOptions {
   long warmupSteps = 200;
   Real weightDecay = 1e-4;
   ElocMode elocMode = ElocMode::kSaFuseLutParallel;
-  /// Conditional-distribution engine of the sampling stage: KV-cached
-  /// incremental decode (default) or the stateless full-forward reference.
-  /// Both sample identically; kKvCache is O(L) cheaper per sweep.
+  /// Engine of the sampling stage *and* of psi inference (the teacher-forced
+  /// Eloc LUT evaluation): KV-cached incremental decode (default) or the
+  /// stateless full-forward reference.  Both are bit-identical; kKvCache is
+  /// the fast path.  Gradient (cache=true) evaluates stay full-forward.
   nqs::DecodePolicy decodePolicy = nqs::DecodePolicy::kKvCache;
-  /// Decode-attention kernel backend of the kKvCache engine (scalar
-  /// reference / AVX2 SIMD / SIMD + OpenMP tiles); all backends draw
-  /// bit-identical samples, so this only moves the sampling wall clock.
+  /// Decode-attention/GEMM kernel backend of the kKvCache engine (scalar
+  /// reference / AVX2 SIMD / SIMD + OpenMP tiles); all backends are
+  /// bit-identical, so this only moves the wall clock.
   nn::kernels::KernelPolicy kernelPolicy = nn::kernels::KernelPolicy::kAuto;
   int logEvery = 0;  ///< 0 = silent
   /// Optional per-iteration observer: (iteration, energy, nUnique).

@@ -36,7 +36,10 @@ enum class ElocMode { kBaseline, kSaFuse, kSaFuseLut, kSaFuseLutParallel };
 
 /// Sample-aware local energies for `samples` (a chunk of S) given the full
 /// lookup table.  `made` is only needed for kBaseline; `net` for kBaseline's
-/// psi inference.
+/// psi inference.  All network psi values go through `QiankunNet::psi` /
+/// `evaluate`, i.e. the engine picked by `QiankunNet::setEvalPolicy` (the
+/// VMC driver routes the LUT evaluation through the teacher-forced decode
+/// path by default).
 std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
                                    const std::vector<Bits128>& samples,
                                    const WavefunctionLut& lut, ElocMode mode,

@@ -1,0 +1,284 @@
+// Teacher-forced batched evaluate() on the incremental-decode engine:
+// bit-identity with the stateless full-forward path for amplitudes, phases,
+// logits, and gradients, across KernelPolicy x DecodePolicy on ragged batch
+// sizes (empty batches, batches larger than one tile), plus the cache
+// invalidation guard of evaluate(cache=false).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/kernels/gemm.hpp"
+#include "nqs/ansatz.hpp"
+
+using namespace nnqs;
+using namespace nnqs::nqs;
+
+// The decode/full-forward bit-identity rests on every GEMM policy
+// reproducing the naive loop's bits; a -DNNQS_WITH_BLAS build trades that
+// away, so the exact comparisons are skipped there (test_decode.cpp idiom).
+#define NNQS_SKIP_IF_BLAS()                                                  \
+  if (nnqs::nn::kernels::gemmUsesBlas())                                     \
+    GTEST_SKIP() << "BLAS GEMM route is not bit-identical across policies"
+
+namespace {
+
+constexpr nn::kernels::KernelPolicy kAllKernels[] = {
+    nn::kernels::KernelPolicy::kScalar, nn::kernels::KernelPolicy::kSimd,
+    nn::kernels::KernelPolicy::kThreaded, nn::kernels::KernelPolicy::kAuto};
+
+QiankunNetConfig smallConfig(int nQubits, int nAlpha, int nBeta,
+                             std::uint64_t seed = 5) {
+  QiankunNetConfig cfg;
+  cfg.nQubits = nQubits;
+  cfg.nAlpha = nAlpha;
+  cfg.nBeta = nBeta;
+  cfg.dModel = 16;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 32;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// All bitstrings of n qubits with exactly na up and nb down electrons.
+std::vector<Bits128> numberSector(int n, int na, int nb) {
+  std::vector<Bits128> out;
+  for (std::uint64_t v = 0; v < (1ull << n); ++v) {
+    Bits128 b{v, 0};
+    int up = 0, down = 0;
+    for (int q = 0; q < n; q += 2) up += b.get(q);
+    for (int q = 1; q < n; q += 2) down += b.get(q);
+    if (up == na && down == nb) out.push_back(b);
+  }
+  return out;
+}
+
+Real numericalGrad(const std::function<Real()>& f, Real& param, Real eps = 1e-5) {
+  const Real orig = param;
+  param = orig + eps;
+  const Real fp = f();
+  param = orig - eps;
+  const Real fm = f();
+  param = orig;
+  return (fp - fm) / (2 * eps);
+}
+
+}  // namespace
+
+TEST(Evaluate, DecodeMatchesFullForwardBitIdentical) {
+  // Decode-path evaluate() must reproduce the full-forward amplitudes and
+  // phases bit for bit, for every kernel policy, on ragged batch sizes: the
+  // empty batch, sub-tile batches, and batches spanning several tiles with a
+  // ragged final tile (tileRows = 4 below).  Out-of-sector samples must hit
+  // the same zero-amplitude sentinel on both paths.
+  NNQS_SKIP_IF_BLAS();
+  const int n = 12, na = 3, nb = 2;
+  QiankunNet net(smallConfig(n, na, nb));
+  std::vector<Bits128> pool = numberSector(n, na, nb);
+  pool.push_back(numberSector(n, na + 1, nb)[0]);  // outside the sector
+  pool.push_back(numberSector(n, na, nb + 1)[1]);
+
+  for (std::size_t batch : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{4}, std::size_t{11}, pool.size()}) {
+    ASSERT_LE(batch, pool.size());
+    const std::vector<Bits128> samples(pool.begin(),
+                                       pool.begin() + static_cast<long>(batch));
+    net.setEvalPolicy(DecodePolicy::kFullForward);
+    std::vector<Real> laRef, phRef;
+    net.evaluate(samples, laRef, phRef, /*cache=*/false);
+    for (auto kernel : kAllKernels) {
+      net.setEvalPolicy(DecodePolicy::kKvCache, kernel, /*tileRows=*/4);
+      std::vector<Real> la, ph;
+      net.evaluate(samples, la, ph, /*cache=*/false);
+      ASSERT_EQ(la.size(), laRef.size());
+      ASSERT_EQ(ph.size(), phRef.size());
+      for (std::size_t i = 0; i < batch; ++i) {
+        EXPECT_EQ(la[i], laRef[i]) << "batch " << batch << " sample " << i;
+        EXPECT_EQ(ph[i], phRef[i]) << "batch " << batch << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(Evaluate, TransformerEvaluateDecodeMatchesForwardLogits) {
+  // TransformerAR level: the teacher-forced sweep's per-position logits are
+  // bit-identical to the corresponding positions of forward(), including
+  // across tile boundaries (batch 10, tileRows 3 -> tiles of 3, 3, 3, 1).
+  NNQS_SKIP_IF_BLAS();
+  const Index L = 7, d = 16, heads = 4, layers = 2, batch = 10;
+  Rng rng(41);
+  nn::TransformerAR net(L, d, heads, layers, rng);
+  std::vector<int> tokens(static_cast<std::size_t>(batch * L));
+  Rng tok(13);
+  for (Index b = 0; b < batch; ++b) {
+    tokens[static_cast<std::size_t>(b * L)] = nn::TransformerAR::kBos;
+    for (Index s = 1; s < L; ++s)
+      tokens[static_cast<std::size_t>(b * L + s)] = static_cast<int>(tok.below(4));
+  }
+  const nn::Tensor ref = net.forward(tokens, L, /*cache=*/false);
+
+  for (auto kernel : kAllKernels) {
+    std::vector<Real> got(static_cast<std::size_t>(batch * L * 4), -1.0);
+    nn::DecodeState state;
+    net.evaluateDecode(state, tokens, batch, L, /*tileRows=*/3, kernel,
+                       [&](Index t0, Index tb, Index s, const Real* logits) {
+                         for (Index b = 0; b < tb; ++b)
+                           for (Index t = 0; t < 4; ++t)
+                             got[static_cast<std::size_t>(((t0 + b) * L + s) * 4 + t)] =
+                                 logits[b * 4 + t];
+                       });
+    ASSERT_EQ(got.size(), ref.data.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], ref.data[i]) << "logit " << i;
+  }
+}
+
+TEST(Evaluate, EvaluateDecodeRejectsBadShapes) {
+  const Index L = 4, d = 8, heads = 2, layers = 1;
+  Rng rng(3);
+  nn::TransformerAR net(L, d, heads, layers, rng);
+  nn::DecodeState state;
+  auto sink = [](Index, Index, Index, const Real*) {};
+  std::vector<int> tokens(static_cast<std::size_t>(2 * L), 0);
+  EXPECT_THROW(net.evaluateDecode(state, tokens, 3, L, 0,
+                                  nn::kernels::KernelPolicy::kAuto, sink),
+               std::invalid_argument);
+  EXPECT_THROW(net.evaluateDecode(state, tokens, 1, 2 * L, 0,
+                                  nn::kernels::KernelPolicy::kAuto, sink),
+               std::invalid_argument);
+}
+
+TEST(Evaluate, PsiSharesTheEvaluateEntryPoint) {
+  // psi() = psiValue over evaluate() output: decode and full-forward give
+  // the same complex values, and out-of-sector samples map to exactly 0.
+  NNQS_SKIP_IF_BLAS();
+  const int n = 10, na = 2, nb = 2;
+  QiankunNet net(smallConfig(n, na, nb, 23));
+  std::vector<Bits128> samples = numberSector(n, na, nb);
+  samples.resize(9);
+  samples.push_back(numberSector(n, na + 1, nb)[0]);
+
+  net.setEvalPolicy(DecodePolicy::kFullForward);
+  const std::vector<Complex> ref = net.psi(samples);
+  net.setEvalPolicy(DecodePolicy::kKvCache, nn::kernels::KernelPolicy::kAuto,
+                    /*tileRows=*/4);
+  const std::vector<Complex> got = net.psi(samples);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].real(), got[i].real()) << i;
+    EXPECT_EQ(ref[i].imag(), got[i].imag()) << i;
+  }
+  EXPECT_EQ(got.back(), (Complex{0.0, 0.0}));  // outside the sector
+}
+
+TEST(Evaluate, GradientsAfterCachedEvaluateMatchAcrossPolicies) {
+  // The VMC gradient stage: evaluate(cache=true) + backward() must fill
+  // bit-identical gradients whether the net's inference policy is decode or
+  // full-forward (the cached evaluate itself always runs full-forward; the
+  // policy must not leak into the gradient path).
+  NNQS_SKIP_IF_BLAS();
+  const int n = 10, na = 2, nb = 2;
+  const auto samples = [&] {
+    auto s = numberSector(n, na, nb);
+    s.resize(6);
+    return s;
+  }();
+  const std::vector<Real> dLa = {0.7, -1.1, 0.4, 0.3, -0.2, 0.9};
+  const std::vector<Real> dPh = {0.2, 0.9, -0.5, 1.3, 0.8, -0.6};
+
+  auto gradsUnder = [&](DecodePolicy policy) {
+    QiankunNet net(smallConfig(n, na, nb, 77));
+    net.setEvalPolicy(policy, nn::kernels::KernelPolicy::kAuto, /*tileRows=*/2);
+    // An inference evaluate first, as the VMC loop interleaves them; it must
+    // not perturb the subsequent cached evaluate + backward.
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, /*cache=*/false);
+    net.evaluate(samples, la, ph, /*cache=*/true);
+    net.backward(dLa, dPh);
+    std::vector<Real> grads;
+    net.flattenGradients(grads);
+    return grads;
+  };
+  const auto ref = gradsUnder(DecodePolicy::kFullForward);
+  const auto got = gradsUnder(DecodePolicy::kKvCache);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(ref[i], got[i]) << i;
+}
+
+TEST(Evaluate, GradcheckWithDecodePathLoss) {
+  // Numeric gradcheck of the VMC loss where every finite-difference forward
+  // runs the *decode-path* evaluate (multi-tile: tileRows 2 on batch 3) while
+  // the analytic gradients come from the cached full-forward + backward():
+  // the two paths must describe the same function.
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = 8;
+  cfg.nAlpha = 2;
+  cfg.nBeta = 2;
+  cfg.dModel = 8;
+  cfg.nHeads = 2;
+  cfg.nDecoders = 1;
+  cfg.phaseHidden = 12;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = 77;
+  QiankunNet net(cfg);
+  net.setEvalPolicy(DecodePolicy::kKvCache, nn::kernels::KernelPolicy::kAuto,
+                    /*tileRows=*/2);
+  const std::vector<Bits128> samples = {fromBitString("00001111"),
+                                        fromBitString("00111100"),
+                                        fromBitString("11000011")};
+  const std::vector<Real> cA = {0.7, -1.1, 0.4}, cP = {0.2, 0.9, -0.5};
+  auto loss = [&] {
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, /*cache=*/false);
+    Real s = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      s += cA[i] * la[i] + cP[i] * ph[i];
+    return s;
+  };
+  {
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, /*cache=*/true);
+    net.backward(cA, cP);
+  }
+  Rng rng(123);
+  for (nn::Parameter* p : net.parameters()) {
+    const std::size_t nEl = p->value.data.size();
+    for (int s = 0; s < 2; ++s) {
+      const std::size_t i = rng.below(nEl);
+      const Real analytic = p->grad.data[i];
+      const Real numeric = numericalGrad(loss, p->value.data[i]);
+      EXPECT_NEAR(analytic, numeric, 5e-5 * std::max(1.0, std::abs(numeric)))
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Evaluate, CacheFalseInvalidatesLikeTheModules) {
+  // evaluate(cache=false) — either engine — must invalidate the previously
+  // cached evaluate: a stale backward() throws instead of silently mixing
+  // old cachedProbs_ with fresh (or missing) activations.
+  const int n = 8, na = 2, nb = 2;
+  const auto samples = [&] {
+    auto s = numberSector(n, na, nb);
+    s.resize(3);
+    return s;
+  }();
+  const std::vector<Real> dLa = {0.1, 0.2, 0.3}, dPh = {0.4, 0.5, 0.6};
+  for (DecodePolicy policy : {DecodePolicy::kFullForward, DecodePolicy::kKvCache}) {
+    QiankunNet net(smallConfig(n, na, nb));
+    net.setEvalPolicy(policy);
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, /*cache=*/true);
+    net.evaluate(samples, la, ph, /*cache=*/false);
+    EXPECT_THROW(net.backward(dLa, dPh), std::logic_error);
+    // A fresh cached evaluate restores the gradient path.
+    net.evaluate(samples, la, ph, /*cache=*/true);
+    EXPECT_NO_THROW(net.backward(dLa, dPh));
+    // backward consumed the cache: a second backward throws again.
+    EXPECT_THROW(net.backward(dLa, dPh), std::logic_error);
+  }
+}
