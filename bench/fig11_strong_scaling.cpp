@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.getInt("samples", 1 << 14));
   const nqs::DecodePolicy decode = decodePolicy(args);
   const nn::kernels::KernelPolicy kernel = kernelPolicy(args);
+  const vmc::ElocMode eloc = elocMode(args);
 
   Timer build;
   Pipeline p = scalingPipeline(args);
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
   int baseRanks = 0;
   for (int ranks : rankSweep(args)) {
     const ScalingPoint pt = scalingRun(packed, paperNetConfig(p), ranks,
-                                       nSamples, iters, decode, kernel);
+                                       nSamples, iters, decode, kernel, eloc);
     if (baseline == 0) {
       baseline = pt.total;
       baseRanks = ranks;

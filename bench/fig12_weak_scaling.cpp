@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.getInt("samples-per-rank", 1 << 12));
   const nqs::DecodePolicy decode = decodePolicy(args);
   const nn::kernels::KernelPolicy kernel = kernelPolicy(args);
+  const vmc::ElocMode eloc = elocMode(args);
 
   Timer build;
   Pipeline p = scalingPipeline(args);
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
     const ScalingPoint pt =
         scalingRun(packed, paperNetConfig(p), ranks,
                    nsPerRank * static_cast<std::uint64_t>(ranks), iters, decode,
-                   kernel);
+                   kernel, eloc);
     if (baseline == 0) baseline = pt.total;
     const double eff = 100.0 * baseline / pt.total;  // ideal weak scaling: flat
     std::printf("%6d %9s %10.3f %10.3f %10.3f %10.3f %7.1f%% %10zu %10.2f\n",

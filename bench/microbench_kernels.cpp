@@ -549,6 +549,81 @@ void BM_LocalEnergySample(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalEnergySample);
 
+// The batched local-energy engine vs. the per-sample LUT engines at the
+// fig10 acceptance shape (C2, N_s = 2^14).  Impl 0/1 are the per-sample
+// binary-search engines (serial / OpenMP), 2/3 the batched merge-join engine
+// (single-thread / threaded); the 0-vs-2 and 1-vs-3 time ratios are the
+// batched-engine speedups quoted in the README (>= 2x acceptance bar at
+// equal thread budget).  The warm-up run doubles as a correctness gate
+// (tolerance-0 vs kSaFuseLut) and the timed batched runs assert the warm
+// path's zero-heap-allocation contract via the operator-new hook.
+void BM_ElocBatched(benchmark::State& state) {
+  const std::int64_t impl = state.range(0);
+  const auto& p = c2Pipeline();
+  const auto packed = ops::PackedHamiltonian::fromHamiltonian(p.ham);
+  nqs::QiankunNet net(paperNetConfig(p));
+  nqs::SamplerOptions opts;
+  opts.nSamples = 1 << 14;
+  const auto set = nqs::batchAutoregressiveSample(net, opts);
+  const auto psi = net.psi(set.samples);
+  const auto lut = vmc::WavefunctionLut::build(set.samples, psi);
+
+  vmc::ElocBatchedOptions bOpts;
+  bOpts.maxThreads = impl == 2 ? 1 : 0;
+  std::vector<Complex> out(set.samples.size());
+  vmc::ElocStats stats;
+  if (impl >= 2) {
+    // Warm-up: sizes every thread's tile workspace AND gates correctness.
+    vmc::localEnergiesBatched(packed, set.samples, lut, out.data(), bOpts,
+                              &stats);
+    const auto ref =
+        vmc::localEnergies(packed, set.samples, lut, vmc::ElocMode::kSaFuseLut);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out[i].real() != ref[i].real() || out[i].imag() != ref[i].imag()) {
+        state.SkipWithError("batched E_loc differs from kSaFuseLut");
+        return;
+      }
+  }
+
+  std::uint64_t lastRunAllocs = 0;
+  for (auto _ : state) {
+    if (impl >= 2) {
+      const std::uint64_t allocs0 = allocationCount();
+      vmc::localEnergiesBatched(packed, set.samples, lut, out.data(), bOpts,
+                                &stats);
+      lastRunAllocs = allocationCount() - allocs0;
+      benchmark::DoNotOptimize(out.data());
+    } else {
+      const auto eloc = vmc::localEnergies(
+          packed, set.samples, lut,
+          impl == 0 ? vmc::ElocMode::kSaFuseLut
+                    : vmc::ElocMode::kSaFuseLutParallel);
+      benchmark::DoNotOptimize(eloc.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(set.nUnique()));
+  switch (impl) {
+    case 0: state.SetLabel("lut/serial"); break;
+    case 1: state.SetLabel("lut/threads"); break;
+    case 2: state.SetLabel("batched/1T"); break;
+    default: state.SetLabel("batched/threads"); break;
+  }
+  if (impl >= 2) {
+    state.counters["allocs/run"] = static_cast<double>(lastRunAllocs);
+    state.counters["dedup%"] = 100.0 * stats.dedupFraction();
+    state.counters["hit%"] =
+        100.0 * static_cast<double>(stats.lutHits) /
+        static_cast<double>(stats.termsEnumerated);
+    if (lastRunAllocs != 0)
+      state.SkipWithError("warm batched E_loc run heap-allocated");
+  }
+}
+// Arg: 0 = kSaFuseLut (serial binary search), 1 = kSaFuseLutParallel,
+// 2 = batched engine pinned to one thread, 3 = batched engine threaded.
+BENCHMARK(BM_ElocBatched)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EriShellQuartets(benchmark::State& state) {
   const auto mol = chem::makeMolecule("H2O");
   const auto basis = chem::buildBasis(mol, "sto-3g");

@@ -30,6 +30,20 @@ inline nqs::DecodePolicy decodePolicy(const Args& args) {
   std::exit(2);
 }
 
+/// `--eloc batched|lut` selects the local-energy engine: the batched
+/// merge-join engine (default) or the per-sample binary-search engine.
+/// Both produce bit-identical per-sample E_loc, so this only moves the
+/// local-energy phase's wall clock.
+inline vmc::ElocMode elocMode(const Args& args) {
+  const std::string mode = args.get("eloc", "batched");
+  if (mode == "batched") return vmc::ElocMode::kBatched;
+  if (mode == "lut") return vmc::ElocMode::kSaFuseLutParallel;
+  std::fprintf(stderr,
+               "unknown --eloc mode '%s' (expected 'batched' or 'lut')\n",
+               mode.c_str());
+  std::exit(2);
+}
+
 /// `--kernel scalar|simd|threaded|auto` selects the decode-attention kernel
 /// backend of the KV engine (src/nn/kernels/); every backend samples
 /// bit-identically, so this column only moves the sampling wall clock.
@@ -81,7 +95,8 @@ inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
                                std::uint64_t nSamples, int iterations,
                                nqs::DecodePolicy decode = nqs::DecodePolicy::kKvCache,
                                nn::kernels::KernelPolicy kernel =
-                                   nn::kernels::KernelPolicy::kAuto) {
+                                   nn::kernels::KernelPolicy::kAuto,
+                               vmc::ElocMode eloc = vmc::ElocMode::kBatched) {
   vmc::VmcOptions opts;
   opts.iterations = iterations;
   opts.nSamples = nSamples;
@@ -89,6 +104,7 @@ inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
   opts.pretrainIterations = 0;
   opts.nRanks = ranks;
   opts.threadsPerRank = 1;
+  opts.elocMode = eloc;
   // The paper uses N*_u = 16384 n; our node has far fewer ranks and smaller
   // N_u, so split the sampling tree earlier — the deep (quadratically more
   // expensive) layers are what must be partitioned for sampling to scale.

@@ -73,6 +73,17 @@ PackedHamiltonian PackedHamiltonian::fromHamiltonian(const SpinHamiltonian& h) {
   return p;
 }
 
+void PackedHamiltonian::groupCoefficients(std::size_t k, const Bits128* xs,
+                                          std::size_t n, Real* out,
+                                          unsigned char* parityScratch) const {
+  for (std::size_t j = 0; j < n; ++j) out[j] = 0;
+  for (std::size_t i = idxs[k]; i < idxs[k + 1]; ++i) {
+    batch::parityAndMask(xs, n, yz[i], parityScratch);
+    const Real c = coeffs[i];
+    for (std::size_t j = 0; j < n; ++j) out[j] += parityScratch[j] ? -c : c;
+  }
+}
+
 Real PackedHamiltonian::matrixElement(Bits128 x, Bits128 xp) const {
   Real sum = (x == xp) ? constant : 0.0;
   for (std::size_t k = 0; k < nGroups(); ++k)

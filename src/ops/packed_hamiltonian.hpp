@@ -56,6 +56,16 @@ struct PackedHamiltonian {
     return c;
   }
 
+  /// Batched groupCoefficient: out[j] = groupCoefficient(k, xs[j]) for
+  /// j < n, with the loop order transposed — one pass per YZ string over all
+  /// samples, so each string's mask/coefficient is loaded once per block and
+  /// the sign stream runs on the batched Bits128 parity kernel
+  /// (common/bits.hpp).  Per sample the additions happen in the same
+  /// ascending-string order as the scalar method, so the results are
+  /// bit-identical.  `parityScratch` must hold n bytes.
+  void groupCoefficients(std::size_t k, const Bits128* xs, std::size_t n,
+                         Real* out, unsigned char* parityScratch) const;
+
   /// <x|H|x'> via the packed data (reference implementation for tests).
   [[nodiscard]] Real matrixElement(Bits128 x, Bits128 xp) const;
 };

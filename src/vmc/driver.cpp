@@ -109,8 +109,10 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       if (trace) std::fprintf(stderr, "[it %d] gathered %zu\n", iter, all.size());
       // --- Stage 3: local energies of the own chunk -----------------------
       Timer t2;
+      ElocStats elocStats;
       const std::vector<Complex> eloc =
-          localEnergies(hamiltonian, local.samples, lut, opts.elocMode);
+          localEnergies(hamiltonian, local.samples, lut, opts.elocMode,
+                        /*made=*/nullptr, /*net=*/nullptr, &elocStats);
       phases.localEnergy += t2.seconds();
 
       // --- Stage 4: Allreduce the energy estimate -------------------------
@@ -155,10 +157,24 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
         result.energyHistory[static_cast<std::size_t>(iter)] = eMean.real();
         lastVariance[0] = variance;
         lastUnique[0] = lut.size();
-        if (opts.logEvery > 0 && iter % opts.logEvery == 0)
-          log::info("vmc it=%4d E=%.8f var=%.3e Nu=%zu Ns=%llu", iter,
-                    eMean.real(), variance, lut.size(),
-                    static_cast<unsigned long long>(sOpts.nSamples));
+        result.elocStats = elocStats;
+        if (opts.logEvery > 0 && iter % opts.logEvery == 0) {
+          if (opts.elocMode == ElocMode::kBatched)
+            log::info(
+                "vmc it=%4d E=%.8f var=%.3e Nu=%zu Ns=%llu "
+                "eloc[probes=%llu hits=%llu dedup=%.0f%% tileTerms=%llu..%llu]",
+                iter, eMean.real(), variance, lut.size(),
+                static_cast<unsigned long long>(sOpts.nSamples),
+                static_cast<unsigned long long>(elocStats.lutProbes),
+                static_cast<unsigned long long>(elocStats.lutHits),
+                100.0 * elocStats.dedupFraction(),
+                static_cast<unsigned long long>(elocStats.tileTermsMin),
+                static_cast<unsigned long long>(elocStats.tileTermsMax));
+          else
+            log::info("vmc it=%4d E=%.8f var=%.3e Nu=%zu Ns=%llu", iter,
+                      eMean.real(), variance, lut.size(),
+                      static_cast<unsigned long long>(sOpts.nSamples));
+        }
         if (opts.observer) opts.observer(iter, eMean.real(), lut.size());
       }
     }

@@ -27,7 +27,7 @@ struct VmcOptions {
   Real learningRate = 1.0;  ///< multiplies the Eq.(13) schedule
   long warmupSteps = 200;
   Real weightDecay = 1e-4;
-  ElocMode elocMode = ElocMode::kSaFuseLutParallel;
+  ElocMode elocMode = ElocMode::kBatched;
   /// Engine of the sampling stage *and* of psi inference (the teacher-forced
   /// Eloc LUT evaluation): KV-cached incremental decode (default) or the
   /// stateless full-forward reference.  Both are bit-identical; kKvCache is
@@ -52,6 +52,9 @@ struct VmcResult {
   Real energy = 0;                     ///< mean over the last averaging window
   Real variance = 0;                   ///< last-iteration local-energy variance
   std::size_t nUnique = 0;             ///< last-iteration global unique samples
+  /// Rank-0 local-energy engine counters of the last iteration (all-zero
+  /// unless elocMode == kBatched).
+  ElocStats elocStats;
   PhaseBreakdown secondsPerIteration;  ///< averaged over iterations, max over ranks
   std::uint64_t commBytesPerIteration = 0;  ///< total across ranks
   Index parameterCount = 0;

@@ -17,6 +17,12 @@ WavefunctionLut WavefunctionLut::build(const std::vector<Bits128>& samples,
   lut.keys.reserve(samples.size());
   lut.psi.reserve(samples.size());
   for (std::size_t i : order) {
+    // S must be a *set*: with duplicate keys, which psi find() returns would
+    // depend on sort tie-breaking, and every engine would silently count the
+    // duplicated configuration's terms once per copy toward <E>.
+    if (!lut.keys.empty() && lut.keys.back() == samples[i])
+      throw std::invalid_argument(
+          "WavefunctionLut::build: duplicate sample key (S must be unique)");
     lut.keys.push_back(samples[i]);
     lut.psi.push_back(psiValues[i]);
   }
@@ -82,27 +88,38 @@ std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
                                    const std::vector<Bits128>& samples,
                                    const WavefunctionLut& lut, ElocMode mode,
                                    const ops::MadePackedHamiltonian* made,
-                                   nqs::QiankunNet* net) {
+                                   nqs::QiankunNet* net, ElocStats* stats) {
+  if (stats != nullptr) *stats = ElocStats{};
   std::vector<Complex> eloc(samples.size());
   switch (mode) {
     case ElocMode::kBaseline: {
       if (made == nullptr || net == nullptr)
         throw std::invalid_argument("baseline engine needs MADE layout and network");
+      std::vector<Bits128> coupled;
+      std::vector<Real> coefs;
+      coupled.reserve(made->nTerms());
+      coefs.reserve(made->nTerms());
       for (std::size_t i = 0; i < samples.size(); ++i) {
         const Bits128 x = samples[i];
         const Complex psiX = *lut.find(x);
-        Complex acc{made->constant, 0.0};
+        // No sample-aware shortcut, no fusion — every Pauli string's coupled
+        // state goes through network inference; but the per-sample states are
+        // batched into ONE psi call so the network sees an inference batch
+        // instead of nTerms single-row evaluations.
+        coupled.clear();
+        coefs.clear();
         for (std::size_t t = 0; t < made->nTerms(); ++t) {
-          const Bits128 xp = x ^ made->xy[t];
           const Real phase = (made->yCount[t] % 4 == 2) ? -1.0 : 1.0;
           const Real coef =
               made->coeff[t] * phase * (parityAnd(x, made->yz[t]) ? -1.0 : 1.0);
           if (coef == 0.0) continue;
-          // No sample-aware shortcut, no fusion: fresh network inference for
-          // every coupled state.
-          const Complex psiXp = net->psi({xp})[0];
-          acc += coef * psiXp / psiX;
+          coupled.push_back(x ^ made->xy[t]);
+          coefs.push_back(coef);
         }
+        const std::vector<Complex> psiXp = net->psi(coupled);
+        Complex acc{made->constant, 0.0};
+        for (std::size_t t = 0; t < coupled.size(); ++t)
+          acc += coefs[t] * psiXp[t] / psiX;
         eloc[i] = acc;
       }
       return eloc;
@@ -124,6 +141,10 @@ std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
 #pragma omp parallel for schedule(dynamic, 16)
       for (std::size_t i = 0; i < samples.size(); ++i)
         eloc[i] = elocSampleAware(packed, samples[i], *lut.find(samples[i]), finder);
+      return eloc;
+    }
+    case ElocMode::kBatched: {
+      localEnergiesBatched(packed, samples, lut, eloc.data(), {}, stats);
       return eloc;
     }
   }

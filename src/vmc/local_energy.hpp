@@ -6,6 +6,7 @@
 #include "nqs/ansatz.hpp"
 #include "nqs/sampler.hpp"
 #include "ops/packed_hamiltonian.hpp"
+#include "vmc/eloc_kernels.hpp"
 
 namespace nnqs::vmc {
 
@@ -16,6 +17,9 @@ struct WavefunctionLut {
   std::vector<Bits128> keys;  ///< ascending
   std::vector<Complex> psi;   ///< aligned with keys
 
+  /// Sorts (sample, psi) pairs by sample.  The samples must be unique —
+  /// duplicate keys would make find() results (and hence E_loc) depend on
+  /// sort-order ties; throws std::invalid_argument on a duplicate.
   static WavefunctionLut build(const std::vector<Bits128>& samples,
                                const std::vector<Complex>& psiValues);
   /// Binary search; nullptr when x is not in S.
@@ -32,19 +36,31 @@ struct WavefunctionLut {
 ///  - kSaFuseLut: + the sorted integer lookup table (binary search).
 ///  - kSaFuseLutParallel: + thread parallelism over samples (Algorithm 2 with
 ///    OpenMP threads standing in for the CUDA kernel).
-enum class ElocMode { kBaseline, kSaFuse, kSaFuseLut, kSaFuseLutParallel };
+///  - kBatched: the batched SIMD engine (eloc_kernels.hpp) — (sample-tile x
+///    term-block) work shape, batched XOR/parity kernels, sorted merge-join
+///    LUT probes with cross-sample dedup, tiles dynamically scheduled by
+///    realized term work.  Per-sample results identical to kSaFuseLut.
+enum class ElocMode {
+  kBaseline,
+  kSaFuse,
+  kSaFuseLut,
+  kSaFuseLutParallel,
+  kBatched
+};
 
 /// Sample-aware local energies for `samples` (a chunk of S) given the full
 /// lookup table.  `made` is only needed for kBaseline; `net` for kBaseline's
 /// psi inference.  All network psi values go through `QiankunNet::psi` /
 /// `evaluate`, i.e. the engine picked by `QiankunNet::setEvalPolicy` (the
 /// VMC driver routes the LUT evaluation through the teacher-forced decode
-/// path by default).
+/// path by default).  `stats` (optional) receives the batched engine's
+/// observability counters; it is reset to zero for the other modes.
 std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
                                    const std::vector<Bits128>& samples,
                                    const WavefunctionLut& lut, ElocMode mode,
                                    const ops::MadePackedHamiltonian* made = nullptr,
-                                   nqs::QiankunNet* net = nullptr);
+                                   nqs::QiankunNet* net = nullptr,
+                                   ElocStats* stats = nullptr);
 
 /// Exact (not sample-aware) local energies: every coupled state's psi is
 /// evaluated with the network.  Reference implementation for tests and for

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/bits.hpp"
 
 using nnqs::Bits128;
@@ -61,6 +65,43 @@ TEST(Bits128, HashDistinguishes) {
   nnqs::Bits128Hash h;
   EXPECT_NE(h(Bits128{1, 0}), h(Bits128{0, 1}));
   EXPECT_NE(h(Bits128{2, 3}), h(Bits128{3, 2}));
+}
+
+TEST(BitsBatch, DispatchedKernelsMatchScalarReference) {
+  // The dispatched (possibly SIMD) batched kernels must be bit-identical to
+  // the scalar references for every batch size, including the vector tails.
+  std::uint64_t state = 0x243F6A8885A308D3ull;  // splitmix64
+  auto next = [&state]() {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  for (const std::size_t n : {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100}) {
+    std::vector<Bits128> xs(n);
+    for (auto& x : xs) x = Bits128{next(), next()};
+    const Bits128 mask{next(), next()};
+
+    std::vector<Bits128> outRef(n), outDisp(n);
+    nnqs::batch::xorMaskScalar(xs.data(), n, mask, outRef.data());
+    nnqs::batch::xorMask(xs.data(), n, mask, outDisp.data());
+    std::vector<unsigned char> pRef(n), pDisp(n);
+    nnqs::batch::parityAndMaskScalar(xs.data(), n, mask, pRef.data());
+    nnqs::batch::parityAndMask(xs.data(), n, mask, pDisp.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(outRef[i], outDisp[i]) << "n=" << n << " i=" << i;
+      EXPECT_EQ(outRef[i], xs[i] ^ mask);
+      EXPECT_EQ(pRef[i], pDisp[i]) << "n=" << n << " i=" << i;
+      EXPECT_EQ(static_cast<int>(pRef[i]), nnqs::parityAnd(xs[i], mask));
+    }
+  }
+}
+
+TEST(BitsBatch, BackendNameIsNonEmpty) {
+  const char* name = nnqs::batch::backendName();
+  ASSERT_NE(name, nullptr);
+  EXPECT_GT(std::string(name).size(), 0u);
 }
 
 class Bits128Param : public ::testing::TestWithParam<int> {};

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "chem/basis_set.hpp"
 #include "chem/geometry_library.hpp"
@@ -113,12 +114,156 @@ TEST(LocalEnergy, AllEnginesAgreeOnFullSupport) {
   const auto c = localEnergies(s.packed, probe, lut, ElocMode::kSaFuseLutParallel);
   const auto d = localEnergies(s.packed, probe, lut, ElocMode::kBaseline, &s.made, &net);
   const auto e = localEnergiesExact(s.packed, probe, net);
+  const auto f = localEnergies(s.packed, probe, lut, ElocMode::kBatched);
   for (std::size_t i = 0; i < probe.size(); ++i) {
     EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10);
     EXPECT_NEAR(std::abs(b[i] - c[i]), 0.0, 1e-10);
     EXPECT_NEAR(std::abs(b[i] - d[i]), 0.0, 1e-8);
     EXPECT_NEAR(std::abs(b[i] - e[i]), 0.0, 1e-8);
+    // The batched engine's contract is tolerance ZERO against kSaFuseLut.
+    EXPECT_EQ(b[i].real(), f[i].real());
+    EXPECT_EQ(b[i].imag(), f[i].imag());
   }
+}
+
+TEST(LocalEnergy, BatchedBitIdenticalAcrossGeometriesAndThreads) {
+  // The batched engine must produce bit-identical per-sample E_loc for every
+  // tile geometry (ragged tails, tile-boundary sizes, single-probe blocks)
+  // and every thread count — the accumulation order per sample is fixed by
+  // the ascending group walk, not by the work decomposition.
+  const System s = buildSystem("LiH");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(12, 2, 2);
+  const auto psi = net.psi(sector);
+  const auto lut = WavefunctionLut::build(sector, psi);
+  const auto ref = localEnergies(s.packed, sector, lut, ElocMode::kSaFuseLut);
+
+  std::vector<Complex> out(sector.size());
+  for (const std::size_t sampleBlock : {std::size_t{1}, std::size_t{3},
+                                        std::size_t{4}, std::size_t{64},
+                                        sector.size(), sector.size() + 7}) {
+    for (const std::size_t termBlock : {std::size_t{1}, std::size_t{5},
+                                        std::size_t{0}}) {
+      for (const int maxThreads : {1, 2, 3, 5}) {
+        ElocBatchedOptions opts;
+        opts.sampleBlock = sampleBlock;
+        opts.termBlock = termBlock;
+        opts.maxThreads = maxThreads;
+        ElocStats stats;
+        localEnergiesBatched(s.packed, sector, lut, out.data(), opts, &stats);
+        for (std::size_t i = 0; i < sector.size(); ++i) {
+          ASSERT_EQ(ref[i].real(), out[i].real())
+              << "sampleBlock=" << sampleBlock << " termBlock=" << termBlock
+              << " threads=" << maxThreads << " i=" << i;
+          ASSERT_EQ(ref[i].imag(), out[i].imag());
+        }
+        // Counters are deterministic: independent of threads and tiling
+        // except for the tile-geometry-dependent ones.
+        EXPECT_EQ(stats.samples, sector.size());
+        EXPECT_EQ(stats.termsEnumerated, sector.size() * s.packed.nGroups());
+        EXPECT_GT(stats.lutHits, 0u);
+        EXPECT_LE(stats.lutProbes, stats.termsEnumerated);
+      }
+    }
+  }
+}
+
+TEST(LocalEnergy, BatchedStatsDedupAndDeterminism) {
+  const System s = buildSystem("LiH");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(12, 2, 2);
+  const auto psi = net.psi(sector);
+  const auto lut = WavefunctionLut::build(sector, psi);
+
+  std::vector<Complex> out(sector.size());
+  ElocStats one, two;
+  ElocBatchedOptions opts;
+  opts.maxThreads = 1;
+  localEnergiesBatched(s.packed, sector, lut, out.data(), opts, &one);
+  opts.maxThreads = 4;
+  localEnergiesBatched(s.packed, sector, lut, out.data(), opts, &two);
+  // Sum/min/max merges are commutative: identical counters at any team size.
+  EXPECT_EQ(one.lutProbes, two.lutProbes);
+  EXPECT_EQ(one.dedupedProbes, two.dedupedProbes);
+  EXPECT_EQ(one.lutHits, two.lutHits);
+  EXPECT_EQ(one.coeffTerms, two.coeffTerms);
+  EXPECT_EQ(one.tileTermsMin, two.tileTermsMin);
+  EXPECT_EQ(one.tileTermsMax, two.tileTermsMax);
+  // With 64 samples per tile sharing excitation structure, the in-tile dedup
+  // must fire (same coupled configuration reached from several samples).
+  EXPECT_GT(one.dedupedProbes, 0u);
+  EXPECT_GT(one.dedupFraction(), 0.0);
+  EXPECT_LE(one.tileTermsMin, one.tileTermsMax);
+}
+
+TEST(LocalEnergy, BatchedPartialSectorLutMissPath) {
+  // With a partial S, the batched engine must skip exactly the coupled
+  // states outside S — same truncation as kSaFuseLut, bit for bit.
+  const System s = buildSystem("LiH");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(12, 2, 2);
+  const auto psi = net.psi(sector);
+  // S = every other state of the sector (stays sorted).
+  std::vector<Bits128> partial;
+  std::vector<Complex> partialPsi;
+  for (std::size_t i = 0; i < sector.size(); i += 2) {
+    partial.push_back(sector[i]);
+    partialPsi.push_back(psi[i]);
+  }
+  const auto lut = WavefunctionLut::build(partial, partialPsi);
+  const auto ref = localEnergies(s.packed, partial, lut, ElocMode::kSaFuseLut);
+  std::vector<Complex> out(partial.size());
+  ElocBatchedOptions opts;
+  opts.sampleBlock = 5;  // ragged tiles over the miss-heavy path
+  localEnergiesBatched(s.packed, partial, lut, out.data(), opts, nullptr);
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    EXPECT_EQ(ref[i].real(), out[i].real());
+    EXPECT_EQ(ref[i].imag(), out[i].imag());
+  }
+}
+
+TEST(LocalEnergy, BatchedEmptyAndSingleSample) {
+  const System s = buildSystem("H2");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(4, 1, 1);
+  const auto psi = net.psi(sector);
+  const auto lut = WavefunctionLut::build(sector, psi);
+
+  const std::vector<Bits128> none;
+  ElocStats stats;
+  localEnergiesBatched(s.packed, none, lut, nullptr, {}, &stats);
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_EQ(stats.nTiles, 0u);
+  EXPECT_EQ(stats.tileTermsMin, 0u);
+
+  const std::vector<Bits128> one{sector[1]};
+  const auto ref = localEnergies(s.packed, one, lut, ElocMode::kSaFuseLut);
+  Complex out;
+  localEnergiesBatched(s.packed, one, lut, &out, {}, nullptr);
+  EXPECT_EQ(ref[0].real(), out.real());
+  EXPECT_EQ(ref[0].imag(), out.imag());
+}
+
+TEST(LocalEnergy, BatchedThrowsOnSampleOutsideS) {
+  const System s = buildSystem("H2");
+  nqs::QiankunNet net = netFor(s);
+  const auto sector = numberSector(4, 1, 1);
+  const auto psi = net.psi(sector);
+  // LUT without the last sector state; asking for its E_loc must throw.
+  const std::vector<Bits128> partial(sector.begin(), sector.end() - 1);
+  const std::vector<Complex> partialPsi(psi.begin(), psi.end() - 1);
+  const auto lut = WavefunctionLut::build(partial, partialPsi);
+  std::vector<Complex> out(1);
+  EXPECT_THROW(localEnergiesBatched(s.packed, {sector.back()}, lut, out.data()),
+               std::invalid_argument);
+}
+
+TEST(WavefunctionLut, BuildRejectsDuplicateKeys) {
+  // Regression: build() used to silently accept duplicate samples, making
+  // find() results depend on sort tie-breaking.
+  std::vector<Bits128> keys = {Bits128{5, 0}, Bits128{1, 0}, Bits128{5, 0}};
+  std::vector<Complex> psi = {{0.5, 0}, {0.1, 0}, {0.7, 0}};
+  EXPECT_THROW(WavefunctionLut::build(keys, psi), std::invalid_argument);
 }
 
 TEST(LocalEnergy, SampleAwareIsTruncationOfExact) {

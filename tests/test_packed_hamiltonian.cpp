@@ -82,6 +82,26 @@ TEST(PackedHamiltonian, DiagonalGroupGivesDiagonalElement) {
   }
 }
 
+TEST(PackedHamiltonian, BatchedGroupCoefficientsMatchScalar) {
+  // groupCoefficients transposes the (string, sample) loop but keeps each
+  // sample's additions in ascending-string order: bit-identical to the
+  // scalar groupCoefficient.
+  const SpinHamiltonian h = hamiltonianFor("LiH");
+  const auto packed = PackedHamiltonian::fromHamiltonian(h);
+  Rng rng(17);
+  const std::size_t n = 37;  // odd size exercises the SIMD tail
+  std::vector<Bits128> xs(n);
+  for (auto& x : xs) x = Bits128{rng.next() & ((1ull << h.nQubits) - 1), 0};
+  std::vector<Real> batched(n);
+  std::vector<unsigned char> scratch(n);
+  for (std::size_t k = 0; k < packed.nGroups(); ++k) {
+    packed.groupCoefficients(k, xs.data(), n, batched.data(), scratch.data());
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_EQ(batched[j], packed.groupCoefficient(k, xs[j]))
+          << "k=" << k << " j=" << j;
+  }
+}
+
 TEST(PackedHamiltonian, PremultipliedCoefficientSigns) {
   // For strings with #Y % 4 == 2 the stored coefficient flips sign.
   SpinHamiltonian h;
