@@ -116,8 +116,8 @@ void BM_BasFullSweep(benchmark::State& state) {
   nqs::QiankunNet net(paperNetConfig(p));
   nqs::SamplerOptions opts;
   opts.nSamples = static_cast<std::uint64_t>(state.range(0));
-  opts.decode = state.range(1) == 0 ? nqs::DecodePolicy::kFullForward
-                                    : nqs::DecodePolicy::kKvCache;
+  opts.exec.decode = state.range(1) == 0 ? nqs::DecodePolicy::kFullForward
+                                           : nqs::DecodePolicy::kKvCache;
   for (auto _ : state) {
     const auto set = nqs::batchAutoregressiveSample(net, opts);
     benchmark::DoNotOptimize(set.nUnique());
@@ -147,8 +147,8 @@ void BM_BasSweepL32(benchmark::State& state) {
   nqs::QiankunNet net(cfg);
   nqs::SamplerOptions opts;
   opts.nSamples = 1 << 12;
-  opts.decode = state.range(0) == 0 ? nqs::DecodePolicy::kFullForward
-                                    : nqs::DecodePolicy::kKvCache;
+  opts.exec.decode = state.range(0) == 0 ? nqs::DecodePolicy::kFullForward
+                                           : nqs::DecodePolicy::kKvCache;
   std::uint64_t nu = 0;
   for (auto _ : state) {
     const auto set = nqs::batchAutoregressiveSample(net, opts);

@@ -15,6 +15,8 @@ struct ScalingPoint {
   double sampling = 0, localEnergy = 0, gradient = 0, total = 0;
   std::size_t nUnique = 0;
   std::uint64_t commBytes = 0;
+  /// Realized Stage-3 term-work imbalance, max/min over ranks (1.0 = perfect).
+  double imbalance = 1.0;
   const char* kernel = "";  ///< decode-kernel backend that produced the row
 };
 
@@ -40,6 +42,27 @@ inline vmc::ElocMode elocMode(const Args& args) {
   if (mode == "lut") return vmc::ElocMode::kSaFuseLutParallel;
   std::fprintf(stderr,
                "unknown --eloc mode '%s' (expected 'batched' or 'lut')\n",
+               mode.c_str());
+  std::exit(2);
+}
+
+/// `--backend threads|mpi` selects the comm backend: in-process thread ranks
+/// (default) or real MPI processes (requires an NNQS_WITH_MPI build launched
+/// under mpirun).  Both backends produce bit-identical trajectories at the
+/// same rank count.
+inline exec::CommBackend commBackend(const Args& args) {
+  const std::string mode = args.get("backend", "threads");
+  if (mode == "threads") return exec::CommBackend::kThreads;
+  if (mode == "mpi") {
+    if (!parallel::mpiAvailable()) {
+      std::fprintf(stderr,
+                   "--backend mpi needs a build with -DNNQS_WITH_MPI=ON\n");
+      std::exit(2);
+    }
+    return exec::CommBackend::kMpi;
+  }
+  std::fprintf(stderr,
+               "unknown --backend mode '%s' (expected 'threads' or 'mpi')\n",
                mode.c_str());
   std::exit(2);
 }
@@ -72,12 +95,12 @@ inline void reportDecodeSpeedup(const Args& args, const nqs::QiankunNetConfig& n
   nqs::SamplerOptions sOpts;
   sOpts.nSamples = nSamples;
   sOpts.seed = 17;
-  sOpts.decode = nqs::DecodePolicy::kKvCache;
-  sOpts.kernel = kernelPolicy(args);
+  sOpts.exec.decode = nqs::DecodePolicy::kKvCache;
+  sOpts.exec.kernel = kernelPolicy(args);
   Timer tKv;
   const std::size_t nuKv = nqs::batchAutoregressiveSample(net, sOpts).nUnique();
   const double kv = tKv.seconds();
-  sOpts.decode = nqs::DecodePolicy::kFullForward;
+  sOpts.exec.decode = nqs::DecodePolicy::kFullForward;
   Timer tFull;
   const std::size_t nuFull = nqs::batchAutoregressiveSample(net, sOpts).nUnique();
   const double full = tFull.seconds();
@@ -93,10 +116,8 @@ inline void reportDecodeSpeedup(const Args& args, const nqs::QiankunNetConfig& n
 inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
                                const nqs::QiankunNetConfig& netCfg, int ranks,
                                std::uint64_t nSamples, int iterations,
-                               nqs::DecodePolicy decode = nqs::DecodePolicy::kKvCache,
-                               nn::kernels::KernelPolicy kernel =
-                                   nn::kernels::KernelPolicy::kAuto,
-                               vmc::ElocMode eloc = vmc::ElocMode::kBatched) {
+                               const exec::ExecutionPolicy& ex = {},
+                               vmc::RankSplit split = vmc::RankSplit::kTermBalanced) {
   vmc::VmcOptions opts;
   opts.iterations = iterations;
   opts.nSamples = nSamples;
@@ -104,19 +125,18 @@ inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
   opts.pretrainIterations = 0;
   opts.nRanks = ranks;
   opts.threadsPerRank = 1;
-  opts.elocMode = eloc;
+  opts.exec = ex;
+  opts.rankSplit = split;
   // The paper uses N*_u = 16384 n; our node has far fewer ranks and smaller
   // N_u, so split the sampling tree earlier — the deep (quadratically more
   // expensive) layers are what must be partitioned for sampling to scale.
   opts.uniqueThresholdPerRank = 256;
   opts.seed = 17;
-  opts.decodePolicy = decode;
-  opts.kernelPolicy = kernel;
   const vmc::VmcResult res = vmc::runVmc(packed, netCfg, opts);
   ScalingPoint pt;
   pt.ranks = ranks;
-  pt.kernel = decode == nqs::DecodePolicy::kKvCache
-                  ? nn::kernels::effectiveKernelName(kernel)
+  pt.kernel = ex.decode == nqs::DecodePolicy::kKvCache
+                  ? nn::kernels::effectiveKernelName(ex.kernel)
                   : "full-fwd";
   pt.sampling = res.secondsPerIteration.sampling;
   pt.localEnergy = res.secondsPerIteration.localEnergy;
@@ -124,6 +144,10 @@ inline ScalingPoint scalingRun(const ops::PackedHamiltonian& packed,
   pt.total = res.secondsPerIteration.total();
   pt.nUnique = res.nUnique;
   pt.commBytes = res.commBytesPerIteration;
+  pt.imbalance = res.rankTermsMin > 0
+                     ? static_cast<double>(res.rankTermsMax) /
+                           static_cast<double>(res.rankTermsMin)
+                     : 1.0;
   return pt;
 }
 
@@ -138,7 +162,13 @@ inline Pipeline scalingPipeline(const Args& args) {
   return buildPipeline(mol, "sto-3g");
 }
 
-inline std::vector<int> rankSweep(const Args& args) {
+/// Rank counts to sweep.  Threads backend: 1..max-ranks in powers of 2 (the
+/// world is respawned per row).  MPI backend: the world size is fixed by
+/// mpirun, so the sweep is the single point at that size — sweep by invoking
+/// mpirun with different -np values.
+inline std::vector<int> rankSweep(const Args& args, exec::CommBackend backend) {
+  if (backend == exec::CommBackend::kMpi)
+    return {parallel::worldSize(exec::CommBackend::kMpi, 0)};
   const int maxRanks = static_cast<int>(
       args.getInt("max-ranks", std::min(16, omp_get_max_threads())));
   std::vector<int> ranks;

@@ -7,10 +7,12 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "exec/policy.hpp"
 
 namespace nnqs::nn::kernels {
 
-/// Which decode-attention kernel backend runs `CausalSelfAttention::decodeStep`.
+/// Which decode-attention kernel backend runs `CausalSelfAttention::decodeStep`
+/// (enumerators in exec/policy.hpp, the consolidated ExecutionPolicy home).
 ///
 /// All backends are **bit-identical**: they follow one fixed arithmetic
 /// contract (see `attnRowScalar` in kernel_scalar.cpp) in which every output
@@ -21,12 +23,7 @@ namespace nnqs::nn::kernels {
 /// exactly the scalar kernel's op for element l.  The threaded backend
 /// parallelizes over (row, head) tiles whose outputs are disjoint.  Samplers
 /// therefore draw bit-identical samples under every policy.
-enum class KernelPolicy {
-  kAuto,      ///< threaded+SIMD for large frontiers, plain SIMD otherwise
-  kScalar,    ///< serial scalar reference kernel (ground truth)
-  kSimd,      ///< single-threaded AVX2/FMA-capable kernel (scalar fallback)
-  kThreaded,  ///< SIMD kernel + OpenMP over (row, head) tiles
-};
+using KernelPolicy = exec::KernelPolicy;
 
 /// One batched decode-attention problem: for every (row, head), attend the
 /// row's query against its cached keys 0..pos and accumulate the context.

@@ -5,25 +5,17 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "exec/policy.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/transformer.hpp"
 
 namespace nnqs::nqs {
 
 /// Which conditional-distribution engine the samplers — and, since the
-/// teacher-forced evaluate path, ln|Psi| inference — run on.
-///
-/// kFullForward is the stateless reference path: every step re-runs a full
-/// transformer forward over the whole prefix window (O(L^2) token work per
-/// sweep).  kKvCache is the stateful incremental-decode engine: per-layer
-/// key/value caches make each step O(1) token work, with cache rows gathered
-/// onto the live frontier as sampling-tree nodes split or are pruned.  Both
-/// produce bit-identical samples (and, via teacher forcing, bit-identical
-/// amplitudes) for a fixed seed.
-enum class DecodePolicy {
-  kFullForward,
-  kKvCache,
-};
+/// teacher-forced evaluate path, ln|Psi| inference — run on.  Enumerators
+/// (kFullForward / kKvCache) live in exec/policy.hpp, the consolidated
+/// ExecutionPolicy home; this alias keeps the historical nqs:: spelling.
+using DecodePolicy = exec::DecodePolicy;
 
 /// Configuration of the QiankunNet wave-function ansatz (paper Fig. 2 and
 /// §4.1 defaults: two decoders, d_model 16, 4 heads, 512-wide phase MLP).
@@ -122,6 +114,12 @@ class QiankunNet {
     evalPolicy_ = policy;
     evalKernel_ = kernel;
     evalTileRows_ = tileRows;
+  }
+  /// Consolidated overload: takes the decode/kernel fields of an
+  /// ExecutionPolicy (exec/policy.hpp), so callers that carry one policy
+  /// struct through the stack can forward it whole.
+  void setEvalPolicy(const exec::ExecutionPolicy& exec, Index tileRows = 0) {
+    setEvalPolicy(exec.decode, exec.kernel, tileRows);
   }
   [[nodiscard]] DecodePolicy evalPolicy() const { return evalPolicy_; }
 

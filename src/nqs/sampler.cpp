@@ -6,6 +6,18 @@
 
 namespace nnqs::nqs {
 
+// The deprecated per-field aliases override exec only when explicitly moved
+// off their defaults; these resolvers are the single place that reads them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+DecodePolicy SamplerOptions::resolvedDecode() const {
+  return decode != DecodePolicy::kKvCache ? decode : exec.decode;
+}
+nn::kernels::KernelPolicy SamplerOptions::resolvedKernel() const {
+  return kernel != nn::kernels::KernelPolicy::kAuto ? kernel : exec.kernel;
+}
+#pragma GCC diagnostic pop
+
 namespace {
 
 /// Binomial(n, p) draw that stays practical from n = 1 to n = 1e12:
@@ -102,7 +114,7 @@ Expansion splitLayer(const Layer& cur, const std::vector<Real>& probs, Rng& rng)
 class ConditionalEngine {
  public:
   ConditionalEngine(QiankunNet& net, const SamplerOptions& opts)
-      : net_(net), policy_(opts.decode), kernel_(opts.kernel) {}
+      : net_(net), policy_(opts.resolvedDecode()), kernel_(opts.resolvedKernel()) {}
 
   /// Arm the engine on the given (root) layer.  In kKvCache mode this must
   /// see the tree before any node has been expanded.

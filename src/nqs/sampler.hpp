@@ -24,15 +24,32 @@ struct SampleSet {
 // DecodePolicy (the kFullForward / kKvCache engine selector shared by the
 // samplers and the teacher-forced evaluate path) lives in nqs/ansatz.hpp.
 
+// The pragma region silences the -Wdeprecated-declarations noise of the
+// *synthesized* constructors (whose NSDMIs "use" the deprecated aliases);
+// user code touching the aliases still warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct SamplerOptions {
   std::uint64_t nSamples = 1 << 12;  ///< N_s; can be huge (the paper uses 1e12)
   std::uint64_t seed = 7;
-  DecodePolicy decode = DecodePolicy::kKvCache;
-  /// Decode-attention kernel backend of the kKvCache engine (scalar
-  /// reference / AVX2 SIMD / SIMD + OpenMP tiles; src/nn/kernels/).  All
-  /// backends are bit-identical, so this is purely a performance knob.
-  nn::kernels::KernelPolicy kernel = nn::kernels::KernelPolicy::kAuto;
+  /// Consolidated engine selection (exec/policy.hpp).  The samplers read
+  /// exec.decode (full-forward vs KV-cached engine) and exec.kernel (the
+  /// decode-attention backend; bit-identical, purely a performance knob);
+  /// exec.eloc / exec.comm are carried for callers that forward one policy
+  /// through the whole stack.
+  exec::ExecutionPolicy exec;
+
+  // Deprecated per-field aliases, kept for one release: when moved off their
+  // defaults they override the matching exec field (resolvedDecode/
+  // resolvedKernel below), so existing call sites keep their meaning.
+  [[deprecated("use exec.decode")]] DecodePolicy decode = DecodePolicy::kKvCache;
+  [[deprecated("use exec.kernel")]] nn::kernels::KernelPolicy kernel =
+      nn::kernels::KernelPolicy::kAuto;
+
+  [[nodiscard]] DecodePolicy resolvedDecode() const;
+  [[nodiscard]] nn::kernels::KernelPolicy resolvedKernel() const;
 };
+#pragma GCC diagnostic pop
 
 /// Exact multinomial-style draw: split `n` trials over the 4 outcome
 /// probabilities (sequential binomials; exact for small n, gaussian/poisson

@@ -6,20 +6,85 @@
 #include <stdexcept>
 #include <thread>
 
+#ifdef NNQS_WITH_MPI
+#include "parallel/mpi_comm.hpp"
+#endif
+
 namespace nnqs::parallel {
+
+// ----------------------------------------------------------- ThreadComm ---
+
+std::size_t ThreadComm::allGatherCounts(std::size_t myBytes,
+                                        std::vector<std::size_t>& byteCounts) {
+  auto& st = *state_;
+  st.contrib[static_cast<std::size_t>(rank_)] = {nullptr, myBytes};
+  barrier();  // all sizes posted
+  byteCounts.resize(st.size);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < st.size; ++r) {
+    byteCounts[r] = st.contrib[r].second;
+    total += byteCounts[r];
+  }
+  return total;
+}
+
+void ThreadComm::allGatherFill(const void* data, std::size_t myBytes, void* out,
+                               const std::vector<std::size_t>& byteCounts) {
+  auto& st = *state_;
+  st.contrib[static_cast<std::size_t>(rank_)] = {data, myBytes};
+  barrier();  // all pointers posted
+  std::size_t off = 0;
+  for (std::size_t r = 0; r < st.size; ++r) {
+    // Ranks may legitimately contribute nothing (e.g. no local samples);
+    // memcpy from a null source is UB even for zero bytes.
+    if (byteCounts[r] != 0)
+      std::memcpy(static_cast<char*>(out) + off, st.contrib[r].first,
+                  byteCounts[r]);
+    off += byteCounts[r];
+  }
+  barrier();  // contributors may reuse their buffers after this
+}
+
+void ThreadComm::allReduceSumReal(Real* data, std::size_t n) {
+  auto& st = *state_;
+  st.contrib[static_cast<std::size_t>(rank_)] = {data, n * sizeof(Real)};
+  barrier();
+  if (rank_ == 0) {
+    // Rank-ordered deterministic sum (the Comm contract): rank 0 reduces the
+    // contributions in rank order, everyone copies the result.
+    st.reduceBuf.assign(n * sizeof(Real), 0);
+    Real* acc = reinterpret_cast<Real*>(st.reduceBuf.data());
+    for (const auto& c : st.contrib) {
+      const Real* src = static_cast<const Real*>(c.first);
+      for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+    }
+  }
+  barrier();
+  std::memcpy(data, st.reduceBuf.data(), n * sizeof(Real));
+  barrier();
+}
+
+void ThreadComm::bcastBytes(void* data, std::size_t nBytes, int root) {
+  auto& st = *state_;
+  if (rank_ == root) st.bcastSrc = data;
+  barrier();
+  if (rank_ != root && nBytes != 0) std::memcpy(data, st.bcastSrc, nBytes);
+  barrier();  // root may reuse its buffer after this
+}
+
+// ---------------------------------------------------------- ThreadWorld ---
 
 ThreadWorld::ThreadWorld(int size, int threadsPerRank)
     : size_(size), threadsPerRank_(threadsPerRank < 1 ? 1 : threadsPerRank) {
   if (size < 1) throw std::invalid_argument("ThreadWorld: size must be >= 1");
 }
 
-void ThreadWorld::run(const std::function<void(ThreadComm&)>& fn) {
+void ThreadWorld::run(const std::function<void(Comm&)>& fn) {
   auto state = std::make_shared<ThreadComm::WorldState>();
   state->size = static_cast<std::size_t>(size_);
   state->barrier = std::make_unique<std::barrier<>>(size_);
   state->contrib.resize(state->size);
 
-  std::vector<std::uint64_t> bytes(state->size, 0);
   std::vector<std::thread> threads;
   std::exception_ptr firstError;
   std::mutex errMutex;
@@ -39,13 +104,68 @@ void ThreadWorld::run(const std::function<void(ThreadComm&)>& fn) {
         // exception is rethrown to the caller after join.
         state->barrier->arrive_and_drop();
       }
-      bytes[static_cast<std::size_t>(r)] = comm.bytesCommunicated();
     });
   }
   for (auto& t : threads) t.join();
   if (firstError) std::rethrow_exception(firstError);
-  totalBytes_ = 0;
-  for (auto b : bytes) totalBytes_ += b;
+}
+
+// -------------------------------------------------------------- factory ---
+
+bool mpiAvailable() {
+#ifdef NNQS_WITH_MPI
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+[[noreturn]] void throwNoMpi() {
+  throw std::runtime_error(
+      "MPI comm backend requested but this build has no MPI support "
+      "(reconfigure with -DNNQS_WITH_MPI=ON and run under mpirun)");
+}
+}  // namespace
+
+int processRank(CommBackend backend) {
+  if (backend == CommBackend::kThreads) return 0;
+#ifdef NNQS_WITH_MPI
+  return mpiProcessRank();
+#else
+  throwNoMpi();
+#endif
+}
+
+int worldSize(CommBackend backend, int nRanks) {
+  if (backend == CommBackend::kThreads) {
+    if (nRanks < 1)
+      throw std::invalid_argument("worldSize: thread backend needs nRanks >= 1");
+    return nRanks;
+  }
+#ifdef NNQS_WITH_MPI
+  const int ws = mpiWorldSize();
+  if (nRanks != 0 && nRanks != ws)
+    throw std::invalid_argument(
+        "worldSize: MPI world size is fixed by the launcher; pass nRanks = 0 "
+        "or the exact mpirun -np count");
+  return ws;
+#else
+  (void)nRanks;
+  throwNoMpi();
+#endif
+}
+
+std::unique_ptr<World> makeWorld(CommBackend backend, int nRanks,
+                                 int threadsPerRank) {
+  if (backend == CommBackend::kThreads)
+    return std::make_unique<ThreadWorld>(nRanks, threadsPerRank);
+#ifdef NNQS_WITH_MPI
+  (void)worldSize(backend, nRanks);  // validates nRanks against the launcher
+  return makeMpiWorld(threadsPerRank);
+#else
+  throwNoMpi();
+#endif
 }
 
 }  // namespace nnqs::parallel

@@ -6,83 +6,168 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hpp"
+#include "exec/policy.hpp"
 
 namespace nnqs::parallel {
 
-/// MPI-semantics collectives over threads.  Each "rank" is a thread of one
-/// ThreadWorld; Allgather / Allreduce / Bcast mirror the MPI calls the paper's
-/// data-centric VMC scheme uses (Fig. 4), and every collective charges the
-/// same wire-byte accounting the paper reports (§3.2), so the communication-
-/// volume numbers are reproducible even though transport is shared memory.
-class ThreadComm {
+/// Transport selector (enumerators in exec/policy.hpp: kThreads / kMpi).
+using CommBackend = exec::CommBackend;
+
+/// MPI-semantics collectives behind one backend-agnostic interface.  The
+/// paper's data-centric VMC scheme (Fig. 4 / §3.2) is written against MPI
+/// collectives; `Comm` is that contract, with two transports:
+///
+///  - ThreadComm: each "rank" is a thread of one ThreadWorld (tests/CI, no
+///    external dependencies).
+///  - MpiComm (NNQS_WITH_MPI builds): each rank is an MPI process of
+///    MPI_COMM_WORLD — the real multi-node scale-out path.
+///
+/// Both transports implement the same *rank-ordered deterministic reduction*
+/// contract: allReduceSum produces the rank-0-order sequential IEEE sum of
+/// the per-rank contributions, bit-identically on every rank (MpiComm gathers
+/// to rank 0, reduces in rank order and broadcasts — never MPI_SUM, whose
+/// reduction tree is implementation-defined).  allGatherV concatenates the
+/// contributions in rank order.  A run is therefore bit-identical across
+/// backends at a fixed rank count.
+///
+/// Byte accounting (the paper reports communication volume, §3.2): every
+/// collective charges the wire bytes this rank *receives*, matching the
+/// paper's counting, regardless of transport:
+///   - allGatherV of n_r elements per rank: sum_r n_r * sizeof(T);
+///   - allReduceSum of n elements: 2 * n * sizeof(T) (reduce + bcast legs);
+///   - bcast of n elements: n * sizeof(T);
+///   - barrier: 0.
+/// The counter is cumulative per rank; callers that want per-phase or
+/// per-iteration volumes snapshot bytesCommunicated() and resetByteCounter()
+/// around the region of interest (the VMC driver resets at the top of every
+/// iteration, so its reported comm volume is the exact last-iteration total,
+/// not a run-lifetime average).
+///
+/// Virtual dispatch is per *collective call*, never per element — the
+/// templated convenience wrappers below are header-inlined and the payload
+/// memcpy/wire traffic dominates any call overhead, so driver/estimator/LUT
+/// code compiles unchanged and at full speed against either backend.
+class Comm {
  public:
-  [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const { return static_cast<int>(state_->size); }
-  void barrier() { state_->barrier->arrive_and_wait(); }
+  virtual ~Comm() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+  virtual void barrier() = 0;
 
   /// Variable-size all-gather: concatenation of every rank's buffer, in rank
-  /// order.  Byte accounting: each rank receives the full gathered payload.
+  /// order.  `countsOut` (optional) receives each rank's element count, so
+  /// callers can recover the per-rank slices of the concatenation.
   template <typename T>
-  std::vector<T> allGather(const T* data, std::size_t n) {
+  std::vector<T> allGatherV(const T* data, std::size_t n,
+                            std::vector<std::size_t>* countsOut = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto& st = *state_;
-    st.contrib[static_cast<std::size_t>(rank_)] = {data, n * sizeof(T)};
-    barrier();
-    std::size_t total = 0;
-    for (const auto& c : st.contrib) total += c.second;
-    std::vector<T> out(total / sizeof(T));
-    std::size_t off = 0;
-    for (const auto& c : st.contrib) {
-      // Ranks may legitimately contribute nothing (e.g. no local samples);
-      // memcpy from a null source is UB even for zero bytes.
-      if (c.second == 0) continue;
-      std::memcpy(reinterpret_cast<char*>(out.data()) + off, c.first, c.second);
-      off += c.second;
+    std::vector<std::size_t> byteCounts;
+    const std::size_t totalBytes =
+        allGatherCounts(n * sizeof(T), byteCounts);
+    std::vector<T> out(totalBytes / sizeof(T));
+    allGatherFill(data, n * sizeof(T), out.data(), byteCounts);
+    bytes_ += totalBytes;
+    if (countsOut != nullptr) {
+      countsOut->resize(byteCounts.size());
+      for (std::size_t r = 0; r < byteCounts.size(); ++r)
+        (*countsOut)[r] = byteCounts[r] / sizeof(T);
     }
-    bytes_ += total;
-    barrier();  // contributors may reuse their buffers after this
     return out;
   }
 
   template <typename T>
-  std::vector<T> allGather(const std::vector<T>& v) {
-    return allGather(v.data(), v.size());
+  std::vector<T> allGather(const T* data, std::size_t n) {
+    return allGatherV(data, n);
   }
 
-  /// In-place sum-All-reduce with bit-identical results on every rank
-  /// (rank 0 reduces in rank order, everyone copies the result).
-  /// Byte accounting: reduce + broadcast legs, 2 n sizeof(T) per rank.
   template <typename T>
-  void allReduceSum(T* data, std::size_t n) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    auto& st = *state_;
-    st.contrib[static_cast<std::size_t>(rank_)] = {data, n * sizeof(T)};
-    barrier();
-    if (rank_ == 0) {
-      st.reduceBuf.assign(n * sizeof(T), 0);
-      T* acc = reinterpret_cast<T*>(st.reduceBuf.data());
-      for (const auto& c : st.contrib) {
-        const T* src = reinterpret_cast<const T*>(c.first);
-        for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
-      }
-    }
-    barrier();
-    std::memcpy(data, st.reduceBuf.data(), n * sizeof(T));
-    bytes_ += 2 * n * sizeof(T);
-    barrier();
+  std::vector<T> allGather(const std::vector<T>& v) {
+    return allGatherV(v.data(), v.size());
   }
 
+  /// In-place sum-All-reduce with bit-identical results on every rank: the
+  /// rank-ordered sequential sum of the per-rank contributions.
+  void allReduceSum(Real* data, std::size_t n) {
+    allReduceSumReal(data, n);
+    bytes_ += 2 * n * sizeof(Real);
+  }
+
+  /// Typed-span overload: the natural spelling for fixed-size statistics
+  /// blocks (e.g. the driver's 3-element energy reduce) — no raw
+  /// pointer/length pair to get out of sync.
+  void allReduceSum(std::span<Real> v) { allReduceSum(v.data(), v.size()); }
+
+  /// Scalar convenience overload.
   Real allReduceSum(Real v) {
     allReduceSum(&v, 1);
     return v;
   }
 
-  /// Bytes this rank has sent/received through collectives so far.
+  /// Broadcast from `root` (every rank must pass the same root).
+  template <typename T>
+  void bcast(T* data, std::size_t n, int root = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcastBytes(data, n * sizeof(T), root);
+    bytes_ += n * sizeof(T);
+  }
+
+  /// Bytes this rank has received through collectives since the last reset
+  /// (see the class comment for the per-collective accounting).
   [[nodiscard]] std::uint64_t bytesCommunicated() const { return bytes_; }
   void resetByteCounter() { bytes_ = 0; }
+
+ protected:
+  /// Exchange per-rank byte counts; returns the total.  Paired with
+  /// allGatherFill (always called in this order, on every rank).
+  virtual std::size_t allGatherCounts(std::size_t myBytes,
+                                      std::vector<std::size_t>& byteCounts) = 0;
+  /// Write the rank-order concatenation of every rank's buffer into `out`
+  /// (sized to the total from allGatherCounts).
+  virtual void allGatherFill(const void* data, std::size_t myBytes, void* out,
+                             const std::vector<std::size_t>& byteCounts) = 0;
+  virtual void allReduceSumReal(Real* data, std::size_t n) = 0;
+  virtual void bcastBytes(void* data, std::size_t nBytes, int root) = 0;
+
+  std::uint64_t bytes_ = 0;
+};
+
+/// A set of ranks executing one SPMD function against a Comm.  Under the
+/// threads backend run() spawns size() rank-threads in this process; under
+/// MPI the process *is* one rank and run() invokes the function once.
+class World {
+ public:
+  virtual ~World() = default;
+  [[nodiscard]] virtual int size() const = 0;
+  /// The rank whose results this process holds after run(): 0 under threads
+  /// (all ranks live here; rank 0's slot is canonical), the process's world
+  /// rank under MPI.
+  [[nodiscard]] virtual int thisProcessRank() const = 0;
+  virtual void run(const std::function<void(Comm&)>& fn) = 0;
+};
+
+/// Thread-backend Comm: collectives rendezvous through a shared WorldState.
+class ThreadComm final : public Comm {
+ public:
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override {
+    return static_cast<int>(state_->size);
+  }
+  void barrier() override { state_->barrier->arrive_and_wait(); }
+
+ protected:
+  std::size_t allGatherCounts(std::size_t myBytes,
+                              std::vector<std::size_t>& byteCounts) override;
+  void allGatherFill(const void* data, std::size_t myBytes, void* out,
+                     const std::vector<std::size_t>& byteCounts) override;
+  void allReduceSumReal(Real* data, std::size_t n) override;
+  void bcastBytes(void* data, std::size_t nBytes, int root) override;
 
  private:
   friend class ThreadWorld;
@@ -91,28 +176,48 @@ class ThreadComm {
     std::unique_ptr<std::barrier<>> barrier;
     std::vector<std::pair<const void*, std::size_t>> contrib;
     std::vector<unsigned char> reduceBuf;
+    const void* bcastSrc = nullptr;
   };
   ThreadComm(int rank, std::shared_ptr<WorldState> state)
       : rank_(rank), state_(std::move(state)) {}
   int rank_;
   std::shared_ptr<WorldState> state_;
-  std::uint64_t bytes_ = 0;
 };
 
 /// Spawns `size` rank-threads and runs `fn(comm)` on each.  `threadsPerRank`
 /// sets the OpenMP team available inside each rank (second-level parallelism,
 /// the paper's per-GPU threads).
-class ThreadWorld {
+class ThreadWorld final : public World {
  public:
   explicit ThreadWorld(int size, int threadsPerRank = 1);
-  void run(const std::function<void(ThreadComm&)>& fn);
-  [[nodiscard]] int size() const { return size_; }
-  /// Sum of all ranks' collective byte counters from the last run().
-  [[nodiscard]] std::uint64_t totalBytes() const { return totalBytes_; }
+  void run(const std::function<void(Comm&)>& fn) override;
+  [[nodiscard]] int size() const override { return size_; }
+  [[nodiscard]] int thisProcessRank() const override { return 0; }
 
  private:
   int size_, threadsPerRank_;
-  std::uint64_t totalBytes_ = 0;
 };
+
+/// True when this binary was built with the MPI backend (-DNNQS_WITH_MPI).
+[[nodiscard]] bool mpiAvailable();
+
+/// Rank of this *process* in the backend's world without constructing one:
+/// 0 for kThreads (single process), the MPI_COMM_WORLD rank for kMpi
+/// (initializing MPI on first use).  Benches use this to print from exactly
+/// one process under mpirun.  Throws std::runtime_error for kMpi in a build
+/// without NNQS_WITH_MPI.
+[[nodiscard]] int processRank(CommBackend backend);
+
+/// Rank count a world of this backend would have: `nRanks` for kThreads
+/// (must be >= 1), the MPI_COMM_WORLD size for kMpi (`nRanks` must then be 0
+/// = "use the launcher's count" or match it exactly).
+[[nodiscard]] int worldSize(CommBackend backend, int nRanks);
+
+/// Backend factory.  kThreads: a ThreadWorld of `nRanks` rank-threads.
+/// kMpi: the process's MPI world (size fixed by mpirun; pass nRanks = 0 to
+/// accept it, or the exact count to assert it).  Throws std::runtime_error
+/// for kMpi in a build without NNQS_WITH_MPI.
+std::unique_ptr<World> makeWorld(CommBackend backend, int nRanks,
+                                 int threadsPerRank = 1);
 
 }  // namespace nnqs::parallel

@@ -1,0 +1,32 @@
+#pragma once
+
+// Real-MPI Comm backend (one process per rank), compiled only under
+// -DNNQS_WITH_MPI.  Consumers never include this directly: they go through
+// parallel::makeWorld(CommBackend::kMpi, ...) / parallel::processRank(),
+// which comm.cpp routes here when the backend is compiled in.
+//
+// Determinism contract (same as ThreadComm): allReduceSum is the rank-ordered
+// sequential sum — contributions are gathered to rank 0, reduced in rank
+// order, and broadcast — never MPI_SUM, whose reduction-tree association is
+// implementation-defined and would break bit-identity across backends.
+
+#ifdef NNQS_WITH_MPI
+
+#include <memory>
+
+#include "parallel/comm.hpp"
+
+namespace nnqs::parallel {
+
+/// MPI_COMM_WORLD rank/size of this process, initializing MPI on first use
+/// (MPI_THREAD_FUNNELED; MPI_Finalize is registered at exit).
+[[nodiscard]] int mpiProcessRank();
+[[nodiscard]] int mpiWorldSize();
+
+/// The process's MPI world: run(fn) invokes fn exactly once, with this
+/// process's rank — the SPMD launch itself is mpirun's job.
+std::unique_ptr<World> makeMpiWorld(int threadsPerRank);
+
+}  // namespace nnqs::parallel
+
+#endif  // NNQS_WITH_MPI

@@ -1,14 +1,27 @@
 #include "vmc/driver.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cmath>
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "vmc/repartition.hpp"
 
 namespace nnqs::vmc {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+exec::ExecutionPolicy VmcOptions::resolvedExec() const {
+  exec::ExecutionPolicy e = exec;
+  if (elocMode != ElocMode::kBatched) e.eloc = elocMode;
+  if (decodePolicy != nqs::DecodePolicy::kKvCache) e.decode = decodePolicy;
+  if (kernelPolicy != nn::kernels::KernelPolicy::kAuto) e.kernel = kernelPolicy;
+  return e;
+}
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -25,38 +38,44 @@ struct GatherRecord {
 
 VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
                  const nqs::QiankunNetConfig& netConfig, const VmcOptions& opts) {
-  if (opts.elocMode == ElocMode::kBaseline)
+  const exec::ExecutionPolicy ex = opts.resolvedExec();
+  if (ex.eloc == ElocMode::kBaseline)
     throw std::invalid_argument(
         "runVmc: the baseline local-energy engine exists for Fig. 10 "
         "benchmarking only; use a sample-aware mode");
-  const int nRanks = opts.nRanks;
-  parallel::ThreadWorld world(nRanks, opts.threadsPerRank);
+  const auto world = parallel::makeWorld(ex.comm, opts.nRanks, opts.threadsPerRank);
+  const int nRanks = world->size();
 
-  VmcResult result;
-  result.energyHistory.assign(static_cast<std::size_t>(opts.iterations), 0.0);
-  std::vector<PhaseBreakdown> rankPhases(static_cast<std::size_t>(nRanks));
-  std::vector<Real> lastVariance(static_cast<std::size_t>(nRanks), 0.0);
-  std::vector<std::size_t> lastUnique(static_cast<std::size_t>(nRanks), 0);
-  std::vector<Index> paramCount(static_cast<std::size_t>(nRanks), 0);
+  // Every rank assembles an *identical* result (all collectives are
+  // rank-order-deterministic), so under MPI each process can return its own
+  // copy; under threads we just hand back rank 0's slot.
+  std::vector<VmcResult> perRank(static_cast<std::size_t>(nRanks));
 
-  world.run([&](parallel::ThreadComm& comm) {
+  world->run([&](parallel::Comm& comm) {
     const int rank = comm.rank();
+    VmcResult res;
+    res.energyHistory.assign(static_cast<std::size_t>(opts.iterations), 0.0);
     // Identical seed => identical replicated parameters on every rank, the
     // paper's model-replicated / data-distributed layout.
     nqs::QiankunNet net(netConfig);
     // Route psi inference (the Eloc LUT evaluation below — the largest batch
     // the network ever sees) through the same decode/kernel policies as
     // sampling; cache=true gradient evaluates stay full-forward regardless.
-    net.setEvalPolicy(opts.decodePolicy, opts.kernelPolicy);
+    net.setEvalPolicy(ex);
     nn::AdamWOptions adamOpts;
     adamOpts.lr = opts.learningRate;
     adamOpts.weightDecay = opts.weightDecay;
     nn::AdamW optimizer(net.parameters(), adamOpts);
     const nn::NoamSchedule schedule(netConfig.dModel, opts.warmupSteps);
-    paramCount[static_cast<std::size_t>(rank)] = net.parameterCount();
+    res.parameterCount = net.parameterCount();
 
-    PhaseBreakdown& phases = rankPhases[static_cast<std::size_t>(rank)];
+    PhaseBreakdown phases;
     std::vector<Real> grads;
+    // Measured per-sample term counts of past iterations, the signal behind
+    // the term-balanced Stage-3 split (sample sets overlap heavily across
+    // iterations, so last iteration's measurement predicts this one's cost).
+    TermCostModel costModel;
+    std::uint64_t bytesAllIterations = 0;
     // Set NNQS_TRACE=1 to stream per-stage progress of every iteration.
     const bool trace = std::getenv("NNQS_TRACE") != nullptr;
     // N_s schedule (paper §4.1): pretrain at the initial value, then double
@@ -66,14 +85,18 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
     std::uint64_t nsCurrent = opts.nSamplesInitial;
 
     for (int iter = 0; iter < opts.iterations; ++iter) {
+      // Per-iteration byte accounting: everything Stages 1-6 communicate
+      // lands in this window; the end-of-iteration bookkeeping gather below
+      // is snapshot *after* reading the counter and wiped by this reset, so
+      // commBytesPerIteration counts exactly the algorithmic collectives.
+      comm.resetByteCounter();
       Timer t0;
       if (trace) std::fprintf(stderr, "[it %d] sampling...\n", iter);
       // --- Stage 1: parallel batch autoregressive sampling ---------------
       nqs::SamplerOptions sOpts;
       sOpts.nSamples = nsCurrent;
       sOpts.seed = opts.seed + static_cast<std::uint64_t>(iter) * 0x9E37u;
-      sOpts.decode = opts.decodePolicy;
-      sOpts.kernel = opts.kernelPolicy;
+      sOpts.exec = ex;
       nqs::SampleSet local = nqs::parallelBatchSample(
           net, sOpts, rank, nRanks,
           opts.uniqueThresholdPerRank * static_cast<std::uint64_t>(nRanks));
@@ -90,7 +113,14 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
         const Complex p = nqs::QiankunNet::psiValue(logAmp[i], phase[i]);
         records[i] = {local.samples[i], local.weights[i], p.real(), p.imag()};
       }
-      const std::vector<GatherRecord> all = comm.allGather(records);
+      std::vector<std::size_t> gatherCounts;
+      const std::vector<GatherRecord> all =
+          comm.allGatherV(records.data(), records.size(), &gatherCounts);
+      // This rank's samples occupy a contiguous span of the rank-ordered
+      // gathered set; Stage 4/5 read their local energies back from there.
+      std::size_t ownOffset = 0;
+      for (int r = 0; r < rank; ++r)
+        ownOffset += gatherCounts[static_cast<std::size_t>(r)];
       std::vector<Bits128> allSamples(all.size());
       std::vector<Complex> allPsi(all.size());
       std::uint64_t totalWeight = 0;
@@ -107,24 +137,87 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
         nsCurrent = std::min(nsCurrent * 2, opts.nSamples);
 
       if (trace) std::fprintf(stderr, "[it %d] gathered %zu\n", iter, all.size());
-      // --- Stage 3: local energies of the own chunk -----------------------
+      // --- Stage 3: local energies of a term-balanced chunk ---------------
+      // The gathered set is tiled and the tiles are dealt to ranks — by last
+      // iteration's measured per-sample term counts (LPT bin-packing) once a
+      // measurement exists, by equal counts before that.  Every rank computes
+      // the same partition from the same gathered data, so no coordination
+      // is needed; the results are AllgatherV'd back and re-ordered into the
+      // gathered order.  Per-sample local energies are chunk-independent, so
+      // the trajectory is bit-identical regardless of the split.
       Timer t2;
+      const std::size_t nAll = allSamples.size();
+      const std::size_t tileSz = std::max<std::size_t>(1, opts.rankTileSize);
+      const std::size_t nTiles = (nAll + tileSz - 1) / tileSz;
+      RankPartition part;
+      if (opts.rankSplit == RankSplit::kTermBalanced && !costModel.empty()) {
+        std::vector<std::uint64_t> tileCosts(nTiles, 0);
+        for (std::size_t i = 0; i < nAll; ++i)
+          tileCosts[i / tileSz] += costModel.estimate(allSamples[i]);
+        part = partitionTilesByCost(tileCosts, nRanks);
+      } else {
+        part = partitionTilesEqual(nTiles, nRanks);
+      }
+      const auto& myTiles = part.tiles[static_cast<std::size_t>(rank)];
+      std::vector<Bits128> chunk;
+      for (const std::uint32_t t : myTiles) {
+        const std::size_t lo = static_cast<std::size_t>(t) * tileSz;
+        const std::size_t hi = std::min(nAll, lo + tileSz);
+        chunk.insert(chunk.end(), allSamples.begin() + static_cast<std::ptrdiff_t>(lo),
+                     allSamples.begin() + static_cast<std::ptrdiff_t>(hi));
+      }
       ElocStats elocStats;
-      const std::vector<Complex> eloc =
-          localEnergies(hamiltonian, local.samples, lut, opts.elocMode,
-                        /*made=*/nullptr, /*net=*/nullptr, &elocStats);
+      std::vector<std::uint64_t> chunkTerms(chunk.size(), 0);
+      const std::vector<Complex> chunkEloc =
+          localEnergies(hamiltonian, chunk, lut, ex.eloc,
+                        /*made=*/nullptr, /*net=*/nullptr, &elocStats,
+                        chunkTerms.data());
+      // Route every sample's (eloc, measured terms) back to all ranks and
+      // restore the gathered order via the (identical) partition.
+      const std::vector<Complex> gatheredEloc =
+          comm.allGatherV(chunkEloc.data(), chunkEloc.size());
+      const std::vector<std::uint64_t> gatheredTerms =
+          comm.allGatherV(chunkTerms.data(), chunkTerms.size());
+      std::vector<Complex> globalEloc(nAll);
+      std::vector<std::uint64_t> globalTerms(nAll);
+      {
+        std::size_t pos = 0;
+        for (int r = 0; r < nRanks; ++r)
+          for (const std::uint32_t t : part.tiles[static_cast<std::size_t>(r)]) {
+            const std::size_t lo = static_cast<std::size_t>(t) * tileSz;
+            const std::size_t hi = std::min(nAll, lo + tileSz);
+            for (std::size_t i = lo; i < hi; ++i, ++pos) {
+              globalEloc[i] = gatheredEloc[pos];
+              globalTerms[i] = gatheredTerms[pos];
+            }
+          }
+      }
+      costModel.update(allSamples, globalTerms);
+      // Realized per-rank term work + its spread (the imbalance the
+      // repartitioner minimizes); identical on every rank.
+      std::vector<std::uint64_t> realizedTile(nTiles, 0);
+      for (std::size_t i = 0; i < nAll; ++i)
+        realizedTile[i / tileSz] += globalTerms[i];
+      const std::vector<std::uint64_t> rankTerms =
+          realizedRankCosts(part, realizedTile);
+      res.rankTermsMin = *std::min_element(rankTerms.begin(), rankTerms.end());
+      res.rankTermsMax = *std::max_element(rankTerms.begin(), rankTerms.end());
+      // This rank's own samples' local energies, for Stages 4 and 5.  Using
+      // the routed global array keeps the Stage-4 summation order exactly the
+      // per-rank local order of the pre-repartition design.
+      const Complex* eloc = globalEloc.data() + ownOffset;
       phases.localEnergy += t2.seconds();
 
       // --- Stage 4: Allreduce the energy estimate -------------------------
       Timer t3;
-      Real acc[3] = {0, 0, 0};  // sum w*Re(E), sum w*Im(E), sum w*|E|^2
-      for (std::size_t i = 0; i < eloc.size(); ++i) {
+      std::array<Real, 3> acc{0, 0, 0};  // sum w*Re(E), sum w*Im(E), sum w*|E|^2
+      for (std::size_t i = 0; i < local.nUnique(); ++i) {
         const Real w = static_cast<Real>(local.weights[i]);
         acc[0] += w * eloc[i].real();
         acc[1] += w * eloc[i].imag();
         acc[2] += w * std::norm(eloc[i]);
       }
-      comm.allReduceSum(acc, 3);
+      comm.allReduceSum(std::span<Real>(acc));
       const Real wTot = static_cast<Real>(totalWeight);
       const Complex eMean{acc[0] / wTot, acc[1] / wTot};
       const Real variance = acc[2] / wTot - std::norm(eMean);
@@ -153,57 +246,82 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       optimizer.step(schedule.lr(iter + 1));
       phases.gradient += t5.seconds();
 
+      // Per-iteration bookkeeping, identical on every rank.  The byte gather
+      // reads the counters *then* exchanges them, and the exchange is wiped
+      // by next iteration's reset — so it never pollutes the accounting.
+      const std::uint64_t myBytes = comm.bytesCommunicated();
+      const std::vector<std::uint64_t> rankBytes = comm.allGather(&myBytes, 1);
+      std::uint64_t iterBytes = 0;
+      for (const std::uint64_t b : rankBytes) iterBytes += b;
+      bytesAllIterations += iterBytes;
+
+      res.energyHistory[static_cast<std::size_t>(iter)] = eMean.real();
+      res.variance = variance;
+      res.nUnique = lut.size();
+      if (iter == opts.iterations - 1) {
+        // Publish rank 0's engine counters so every rank's result agrees.
+        comm.bcast(&elocStats, 1);
+        res.elocStats = elocStats;
+      }
       if (rank == 0) {
-        result.energyHistory[static_cast<std::size_t>(iter)] = eMean.real();
-        lastVariance[0] = variance;
-        lastUnique[0] = lut.size();
-        result.elocStats = elocStats;
         if (opts.logEvery > 0 && iter % opts.logEvery == 0) {
-          if (opts.elocMode == ElocMode::kBatched)
+          if (ex.eloc == ElocMode::kBatched)
             log::info(
                 "vmc it=%4d E=%.8f var=%.3e Nu=%zu Ns=%llu "
-                "eloc[probes=%llu hits=%llu dedup=%.0f%% tileTerms=%llu..%llu]",
+                "eloc[probes=%llu hits=%llu dedup=%.0f%% tileTerms=%llu..%llu] "
+                "rankTerms=%llu..%llu",
                 iter, eMean.real(), variance, lut.size(),
                 static_cast<unsigned long long>(sOpts.nSamples),
                 static_cast<unsigned long long>(elocStats.lutProbes),
                 static_cast<unsigned long long>(elocStats.lutHits),
                 100.0 * elocStats.dedupFraction(),
                 static_cast<unsigned long long>(elocStats.tileTermsMin),
-                static_cast<unsigned long long>(elocStats.tileTermsMax));
+                static_cast<unsigned long long>(elocStats.tileTermsMax),
+                static_cast<unsigned long long>(res.rankTermsMin),
+                static_cast<unsigned long long>(res.rankTermsMax));
           else
-            log::info("vmc it=%4d E=%.8f var=%.3e Nu=%zu Ns=%llu", iter,
-                      eMean.real(), variance, lut.size(),
-                      static_cast<unsigned long long>(sOpts.nSamples));
+            log::info("vmc it=%4d E=%.8f var=%.3e Nu=%zu Ns=%llu "
+                      "rankTerms=%llu..%llu",
+                      iter, eMean.real(), variance, lut.size(),
+                      static_cast<unsigned long long>(sOpts.nSamples),
+                      static_cast<unsigned long long>(res.rankTermsMin),
+                      static_cast<unsigned long long>(res.rankTermsMax));
         }
         if (opts.observer) opts.observer(iter, eMean.real(), lut.size());
       }
     }
+
+    // End-of-run reductions (outside the per-iteration byte windows): the
+    // cross-rank phase maxima and the summed byte volume, so every rank's
+    // VmcResult is bit-identical.
+    const std::array<double, 4> myPhases{phases.sampling, phases.localEnergy,
+                                         phases.gradient, phases.other};
+    const std::vector<double> allPhases = comm.allGather(myPhases.data(), 4);
+    PhaseBreakdown maxPhases;
+    for (int r = 0; r < nRanks; ++r) {
+      const double* p = allPhases.data() + 4 * static_cast<std::size_t>(r);
+      maxPhases.sampling = std::max(maxPhases.sampling, p[0]);
+      maxPhases.localEnergy = std::max(maxPhases.localEnergy, p[1]);
+      maxPhases.gradient = std::max(maxPhases.gradient, p[2]);
+      maxPhases.other = std::max(maxPhases.other, p[3]);
+    }
+    const Real n = static_cast<Real>(std::max(1, opts.iterations));
+    res.secondsPerIteration = {maxPhases.sampling / n, maxPhases.localEnergy / n,
+                               maxPhases.gradient / n, maxPhases.other / n};
+    res.commBytesPerIteration =
+        bytesAllIterations / static_cast<std::uint64_t>(std::max(1, opts.iterations));
+
+    // Final energy: average of the last window (reduces MC noise).
+    const int window = std::min(opts.iterations, std::max(1, opts.iterations / 10));
+    Real sum = 0;
+    for (int i = opts.iterations - window; i < opts.iterations; ++i)
+      sum += res.energyHistory[static_cast<std::size_t>(i)];
+    res.energy = sum / static_cast<Real>(window);
+
+    perRank[static_cast<std::size_t>(rank)] = std::move(res);
   });
 
-  // Reduce bookkeeping.
-  result.parameterCount = paramCount[0];
-  result.variance = lastVariance[0];
-  result.nUnique = lastUnique[0];
-  PhaseBreakdown maxPhases;
-  for (const auto& p : rankPhases) {
-    maxPhases.sampling = std::max(maxPhases.sampling, p.sampling);
-    maxPhases.localEnergy = std::max(maxPhases.localEnergy, p.localEnergy);
-    maxPhases.gradient = std::max(maxPhases.gradient, p.gradient);
-    maxPhases.other = std::max(maxPhases.other, p.other);
-  }
-  const Real n = static_cast<Real>(std::max(1, opts.iterations));
-  result.secondsPerIteration = {maxPhases.sampling / n, maxPhases.localEnergy / n,
-                                maxPhases.gradient / n, maxPhases.other / n};
-  result.commBytesPerIteration =
-      world.totalBytes() / static_cast<std::uint64_t>(std::max(1, opts.iterations));
-
-  // Final energy: average of the last window (reduces MC noise).
-  const int window = std::min(opts.iterations, std::max(1, opts.iterations / 10));
-  Real sum = 0;
-  for (int i = opts.iterations - window; i < opts.iterations; ++i)
-    sum += result.energyHistory[static_cast<std::size_t>(i)];
-  result.energy = sum / static_cast<Real>(window);
-  return result;
+  return std::move(perRank[static_cast<std::size_t>(world->thisProcessRank())]);
 }
 
 }  // namespace nnqs::vmc

@@ -2,13 +2,34 @@
 
 #include <functional>
 
+#include "exec/policy.hpp"
 #include "nqs/sampler.hpp"
 #include "parallel/comm.hpp"
 #include "vmc/local_energy.hpp"
 
 namespace nnqs::vmc {
 
+/// How Stage 3 splits the gathered sample set across ranks.
+enum class RankSplit {
+  /// Equal *sample counts* per rank (the pre-PR behaviour): contiguous blocks
+  /// of the gathered set, ignoring that equal-sample chunks carry wildly
+  /// unequal term work (ElocStats tileTermsMin..Max spreads of ~17x at C2).
+  kEqualCount,
+  /// Term-count-balanced: tiles of the gathered set are bin-packed across
+  /// ranks by their *measured* term cost of the previous iteration
+  /// (vmc/repartition.hpp).  Falls back to kEqualCount on the first
+  /// iteration, when no measurement exists yet.  Per-sample local energies
+  /// are chunk-independent, so the energy/gradient trajectory is bit-identical
+  /// to kEqualCount — only the per-rank wall clock moves.
+  kTermBalanced,
+};
+
 /// Options of the data-centric parallel VMC loop (paper Fig. 4 / §3.2).
+// The pragma region silences the -Wdeprecated-declarations noise of the
+// *synthesized* constructors (whose NSDMIs "use" the deprecated aliases);
+// user code touching the aliases still warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct VmcOptions {
   int iterations = 400;
   std::uint64_t nSamples = 1 << 14;        ///< final N_s target
@@ -21,26 +42,42 @@ struct VmcOptions {
   /// cap keeps the pre-concentration iterations affordable.
   std::uint64_t maxUniqueSamples = 0;
   std::uint64_t seed = 7;
+  /// World size.  Threads backend: the number of rank threads to spawn.  MPI
+  /// backend: must match the mpirun-launched world size (0 = accept whatever
+  /// mpirun provides).
   int nRanks = 1;
   int threadsPerRank = 1;
   std::uint64_t uniqueThresholdPerRank = 4096;  ///< N*_u = value * nRanks (paper §4.4)
   Real learningRate = 1.0;  ///< multiplies the Eq.(13) schedule
   long warmupSteps = 200;
   Real weightDecay = 1e-4;
-  ElocMode elocMode = ElocMode::kBatched;
-  /// Engine of the sampling stage *and* of psi inference (the teacher-forced
-  /// Eloc LUT evaluation): KV-cached incremental decode (default) or the
-  /// stateless full-forward reference.  Both are bit-identical; kKvCache is
-  /// the fast path.  Gradient (cache=true) evaluates stay full-forward.
-  nqs::DecodePolicy decodePolicy = nqs::DecodePolicy::kKvCache;
-  /// Decode-attention/GEMM kernel backend of the kKvCache engine (scalar
-  /// reference / AVX2 SIMD / SIMD + OpenMP tiles); all backends are
-  /// bit-identical, so this only moves the wall clock.
-  nn::kernels::KernelPolicy kernelPolicy = nn::kernels::KernelPolicy::kAuto;
+  /// Consolidated engine selection (exec/policy.hpp): decode engine + kernel
+  /// backend of sampling and psi inference, local-energy engine, and the comm
+  /// backend (thread ranks in-process vs. real MPI, NNQS_WITH_MPI builds).
+  /// All choices are bit-identical; they move wall clock and deployment only.
+  exec::ExecutionPolicy exec;
+  /// Stage-3 partitioning of the gathered set (see RankSplit).
+  RankSplit rankSplit = RankSplit::kTermBalanced;
+  /// Repartitioning granularity: samples per tile of the gathered set.  The
+  /// default keeps per-tile bookkeeping negligible at production N_u; tests
+  /// shrink it so small systems still produce enough tiles to balance.
+  std::size_t rankTileSize = 64;
+
+  // Deprecated per-field aliases of exec.*, kept for one release.  When moved
+  // off their defaults they override the matching exec field (resolvedExec()),
+  // so pre-ExecutionPolicy call sites keep their meaning.
+  [[deprecated("use exec.eloc")]] ElocMode elocMode = ElocMode::kBatched;
+  [[deprecated("use exec.decode")]] nqs::DecodePolicy decodePolicy =
+      nqs::DecodePolicy::kKvCache;
+  [[deprecated("use exec.kernel")]] nn::kernels::KernelPolicy kernelPolicy =
+      nn::kernels::KernelPolicy::kAuto;
+  [[nodiscard]] exec::ExecutionPolicy resolvedExec() const;
+
   int logEvery = 0;  ///< 0 = silent
   /// Optional per-iteration observer: (iteration, energy, nUnique).
   std::function<void(int, Real, std::size_t)> observer;
 };
+#pragma GCC diagnostic pop
 
 struct PhaseBreakdown {
   double sampling = 0, localEnergy = 0, gradient = 0, other = 0;
@@ -53,17 +90,32 @@ struct VmcResult {
   Real variance = 0;                   ///< last-iteration local-energy variance
   std::size_t nUnique = 0;             ///< last-iteration global unique samples
   /// Rank-0 local-energy engine counters of the last iteration (all-zero
-  /// unless elocMode == kBatched).
+  /// unless the eloc engine is kBatched).
   ElocStats elocStats;
   PhaseBreakdown secondsPerIteration;  ///< averaged over iterations, max over ranks
-  std::uint64_t commBytesPerIteration = 0;  ///< total across ranks
+  /// Exact per-iteration communication volume, summed across ranks and
+  /// averaged over iterations: the byte counters are reset at the top of
+  /// every iteration, so only Stage 1-6 collectives are counted (the
+  /// end-of-run bookkeeping exchanges are excluded).  See the accounting
+  /// contract in parallel/comm.hpp.
+  std::uint64_t commBytesPerIteration = 0;
+  /// Last iteration's realized Stage-3 term work of the lightest and
+  /// heaviest rank (the inter-rank load-imbalance measure the term-balanced
+  /// repartitioner minimizes; max/min is the imbalance factor).
+  std::uint64_t rankTermsMin = 0;
+  std::uint64_t rankTermsMax = 0;
   Index parameterCount = 0;
 };
 
-/// Run the 6-stage data-centric VMC of the paper on a thread-rank world:
+/// Run the 6-stage data-centric VMC of the paper on the comm backend selected
+/// by opts.exec.comm (thread ranks by default; real MPI under NNQS_WITH_MPI):
 /// 1) parallel BAS, 2) Allgather samples+psi, 3) sample-aware local energies
-/// on the own chunk, 4) Allreduce energy, 5) backward on the own chunk,
-/// 6) Allreduce gradients + identical AdamW step on every rank.
+/// on a term-balanced chunk of the gathered set (AllgatherV'd back so every
+/// rank sees its own samples' values), 4) Allreduce energy, 5) backward on
+/// the own chunk, 6) Allreduce gradients + identical AdamW step everywhere.
+///
+/// Every rank returns an identical VmcResult (all collectives are
+/// rank-order-deterministic); under MPI each process returns its own copy.
 VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
                  const nqs::QiankunNetConfig& netConfig, const VmcOptions& opts);
 

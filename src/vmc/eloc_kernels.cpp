@@ -213,7 +213,8 @@ void probeGeneric(TileWs& ws, std::size_t nP, const WavefunctionLut& lut,
 void localEnergiesBatched(const ops::PackedHamiltonian& packed,
                           const std::vector<Bits128>& samples,
                           const WavefunctionLut& lut, Complex* out,
-                          const ElocBatchedOptions& opts, ElocStats* stats) {
+                          const ElocBatchedOptions& opts, ElocStats* stats,
+                          std::uint64_t* termsPerSample) {
   if (stats != nullptr) *stats = ElocStats{};
   const std::size_t n = samples.size();
   if (n == 0) return;
@@ -291,6 +292,7 @@ void localEnergiesBatched(const ops::PackedHamiltonian& packed,
         }
         ws.psiX[r] = *px;
         out[i0 + r] = Complex{packed.constant, 0.0};
+        if (termsPerSample != nullptr) termsPerSample[i0 + r] = 0;
       }
       if (!tileOk) continue;
 
@@ -343,8 +345,13 @@ void localEnergiesBatched(const ops::PackedHamiltonian& packed,
           const std::size_t k = k0 + c;
           packed.groupCoefficients(k, ws.xsHit.data(), m, ws.coefs.data(),
                                    ws.parity.data());
-          tileSt.coeffTerms +=
-              static_cast<std::uint64_t>(m) * (packed.idxs[k + 1] - packed.idxs[k]);
+          const auto groupTerms =
+              static_cast<std::uint64_t>(packed.idxs[k + 1] - packed.idxs[k]);
+          tileSt.coeffTerms += static_cast<std::uint64_t>(m) * groupTerms;
+          if (termsPerSample != nullptr)
+            for (std::size_t j = 0; j < m; ++j)
+              termsPerSample[i0 + static_cast<std::size_t>(ws.rowHit[j])] +=
+                  groupTerms;
           for (std::size_t j = 0; j < m; ++j) {
             const Real coef = ws.coefs[j];
             if (coef == 0.0) continue;

@@ -80,10 +80,15 @@ struct ElocBatchedOptions {
 /// with the same block geometry, subsequent calls perform zero heap
 /// allocations (persistent per-thread tile workspaces, in-place sort,
 /// caller-owned output) — asserted by BM_ElocBatched.
+/// `termsPerSample` (optional, samples.size() entries, caller-owned like
+/// `out`) receives each sample's realized term count (its share of
+/// ElocStats::coeffTerms) — deterministic across thread counts; the measured
+/// signal behind the rank-level term repartitioner (vmc/repartition.hpp).
 void localEnergiesBatched(const ops::PackedHamiltonian& packed,
                           const std::vector<Bits128>& samples,
                           const WavefunctionLut& lut, Complex* out,
                           const ElocBatchedOptions& opts = {},
-                          ElocStats* stats = nullptr);
+                          ElocStats* stats = nullptr,
+                          std::uint64_t* termsPerSample = nullptr);
 
 }  // namespace nnqs::vmc

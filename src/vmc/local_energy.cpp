@@ -38,20 +38,30 @@ const Complex* WavefunctionLut::find(Bits128 x) const {
 namespace {
 
 /// Shared fused kernel for the SA engines: one pass over the unique XY
-/// groups; `findPsi` abstracts the S-membership lookup strategy.
+/// groups; `findPsi` abstracts the S-membership lookup strategy.  `terms`
+/// (optional) receives the sample's realized term count — Pauli strings of
+/// every group whose coupled state is in S, the same accounting as the
+/// batched engine's ElocStats::coeffTerms.
 template <typename FindPsi>
 Complex elocSampleAware(const ops::PackedHamiltonian& h, Bits128 x, Complex psiX,
-                        const FindPsi& findPsi) {
+                        const FindPsi& findPsi, std::uint64_t* terms = nullptr) {
   Complex acc{h.constant, 0.0};
+  if (terms != nullptr) *terms = 0;
   for (std::size_t k = 0; k < h.nGroups(); ++k) {
     const Bits128 xp = x ^ h.xyUnique[k];
     const Complex* psiXp = findPsi(xp);
     if (psiXp == nullptr) continue;  // sample-aware: skip x' outside S
+    if (terms != nullptr)
+      *terms += static_cast<std::uint64_t>(h.idxs[k + 1] - h.idxs[k]);
     const Real coef = h.groupCoefficient(k, x);
     if (coef == 0.0) continue;
     acc += coef * (*psiXp) / psiX;
   }
   return acc;
+}
+
+inline std::uint64_t* termSlot(std::uint64_t* terms, std::size_t i) {
+  return terms == nullptr ? nullptr : terms + i;
 }
 
 /// kSaFuse: S kept as unpacked byte strings and searched linearly — the
@@ -88,8 +98,11 @@ std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
                                    const std::vector<Bits128>& samples,
                                    const WavefunctionLut& lut, ElocMode mode,
                                    const ops::MadePackedHamiltonian* made,
-                                   nqs::QiankunNet* net, ElocStats* stats) {
+                                   nqs::QiankunNet* net, ElocStats* stats,
+                                   std::uint64_t* termsPerSample) {
   if (stats != nullptr) *stats = ElocStats{};
+  if (termsPerSample != nullptr)
+    std::fill(termsPerSample, termsPerSample + samples.size(), 0);
   std::vector<Complex> eloc(samples.size());
   switch (mode) {
     case ElocMode::kBaseline: {
@@ -127,24 +140,28 @@ std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
     case ElocMode::kSaFuse: {
       LinearByteSearch finder(lut, packed.nQubits);
       for (std::size_t i = 0; i < samples.size(); ++i)
-        eloc[i] = elocSampleAware(packed, samples[i], *lut.find(samples[i]), finder);
+        eloc[i] = elocSampleAware(packed, samples[i], *lut.find(samples[i]),
+                                  finder, termSlot(termsPerSample, i));
       return eloc;
     }
     case ElocMode::kSaFuseLut: {
       auto finder = [&](Bits128 xp) { return lut.find(xp); };
       for (std::size_t i = 0; i < samples.size(); ++i)
-        eloc[i] = elocSampleAware(packed, samples[i], *lut.find(samples[i]), finder);
+        eloc[i] = elocSampleAware(packed, samples[i], *lut.find(samples[i]),
+                                  finder, termSlot(termsPerSample, i));
       return eloc;
     }
     case ElocMode::kSaFuseLutParallel: {
       auto finder = [&](Bits128 xp) { return lut.find(xp); };
 #pragma omp parallel for schedule(dynamic, 16)
       for (std::size_t i = 0; i < samples.size(); ++i)
-        eloc[i] = elocSampleAware(packed, samples[i], *lut.find(samples[i]), finder);
+        eloc[i] = elocSampleAware(packed, samples[i], *lut.find(samples[i]),
+                                  finder, termSlot(termsPerSample, i));
       return eloc;
     }
     case ElocMode::kBatched: {
-      localEnergiesBatched(packed, samples, lut, eloc.data(), {}, stats);
+      localEnergiesBatched(packed, samples, lut, eloc.data(), {}, stats,
+                           termsPerSample);
       return eloc;
     }
   }

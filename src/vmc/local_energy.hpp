@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/policy.hpp"
 #include "nqs/ansatz.hpp"
 #include "nqs/sampler.hpp"
 #include "ops/packed_hamiltonian.hpp"
@@ -27,26 +28,10 @@ struct WavefunctionLut {
   [[nodiscard]] std::size_t size() const { return keys.size(); }
 };
 
-/// Engine variants benchmarked in Fig. 10.  All compute
-///   E_loc(x) = sum_{x'} <x|H|x'> psi(x') / psi(x):
-///  - kBaseline: per-Pauli-string (MADE layout), every coupled state's psi
-///    obtained by a fresh network inference; no fusion, no lookup table.
-///  - kSaFuse: compressed layout (Fig. 6c), fused coefficient evaluation,
-///    sample-aware (only x' in S), but S searched linearly as byte strings.
-///  - kSaFuseLut: + the sorted integer lookup table (binary search).
-///  - kSaFuseLutParallel: + thread parallelism over samples (Algorithm 2 with
-///    OpenMP threads standing in for the CUDA kernel).
-///  - kBatched: the batched SIMD engine (eloc_kernels.hpp) — (sample-tile x
-///    term-block) work shape, batched XOR/parity kernels, sorted merge-join
-///    LUT probes with cross-sample dedup, tiles dynamically scheduled by
-///    realized term work.  Per-sample results identical to kSaFuseLut.
-enum class ElocMode {
-  kBaseline,
-  kSaFuse,
-  kSaFuseLut,
-  kSaFuseLutParallel,
-  kBatched
-};
+/// Engine variants benchmarked in Fig. 10 (enumerators in exec/policy.hpp,
+/// the consolidated ExecutionPolicy home; this alias keeps the historical
+/// vmc:: spelling).
+using ElocMode = exec::ElocMode;
 
 /// Sample-aware local energies for `samples` (a chunk of S) given the full
 /// lookup table.  `made` is only needed for kBaseline; `net` for kBaseline's
@@ -55,12 +40,18 @@ enum class ElocMode {
 /// VMC driver routes the LUT evaluation through the teacher-forced decode
 /// path by default).  `stats` (optional) receives the batched engine's
 /// observability counters; it is reset to zero for the other modes.
+/// `termsPerSample` (optional, samples.size() entries) receives each sample's
+/// realized term count — the number of Pauli strings whose coupled state was
+/// found in S, i.e. the per-sample share of ElocStats::coeffTerms.  Supported
+/// by every sample-aware mode (zero-filled for kBaseline); this is the
+/// measured cost signal the rank-level repartitioner balances.
 std::vector<Complex> localEnergies(const ops::PackedHamiltonian& packed,
                                    const std::vector<Bits128>& samples,
                                    const WavefunctionLut& lut, ElocMode mode,
                                    const ops::MadePackedHamiltonian* made = nullptr,
                                    nqs::QiankunNet* net = nullptr,
-                                   ElocStats* stats = nullptr);
+                                   ElocStats* stats = nullptr,
+                                   std::uint64_t* termsPerSample = nullptr);
 
 /// Exact (not sample-aware) local energies: every coupled state's psi is
 /// evaluated with the network.  Reference implementation for tests and for

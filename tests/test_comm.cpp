@@ -1,70 +1,196 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cmath>
+#include <memory>
 
 #include "parallel/comm.hpp"
 
 using namespace nnqs;
 using namespace nnqs::parallel;
 
-TEST(Comm, AllGatherConcatenatesInRankOrder) {
-  ThreadWorld world(4);
-  std::array<std::vector<int>, 4> results;
-  world.run([&](ThreadComm& comm) {
-    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1), comm.rank());
-    results[static_cast<std::size_t>(comm.rank())] = comm.allGather(mine);
+namespace {
+
+/// Threads get a fixed 4-rank world; MPI accepts whatever mpirun launched
+/// (1 process when run directly).  All assertions below are size-agnostic
+/// and run *inside* the world lambda, so every rank — thread or process —
+/// checks its own view.
+constexpr int kThreadRanks = 4;
+
+class CommBackendTest : public ::testing::TestWithParam<CommBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == CommBackend::kMpi && !mpiAvailable())
+      GTEST_SKIP() << "built without NNQS_WITH_MPI";
+  }
+  [[nodiscard]] std::unique_ptr<World> makeTestWorld() const {
+    return makeWorld(GetParam(),
+                     GetParam() == CommBackend::kMpi ? 0 : kThreadRanks);
+  }
+};
+
+}  // namespace
+
+TEST_P(CommBackendTest, RankAndSizeAreConsistent) {
+  const auto world = makeTestWorld();
+  EXPECT_EQ(world->size(), worldSize(GetParam(), world->size()));
+  world->run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), world->size());
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), comm.size());
   });
-  const std::vector<int> expect = {0, 1, 1, 2, 2, 2, 3, 3, 3, 3};
-  for (const auto& r : results) EXPECT_EQ(r, expect);
 }
 
-TEST(Comm, AllReduceSumIdenticalOnAllRanks) {
-  ThreadWorld world(8);
-  std::array<std::vector<Real>, 8> results;
-  world.run([&](ThreadComm& comm) {
+TEST_P(CommBackendTest, AllGatherVConcatenatesInRankOrder) {
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    // Rank r contributes r+1 copies of r; every rank must see the
+    // rank-ordered concatenation and the per-rank element counts.
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1), comm.rank());
+    std::vector<std::size_t> counts;
+    const std::vector<int> all = comm.allGatherV(mine.data(), mine.size(), &counts);
+    std::vector<int> expect;
+    for (int r = 0; r < comm.size(); ++r)
+      expect.insert(expect.end(), static_cast<std::size_t>(r + 1), r);
+    EXPECT_EQ(all, expect);
+    ASSERT_EQ(counts.size(), static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r)
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(r + 1));
+  });
+}
+
+TEST_P(CommBackendTest, AllGatherHandlesEmptyContributions) {
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    // Only the last rank contributes anything.
+    const bool last = comm.rank() == comm.size() - 1;
+    std::vector<double> mine(last ? 3u : 0u, 1.5);
+    const std::vector<double> all = comm.allGatherV(mine.data(), mine.size());
+    ASSERT_EQ(all.size(), 3u);
+    for (double x : all) EXPECT_DOUBLE_EQ(x, 1.5);
+  });
+}
+
+TEST_P(CommBackendTest, AllReduceSumIdenticalOnAllRanks) {
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    const Real p = static_cast<Real>(comm.size());
     std::vector<Real> v = {static_cast<Real>(comm.rank()), 1.0, 0.5};
     comm.allReduceSum(v.data(), v.size());
-    results[static_cast<std::size_t>(comm.rank())] = v;
+    EXPECT_DOUBLE_EQ(v[0], p * (p - 1.0) / 2.0);
+    EXPECT_DOUBLE_EQ(v[1], p);
+    EXPECT_DOUBLE_EQ(v[2], p / 2.0);
   });
-  for (const auto& r : results) {
-    EXPECT_DOUBLE_EQ(r[0], 28.0);  // 0+1+...+7
-    EXPECT_DOUBLE_EQ(r[1], 8.0);
-    EXPECT_DOUBLE_EQ(r[2], 4.0);
-  }
 }
 
-TEST(Comm, ScalarAllReduce) {
-  ThreadWorld world(3);
-  std::array<Real, 3> out{};
-  world.run([&](ThreadComm& comm) {
-    out[static_cast<std::size_t>(comm.rank())] =
-        comm.allReduceSum(static_cast<Real>(comm.rank() + 1));
+TEST_P(CommBackendTest, AllReduceIsRankOrderDeterministic) {
+  // The cross-backend determinism contract (parallel/comm.hpp): the reduced
+  // value is the *rank-ordered sequential* IEEE sum, bit for bit — never a
+  // backend-defined reduction tree.  The magnitudes differ per rank so the
+  // sum is order-sensitive; every rank can reconstruct the expected bits.
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    const auto contribution = [](int rank, std::size_t i) {
+      return std::ldexp(1.0, -((rank * 11 + static_cast<int>(i) * 3) % 40)) +
+             1e-13 * static_cast<Real>(rank);
+    };
+    std::vector<Real> v(16);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = contribution(comm.rank(), i);
+    comm.allReduceSum(v.data(), v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      Real expect = 0.0;
+      for (int r = 0; r < comm.size(); ++r) expect += contribution(r, i);
+      EXPECT_EQ(v[i], expect) << "element " << i << " is not the rank-ordered sum";
+    }
   });
-  for (Real v : out) EXPECT_DOUBLE_EQ(v, 6.0);
 }
 
-TEST(Comm, ByteAccounting) {
-  // Allgather of n doubles from P ranks: each rank receives P*n*8 bytes;
-  // allreduce of m doubles: 2*m*8 per rank.
-  const int p = 4;
-  const std::size_t n = 100, m = 50;
-  ThreadWorld world(p);
-  std::array<std::uint64_t, 4> bytes{};
-  world.run([&](ThreadComm& comm) {
+TEST_P(CommBackendTest, ScalarAndSpanAllReduce) {
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    const Real p = static_cast<Real>(comm.size());
+    const Real s = comm.allReduceSum(static_cast<Real>(comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(s, p * (p + 1.0) / 2.0);
+    std::array<Real, 3> acc{1.0, static_cast<Real>(comm.rank()), -2.0};
+    comm.allReduceSum(std::span<Real>(acc));
+    EXPECT_DOUBLE_EQ(acc[0], p);
+    EXPECT_DOUBLE_EQ(acc[1], p * (p - 1.0) / 2.0);
+    EXPECT_DOUBLE_EQ(acc[2], -2.0 * p);
+  });
+}
+
+TEST_P(CommBackendTest, BroadcastDeliversRootPayload) {
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    std::vector<double> v(8, comm.rank() == 0 ? 2.5 : 0.0);
+    comm.bcast(v.data(), v.size());
+    for (double x : v) EXPECT_DOUBLE_EQ(x, 2.5);
+    // Non-zero root.
+    const int root = comm.size() - 1;
+    std::array<int, 2> w{comm.rank() == root ? 7 : -1,
+                         comm.rank() == root ? 9 : -1};
+    comm.bcast(w.data(), w.size(), root);
+    EXPECT_EQ(w[0], 7);
+    EXPECT_EQ(w[1], 9);
+  });
+}
+
+TEST_P(CommBackendTest, ByteAccountingAndReset) {
+  // Accounting contract (parallel/comm.hpp): bytes each rank *receives* —
+  // allgather of n doubles from p equal ranks = p*n*8, allreduce of m
+  // doubles = 2*m*8, bcast of m doubles = m*8; barriers are free.
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    const std::uint64_t p = static_cast<std::uint64_t>(comm.size());
+    const std::size_t n = 100, m = 50;
     std::vector<Real> v(n, 1.0), w(m, 2.0);
     comm.allGather(v);
     comm.allReduceSum(w.data(), w.size());
-    bytes[static_cast<std::size_t>(comm.rank())] = comm.bytesCommunicated();
+    comm.bcast(w.data(), w.size());
+    comm.barrier();
+    EXPECT_EQ(comm.bytesCommunicated(), p * n * 8 + 2 * m * 8 + m * 8);
+    comm.resetByteCounter();
+    EXPECT_EQ(comm.bytesCommunicated(), 0u);
+    comm.allGather(v);
+    EXPECT_EQ(comm.bytesCommunicated(), p * n * 8);
   });
-  for (auto b : bytes) EXPECT_EQ(b, p * n * 8 + 2 * m * 8);
 }
 
-TEST(Comm, BarrierSynchronizes) {
+TEST_P(CommBackendTest, ManyRoundsStressNoDeadlock) {
+  const auto world = makeTestWorld();
+  world->run([](Comm& comm) {
+    for (int round = 0; round < 200; ++round) {
+      std::vector<std::uint64_t> v(
+          static_cast<std::size_t>(1 + (comm.rank() + round) % 5),
+          static_cast<std::uint64_t>(round));
+      const auto all = comm.allGatherV(v.data(), v.size());
+      Real x = static_cast<Real>(all.size());
+      x = comm.allReduceSum(x);
+      EXPECT_GT(x, 0.0);
+      comm.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CommBackendTest,
+                         ::testing::Values(CommBackend::kThreads,
+                                           CommBackend::kMpi),
+                         [](const auto& info) {
+                           return info.param == CommBackend::kThreads ? "threads"
+                                                                     : "mpi";
+                         });
+
+// ---- Thread-backend-specific semantics --------------------------------
+
+TEST(ThreadComm, BarrierSynchronizes) {
   const int p = 6;
   ThreadWorld world(p);
   std::atomic<int> counter{0};
   std::array<int, 6> seen{};
-  world.run([&](ThreadComm& comm) {
+  world.run([&](Comm& comm) {
     counter.fetch_add(1);
     comm.barrier();
     seen[static_cast<std::size_t>(comm.rank())] = counter.load();
@@ -72,26 +198,24 @@ TEST(Comm, BarrierSynchronizes) {
   for (int v : seen) EXPECT_EQ(v, p);
 }
 
-TEST(Comm, ManyRoundsStressNoDeadlock) {
-  ThreadWorld world(8);
-  world.run([&](ThreadComm& comm) {
-    for (int round = 0; round < 200; ++round) {
-      std::vector<std::uint64_t> v(static_cast<std::size_t>(1 + (comm.rank() + round) % 5),
-                                   static_cast<std::uint64_t>(round));
-      const auto all = comm.allGather(v);
-      Real x = static_cast<Real>(all.size());
-      x = comm.allReduceSum(x);
-      EXPECT_GT(x, 0.0);
-    }
-  });
-}
-
-TEST(Comm, PropagatesExceptions) {
+TEST(ThreadComm, PropagatesExceptions) {
   ThreadWorld world(2);
-  EXPECT_THROW(world.run([&](ThreadComm& comm) {
+  EXPECT_THROW(world.run([&](Comm& comm) {
     if (comm.rank() == 1) throw std::runtime_error("rank failure");
     // Rank 0 must not deadlock; it waits on a barrier the failing rank drops.
     comm.barrier();
   }),
                std::runtime_error);
+}
+
+TEST(ThreadComm, ThisProcessHostsRankZero) {
+  ThreadWorld world(3);
+  EXPECT_EQ(world.thisProcessRank(), 0);
+  EXPECT_EQ(processRank(CommBackend::kThreads), 0);
+  EXPECT_EQ(worldSize(CommBackend::kThreads, 5), 5);
+}
+
+TEST(MakeWorld, MpiWithoutBuildFlagThrows) {
+  if (mpiAvailable()) GTEST_SKIP() << "NNQS_WITH_MPI build has the backend";
+  EXPECT_THROW(makeWorld(CommBackend::kMpi, 2), std::runtime_error);
 }

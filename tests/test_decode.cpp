@@ -142,14 +142,14 @@ TEST(Decode, BatchBasBitIdenticalAcrossPolicies) {
   SamplerOptions opts;
   opts.nSamples = 1 << 14;
   opts.seed = 41;
-  opts.decode = DecodePolicy::kFullForward;
+  opts.exec.decode = DecodePolicy::kFullForward;
   const SampleSet ref = batchAutoregressiveSample(net, opts);
   EXPECT_GT(ref.nUnique(), 1u);
   // The kernel policy is only consulted on the kKvCache path (the reference
   // full-forward run above covers the kFullForward side of every combo).
-  opts.decode = DecodePolicy::kKvCache;
+  opts.exec.decode = DecodePolicy::kKvCache;
   for (auto kernel : kAllKernels) {
-    opts.kernel = kernel;
+    opts.exec.kernel = kernel;
     const SampleSet got = batchAutoregressiveSample(net, opts);
     expectSameSampleSet(ref, got);
   }
@@ -163,11 +163,11 @@ TEST(Decode, ParallelBasBitIdenticalAcrossPolicies) {
   opts.seed = 23;
   for (int ranks : {2, 3}) {
     for (int r = 0; r < ranks; ++r) {
-      opts.decode = DecodePolicy::kFullForward;
+      opts.exec.decode = DecodePolicy::kFullForward;
       const SampleSet ref = parallelBatchSample(net, opts, r, ranks, 8);
-      opts.decode = DecodePolicy::kKvCache;
+      opts.exec.decode = DecodePolicy::kKvCache;
       for (auto kernel : kAllKernels) {
-        opts.kernel = kernel;
+        opts.exec.kernel = kernel;
         const SampleSet inc = parallelBatchSample(net, opts, r, ranks, 8);
         expectSameSampleSet(ref, inc);
       }
@@ -253,4 +253,24 @@ TEST(Decode, GatherRejectsOutOfRangeRows) {
   nn::DecodeState state;
   net.beginDecode(state, 2);
   EXPECT_THROW(net.gatherDecode(state, {0, 2}), std::out_of_range);
+}
+
+TEST(Decode, DeprecatedSamplerAliasesStillResolve) {
+  // One-release compatibility contract of the ExecutionPolicy consolidation:
+  // the old per-field SamplerOptions knobs keep working, and when moved off
+  // their defaults they win over the exec struct.
+  SamplerOptions opts;
+  EXPECT_EQ(opts.resolvedDecode(), DecodePolicy::kKvCache);
+  EXPECT_EQ(opts.resolvedKernel(), nn::kernels::KernelPolicy::kAuto);
+  opts.exec.decode = DecodePolicy::kFullForward;
+  opts.exec.kernel = nn::kernels::KernelPolicy::kSimd;
+  EXPECT_EQ(opts.resolvedDecode(), DecodePolicy::kFullForward);
+  EXPECT_EQ(opts.resolvedKernel(), nn::kernels::KernelPolicy::kSimd);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  opts.decode = DecodePolicy::kFullForward;
+  opts.kernel = nn::kernels::KernelPolicy::kScalar;
+#pragma GCC diagnostic pop
+  EXPECT_EQ(opts.resolvedDecode(), DecodePolicy::kFullForward);
+  EXPECT_EQ(opts.resolvedKernel(), nn::kernels::KernelPolicy::kScalar);
 }

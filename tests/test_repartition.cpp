@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "vmc/repartition.hpp"
+
+using namespace nnqs;
+using namespace nnqs::vmc;
+
+namespace {
+
+std::uint64_t totalCost(const std::vector<std::uint64_t>& costs) {
+  return std::accumulate(costs.begin(), costs.end(), std::uint64_t{0});
+}
+
+/// Every tile assigned exactly once, per-rank lists ascending.
+void expectValidPartition(const RankPartition& part, std::size_t nTiles,
+                          int nRanks) {
+  ASSERT_EQ(part.tiles.size(), static_cast<std::size_t>(nRanks));
+  ASSERT_EQ(part.plannedCost.size(), static_cast<std::size_t>(nRanks));
+  std::vector<int> seen(nTiles, 0);
+  for (const auto& rankTiles : part.tiles) {
+    EXPECT_TRUE(std::is_sorted(rankTiles.begin(), rankTiles.end()));
+    for (const std::uint32_t t : rankTiles) {
+      ASSERT_LT(t, nTiles);
+      ++seen[t];
+    }
+  }
+  for (std::size_t t = 0; t < nTiles; ++t)
+    EXPECT_EQ(seen[t], 1) << "tile " << t << " not assigned exactly once";
+}
+
+}  // namespace
+
+TEST(Repartition, LptImprovesSkewedImbalance) {
+  // The synthetic Fugaku-style skew: a few heavy tiles and a long tail of
+  // light ones.  The equal-count split puts all heavy tiles on the first
+  // rank; LPT must strictly improve the realized max/min imbalance.
+  std::vector<std::uint64_t> costs;
+  for (int i = 0; i < 4; ++i) costs.push_back(1700);  // heavy head
+  for (int i = 0; i < 28; ++i) costs.push_back(100);  // light tail
+  const int nRanks = 4;
+
+  const RankPartition eq = partitionTilesEqual(costs.size(), nRanks);
+  const RankPartition lpt = partitionTilesByCost(costs, nRanks);
+  expectValidPartition(eq, costs.size(), nRanks);
+  expectValidPartition(lpt, costs.size(), nRanks);
+
+  const auto eqCosts = realizedRankCosts(eq, costs);
+  const auto lptCosts = realizedRankCosts(lpt, costs);
+  EXPECT_EQ(totalCost(eqCosts), totalCost(costs));
+  EXPECT_EQ(totalCost(lptCosts), totalCost(costs));
+
+  const auto imbalance = [](const std::vector<std::uint64_t>& rankCosts) {
+    const auto [lo, hi] = std::minmax_element(rankCosts.begin(), rankCosts.end());
+    return static_cast<double>(*hi) / static_cast<double>(std::max<std::uint64_t>(1, *lo));
+  };
+  // Equal split: rank 0 carries 4*1700 + 4*100 = 7200, others 800 -> 9x.
+  EXPECT_GT(imbalance(eqCosts), 5.0);
+  // LPT: heavy tiles spread one per rank -> near-perfect balance.
+  EXPECT_LT(imbalance(lptCosts), 1.3);
+  EXPECT_LT(imbalance(lptCosts), imbalance(eqCosts));
+  // The packing's own bookkeeping agrees with the realized costs.
+  EXPECT_EQ(lpt.plannedCost, lptCosts);
+}
+
+TEST(Repartition, IsDeterministic) {
+  // Determinism is the correctness contract: every rank computes the
+  // partition independently and they must agree, including on ties.
+  std::vector<std::uint64_t> costs = {5, 5, 5, 5, 3, 3, 3, 0, 0, 7};
+  const RankPartition a = partitionTilesByCost(costs, 3);
+  const RankPartition b = partitionTilesByCost(costs, 3);
+  EXPECT_EQ(a.tiles, b.tiles);
+  EXPECT_EQ(a.plannedCost, b.plannedCost);
+  expectValidPartition(a, costs.size(), 3);
+}
+
+TEST(Repartition, MoreRanksThanTiles) {
+  const std::vector<std::uint64_t> costs = {4, 2};
+  const RankPartition lpt = partitionTilesByCost(costs, 5);
+  expectValidPartition(lpt, costs.size(), 5);
+  const auto realized = realizedRankCosts(lpt, costs);
+  EXPECT_EQ(totalCost(realized), 6u);
+  const RankPartition eq = partitionTilesEqual(costs.size(), 5);
+  expectValidPartition(eq, costs.size(), 5);
+}
+
+TEST(Repartition, EqualSplitIsContiguousBlocks) {
+  const RankPartition eq = partitionTilesEqual(7, 3);
+  expectValidPartition(eq, 7, 3);
+  // ceil/floor blocks in rank order: 3, 2, 2.
+  EXPECT_EQ(eq.tiles[0], (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(eq.tiles[1], (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(eq.tiles[2], (std::vector<std::uint32_t>{5, 6}));
+}
+
+TEST(Repartition, TermCostModelRemembersAndDefaults) {
+  TermCostModel model;
+  EXPECT_TRUE(model.empty());
+  Bits128 a, b, c, unseen;
+  a.set(0);
+  b.set(1);
+  c.set(2);
+  unseen.set(3);
+  model.update({a, b, c}, {10, 20, 60});
+  EXPECT_FALSE(model.empty());
+  EXPECT_EQ(model.estimate(a), 10u);
+  EXPECT_EQ(model.estimate(b), 20u);
+  EXPECT_EQ(model.estimate(c), 60u);
+  // Unseen keys get the mean measured cost (30), never 0.
+  EXPECT_EQ(model.estimate(unseen), 30u);
+  // A new generation replaces the old one.
+  model.update({a, unseen}, {8, 2});
+  EXPECT_EQ(model.estimate(a), 8u);
+  EXPECT_EQ(model.estimate(unseen), 2u);
+  EXPECT_EQ(model.estimate(b), 5u);  // new mean
+}
+
+TEST(Repartition, TermCostModelAllZeroCostsStayPositive) {
+  TermCostModel model;
+  Bits128 a, b;
+  a.set(4);
+  b.set(5);
+  model.update({a, b}, {0, 0});
+  // Estimates are clamped >= 1 so LPT never sees an all-zero packing.
+  EXPECT_GE(model.estimate(a), 1u);
+  EXPECT_GE(model.estimate(b), 1u);
+}

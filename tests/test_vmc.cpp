@@ -92,18 +92,92 @@ TEST(Vmc, MultiRankMatchesSingleRankTrajectory) {
   EXPECT_NEAR(four.energy, one.energy, 2e-2);
 }
 
-TEST(Vmc, CommunicationBytesAreCounted) {
+namespace {
+
+/// Multi-rank VMC over both comm backends.  Threads spawn a 2-rank world;
+/// MPI accepts the mpirun-launched size (1 when run directly) and skips
+/// entirely in builds without NNQS_WITH_MPI.
+class VmcBackendTest : public ::testing::TestWithParam<exec::CommBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == exec::CommBackend::kMpi && !parallel::mpiAvailable())
+      GTEST_SKIP() << "built without NNQS_WITH_MPI";
+  }
+  [[nodiscard]] VmcOptions backendOptions() const {
+    VmcOptions opts;
+    opts.exec.comm = GetParam();
+    opts.nRanks = GetParam() == exec::CommBackend::kMpi ? 0 : 2;
+    return opts;
+  }
+};
+
+}  // namespace
+
+TEST_P(VmcBackendTest, CommunicationBytesAreCounted) {
   const System s = buildSystem("H2");
-  VmcOptions opts;
+  VmcOptions opts = backendOptions();
   opts.iterations = 5;
   opts.nSamples = 1 << 10;
   opts.pretrainIterations = 0;
-  opts.nRanks = 2;
   const VmcResult res = runVmc(s.packed, netCfg(s), opts);
   EXPECT_GT(res.commBytesPerIteration, 0u);
   // Gradient allreduce dominates: ~2 * M * 8 bytes per rank per iteration.
   EXPECT_GT(res.commBytesPerIteration,
             static_cast<std::uint64_t>(res.parameterCount) * 8);
+}
+
+TEST_P(VmcBackendTest, ShortRunConvergesAndReportsRankTerms) {
+  const System s = buildSystem("H2");
+  VmcOptions opts = backendOptions();
+  opts.iterations = 30;
+  opts.nSamples = 1 << 11;
+  opts.pretrainIterations = 0;
+  opts.warmupSteps = 30;
+  opts.seed = 13;
+  const VmcResult res = runVmc(s.packed, netCfg(s, 7), opts);
+  ASSERT_EQ(res.energyHistory.size(), 30u);
+  EXPECT_LT(res.energyHistory.back(), res.energyHistory.front());
+  // The realized Stage-3 term work is surfaced per run; some rank did work.
+  EXPECT_GT(res.rankTermsMax, 0u);
+  EXPECT_GE(res.rankTermsMax, res.rankTermsMin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, VmcBackendTest,
+                         ::testing::Values(exec::CommBackend::kThreads,
+                                           exec::CommBackend::kMpi),
+                         [](const auto& info) {
+                           return info.param == exec::CommBackend::kThreads
+                                      ? "threads"
+                                      : "mpi";
+                         });
+
+TEST(Vmc, TermBalancedSplitIsBitIdenticalToEqualSplit) {
+  // The repartitioner only moves *where* each gathered sample's local energy
+  // is computed; per-sample values are chunk-independent and Stage 4 sums in
+  // the unchanged per-rank local order, so the whole trajectory must match
+  // the equal-count split bit for bit.  LiH (12 qubits) with a tiny tile
+  // size gives the LPT packing real freedom, so this exercises a genuinely
+  // different partition, not a no-op.
+  const System s = buildSystem("LiH");
+  VmcOptions opts;
+  opts.iterations = 8;
+  opts.nSamples = 1 << 11;
+  opts.nSamplesInitial = 1 << 11;
+  opts.pretrainIterations = 0;
+  opts.nRanks = 3;
+  opts.uniqueThresholdPerRank = 1;
+  opts.rankTileSize = 4;
+  opts.seed = 29;
+  opts.rankSplit = RankSplit::kEqualCount;
+  const VmcResult eq = runVmc(s.packed, netCfg(s, 15), opts);
+  opts.rankSplit = RankSplit::kTermBalanced;
+  const VmcResult bal = runVmc(s.packed, netCfg(s, 15), opts);
+  ASSERT_EQ(eq.energyHistory.size(), bal.energyHistory.size());
+  for (std::size_t i = 0; i < eq.energyHistory.size(); ++i)
+    EXPECT_EQ(eq.energyHistory[i], bal.energyHistory[i]) << "iteration " << i;
+  EXPECT_EQ(eq.energy, bal.energy);
+  EXPECT_EQ(eq.variance, bal.variance);
+  EXPECT_GT(bal.rankTermsMax, 0u);
 }
 
 TEST(Vmc, PhaseTimingsPopulated) {
@@ -121,8 +195,22 @@ TEST(Vmc, PhaseTimingsPopulated) {
 TEST(Vmc, RejectsBaselineEngine) {
   const System s = buildSystem("H2");
   VmcOptions opts;
-  opts.elocMode = ElocMode::kBaseline;
+  opts.exec.eloc = ElocMode::kBaseline;
   EXPECT_THROW(runVmc(s.packed, netCfg(s), opts), std::invalid_argument);
+}
+
+TEST(Vmc, DeprecatedOptionAliasesResolve) {
+  VmcOptions opts;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  opts.elocMode = ElocMode::kSaFuseLut;
+  opts.kernelPolicy = nn::kernels::KernelPolicy::kScalar;
+#pragma GCC diagnostic pop
+  const exec::ExecutionPolicy ex = opts.resolvedExec();
+  EXPECT_EQ(ex.eloc, ElocMode::kSaFuseLut);
+  EXPECT_EQ(ex.kernel, nn::kernels::KernelPolicy::kScalar);
+  EXPECT_EQ(ex.decode, nqs::DecodePolicy::kKvCache);
+  EXPECT_EQ(ex.comm, exec::CommBackend::kThreads);
 }
 
 TEST(Vmc, ObserverSeesEveryIteration) {
