@@ -61,7 +61,7 @@ import sys
 # noise-sensitive for a 25% band on shared runners).
 DEFAULT_FILTER = (
     r"^BM_(DecodeAttnKernel|DecodeStepSweep|LinearGemm|GemmAccumulateTN|"
-    r"Elementwise|ElocBatched)\b"
+    r"Elementwise|ElocBatched|SweepFused)\b"
     r"|^BM_Evaluate/[01]/(16|32)/2048\b"
 )
 
@@ -74,7 +74,8 @@ DEFAULT_FILTER = (
 # notice) until the baseline is refreshed on matching hardware.
 THREAD_SENSITIVE = (
     r"^BM_(DecodeAttnKernel/2|DecodeStepSweep/2|LinearGemm/2|"
-    r"GemmAccumulateTN/2|Elementwise/[0-9]+/2|Evaluate|ElocBatched/[13])\b"
+    r"GemmAccumulateTN/2|Elementwise/[0-9]+/2|Evaluate|SweepFused|"
+    r"ElocBatched/[13])\b"
 )
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -160,6 +162,67 @@ void BM_BasSweepL32(benchmark::State& state) {
 // Arg: 0 = full re-forward, 1 = KV-cached; the ratio of the two times is the
 // BAS sweep speedup quoted in the README.
 BENCHMARK(BM_BasSweepL32)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// End-to-end Stage 1 (sampling + ln|Psi| + phase) at the BM_BasSweepL32
+// shape, fused vs separate: Arg 0 runs the pre-fusion pipeline (unfused
+// sweep, then a teacher-forced evaluate over the unique samples), Arg 1 the
+// fused sweep (ln|Psi| falls out of the split conditionals) plus the
+// phase-MLP-only pass.  Both produce bit-identical (samples, logAmp, phase)
+// (tests/test_sweep.cpp); the time ratio is the fusion speedup quoted in the
+// README.  The fused variant doubles as the zero-allocation assertion of the
+// warm tiled sweep, and peakRssMiB records the resident high-water mark
+// (process-wide, so comparable only within one bench invocation).
+void BM_SweepFused(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = 64;
+  cfg.nAlpha = 8;
+  cfg.nBeta = 8;
+  cfg.dModel = 16;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 32;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = 11;
+  nqs::QiankunNet net(cfg);
+  nqs::BasSweepEngine engine(net);
+  nqs::SamplerOptions opts;
+  opts.nSamples = 1 << 12;
+  opts.exec.fusedSweep = fused;
+  std::vector<Real> logAmp, phase;
+  // Warm-up sweeps: grow the arena/blocks, then let the frame pool's
+  // capacities reach their fixpoint (popFrame's pool swaps permute block
+  // capacities; convergence takes more rounds the deeper the stack, ~7 at
+  // L = 32) — so warm adaptively until a whole sweep stays allocation-free.
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t a0 = allocationCount();
+    engine.sweep(opts);
+    if (allocationCount() == a0) break;
+  }
+  std::uint64_t nu = 0, lastSweepAllocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t allocs0 = allocationCount();
+    const nqs::SampleSet& s = engine.sweep(opts);
+    lastSweepAllocs = allocationCount() - allocs0;
+    if (fused) {
+      logAmp.assign(s.logAmp.begin(), s.logAmp.end());
+      net.phases(s.samples, phase);
+    } else {
+      net.evaluate(s.samples, logAmp, phase, /*cache=*/false);
+    }
+    nu = s.nUnique();
+    benchmark::DoNotOptimize(logAmp.data());
+    benchmark::DoNotOptimize(phase.data());
+  }
+  state.counters["Nu"] = static_cast<double>(nu);
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  state.counters["peakRssMiB"] = static_cast<double>(ru.ru_maxrss) / 1024.0;
+  state.SetLabel(fused ? "fused" : "sweep+evaluate");
+  if (fused && lastSweepAllocs != 0)
+    state.SkipWithError("warm fused sweep heap-allocated");
+}
+BENCHMARK(BM_SweepFused)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // The decode-attention kernel in isolation, at the acceptance shape of the
 // kernel-backend work: L = 32 (pos = 31, the deepest and most expensive

@@ -69,14 +69,28 @@ enum class CommBackend {
 
 /// The consolidated execution policy: every engine-selection knob of a VMC
 /// run (or of a standalone sampler / inference call) in one struct.
-/// VmcOptions, SamplerOptions and QiankunNet::setEvalPolicy all accept it;
-/// the per-field option-struct members they used to carry are deprecated
-/// aliases for one release.
+/// VmcOptions, SamplerOptions and QiankunNet::setEvalPolicy all accept it
+/// (the deprecated per-field option aliases they carried for one release
+/// after the consolidation are gone).
 struct ExecutionPolicy {
   DecodePolicy decode = DecodePolicy::kKvCache;
   KernelPolicy kernel = KernelPolicy::kAuto;
   ElocMode eloc = ElocMode::kBatched;
   CommBackend comm = CommBackend::kThreads;
+
+  /// Rows per cache-resident tile of the BAS sweep engine's depth-first
+  /// frontier descent (kKvCache sampling only).  0 selects the engine
+  /// default (BasSweepEngine::kDefaultTileRows); a negative value disables
+  /// tiling entirely — one breadth-first tile spanning the whole frontier,
+  /// the untiled A/B reference.  Every geometry draws bit-identical sample
+  /// sets (per-node RNG substreams), so this knob only moves cache traffic.
+  int sweepTileRows = 0;
+  /// Fuse final-sweep evaluation into the BAS sweep: the per-step masked
+  /// conditionals the sampler already computes are accumulated into ln|Psi|
+  /// per leaf (SampleSet::logAmp), so the VMC driver skips its separate
+  /// evaluate-over-the-sample-set pass.  Bit-identical to the separate pass;
+  /// off = the A/B reference that re-derives amplitudes via evaluate().
+  bool fusedSweep = true;
 };
 
 }  // namespace nnqs::exec

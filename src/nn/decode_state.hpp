@@ -72,6 +72,24 @@ struct DecodeState {
   };
   GatherStats lastGather;
 
+  /// Cumulative since begin(): gather/detach/attach accounting of one whole
+  /// sweep.  Under the tiled sweep engine, each tile performs its own
+  /// (tile-local) gathers, so the per-call `lastGather` no longer tells the
+  /// full story — these counters separate split-copy traffic (gathers,
+  /// rowsCopied, realsCopied: identical to the untiled sweep by construction)
+  /// from tile bookkeeping (detaches/attaches: index moves only, zero K/V
+  /// bytes), keeping the arena-copy invariant testable under any tiling.
+  struct SweepStats {
+    Index gathers = 0;       ///< gather() calls
+    Index rowsCopied = 0;    ///< summed duplicated-row slot copies
+    Index realsCopied = 0;   ///< summed Real elements copied by splits
+    Index grows = 0;         ///< summed capacity doublings
+    Index detaches = 0;      ///< detachRows() calls (tile boundaries)
+    Index attaches = 0;      ///< attachRows() calls (tile resumptions)
+    Index slotsDetached = 0; ///< summed rows parked across tile boundaries
+  };
+  SweepStats sweepStats;
+
   [[nodiscard]] bool active() const { return nLayers > 0; }
 
   /// Elements per K (or V) slot.
@@ -107,15 +125,57 @@ struct DecodeState {
   /// further occurrence copies the `len` live positions into a free slot.
   void gather(const std::vector<Index>& rows);
 
+  // --- Tile suspension (the BAS sweep engine's depth-first descent) --------
+  //
+  // A *detached* row keeps its arena slot and K/V bytes but leaves the live
+  // view: its slot id and live length go into a registry so growArena()
+  // preserves the parked cache, and the (slots, len) pair handed back to the
+  // caller re-attaches the rows later — O(rows) index work, zero K/V bytes
+  // moved, slot ids stable across arena growth.  Slots are position-
+  // independent physical blocks, so a parked tile costs nothing until it is
+  // resumed.
+
+  /// Park view rows [lo, hi): record each row's slot (appended to
+  /// `slotsOut`) and the current `len` in the detached registry.  The view
+  /// itself is left untouched — detach the tail chunks, then shrinkView().
+  void detachRows(Index lo, Index hi, std::vector<Index>& slotsOut);
+  /// Drop view rows [keep, batch) from the view *without* freeing or parking
+  /// them — their slots must already be detached (or about to be abandoned).
+  void shrinkView(Index keep);
+  /// Resume a parked tile: the view becomes exactly `slots` at live length
+  /// `newLen`, and the slots leave the detached registry.  The previous view
+  /// must have been released, shrunk away or detached.
+  void attachRows(const std::vector<Index>& slots, Index newLen);
+  /// Free every slot of the current view (the rows' data is dead — e.g. the
+  /// final sweep layer after its leaves were emitted) and empty the view.
+  void releaseRows();
+  /// Parked rows currently in the detached registry.
+  [[nodiscard]] Index detachedSlotCount() const;
+
  private:
   /// Grow the arena until at least `neededFree` slots are free, re-laying
   /// the surviving rows' slots (refs[b] > 0) out at the doubled capacity
   /// (amortized O(1) per gather).  Pruned rows' slots are already free and
-  /// their data dead, so they are not copied.
+  /// their data dead, so they are not copied.  Detached rows are live too:
+  /// their slots are copied at their *recorded* lengths (slotDetachedLen_),
+  /// which may differ from the view's `len` mid-descent.
   void growArena(Index neededFree, const std::vector<Index>& refs);
+  /// Copy `length` live positions of slot `src` (all layers) into `dst`
+  /// inside `dstBuf` laid out at `dstCap` slots; returns Reals copied.
+  Index copySlotInto(kernels::HugeBuffer& dstBuf, Index dstCap, Index dst,
+                     Index src, Index length);
   /// Copy slot `src`'s live positions (all layers) into `dst`; returns the
   /// number of Real elements copied.
   Index copySlot(Index dst, Index src);
+
+  /// Per-slot live length of detached (parked) rows; 0 = not detached.
+  /// Sized to `capacity`, grown alongside the arena.
+  std::vector<Index> slotDetachedLen_;
+  // Persistent gather() scratch (ref counts, new slot map, first-occurrence
+  // marks): members so a warm sweep's gathers allocate nothing.
+  std::vector<Index> gatherRefs_;
+  std::vector<Index> gatherSlots_;
+  std::vector<char> gatherTaken_;
 };
 
 }  // namespace nnqs::nn

@@ -86,7 +86,10 @@ class TransformerAR {
   /// kEvalTileRows) swept depth-first, so the KV arena and workspace stay
   /// cache/memory-bounded independent of the batch size — evaluate() batches
   /// (every unique connected configuration of the local-energy estimator) are
-  /// far larger than any sampling frontier.  All activations are carved from
+  /// far larger than any sampling frontier.  nqs::BasSweepEngine applies the
+  /// same depth-first tile pattern to the *sampling* frontier (where tiles
+  /// split/prune as they descend, via DecodeState::detachRows/attachRows,
+  /// instead of marching in lockstep as they do here).  All activations are carved from
   /// the state's workspace and the token feed lives in state.tokenScratch, so
   /// a warm evaluation performs zero heap allocations for any batch size.
   ///

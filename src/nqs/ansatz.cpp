@@ -8,7 +8,7 @@
 namespace nnqs::nqs {
 
 namespace {
-constexpr Real kLogZero = -1e30;
+constexpr Real kLogZero = QiankunNet::kLogZeroAmp;
 
 /// Masked softmax over the 4 outcome logits.  Shared by the full-forward and
 /// incremental-decode conditional paths so the two agree bit for bit.
@@ -83,13 +83,13 @@ void QiankunNet::stepConditionals(nn::DecodeState& state,
   const auto batch = static_cast<std::size_t>(state.batch);
   if (counts.size() != batch)
     throw std::invalid_argument("stepConditionals: counts/batch mismatch");
-  // At s > 0 the previous tokens are fed as-is (no copy); only the BOS step
-  // materializes a feed vector.
+  // At s > 0 the previous tokens are fed as-is (no copy); the BOS step
+  // materializes its feed in the state-owned scratch so a warm sweep's first
+  // step allocates nothing.
   const std::vector<int>* feed = &prevTokens;
-  std::vector<int> bos;
   if (s == 0) {
-    bos.assign(batch, nn::TransformerAR::kBos);
-    feed = &bos;
+    state.tokenScratch.assign(batch, nn::TransformerAR::kBos);
+    feed = &state.tokenScratch;
   } else if (prevTokens.size() != batch) {
     throw std::invalid_argument("stepConditionals: prevTokens/batch mismatch");
   }
@@ -208,14 +208,7 @@ void QiankunNet::evaluate(const std::vector<Bits128>& samples,
     amplitudesDecode(samples, logAmp);
 
   // Phase network on the +-1 encoded qubit string.
-  nn::Tensor xin({batch, cfg_.nQubits});
-  for (Index b = 0; b < batch; ++b)
-    for (int q = 0; q < cfg_.nQubits; ++q)
-      xin.data[static_cast<std::size_t>(b * cfg_.nQubits + q)] =
-          samples[static_cast<std::size_t>(b)].get(q) ? 1.0 : -1.0;
-  nn::Tensor ph = phase_.forward(xin, cache);
-  phase.resize(samples.size());
-  for (Index b = 0; b < batch; ++b) phase[static_cast<std::size_t>(b)] = ph.data[static_cast<std::size_t>(b)];
+  phaseForward(samples, phase, cache);
 
   // A cache=false evaluate invalidates like the modules' cache=false
   // forwards (modules.hpp invariant): backward() after it throws instead of
@@ -225,6 +218,31 @@ void QiankunNet::evaluate(const std::vector<Bits128>& samples,
     cachedSamples_.clear();
     cachedProbs_ = nn::Tensor{};
   }
+}
+
+void QiankunNet::phaseForward(const std::vector<Bits128>& samples,
+                              std::vector<Real>& phase, bool cache) {
+  const Index batch = static_cast<Index>(samples.size());
+  nn::Tensor xin({batch, cfg_.nQubits});
+  for (Index b = 0; b < batch; ++b)
+    for (int q = 0; q < cfg_.nQubits; ++q)
+      xin.data[static_cast<std::size_t>(b * cfg_.nQubits + q)] =
+          samples[static_cast<std::size_t>(b)].get(q) ? 1.0 : -1.0;
+  nn::Tensor ph = phase_.forward(xin, cache);
+  phase.resize(samples.size());
+  for (Index b = 0; b < batch; ++b)
+    phase[static_cast<std::size_t>(b)] = ph.data[static_cast<std::size_t>(b)];
+}
+
+void QiankunNet::phases(const std::vector<Bits128>& samples,
+                        std::vector<Real>& phase) {
+  phaseForward(samples, phase, /*cache=*/false);
+  // Same invalidation contract as a cache=false evaluate: the phase MLP's
+  // activation cache is gone, so a backward() before the next cache=true
+  // evaluate must throw rather than mix stale activations.
+  cachedBatch_ = -1;
+  cachedSamples_.clear();
+  cachedProbs_ = nn::Tensor{};
 }
 
 Complex QiankunNet::psiValue(Real logAmp, Real phase) {

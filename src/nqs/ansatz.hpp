@@ -98,7 +98,8 @@ class QiankunNet {
     state.gather(rows);
   }
 
-  /// Select the amplitude-inference engine of evaluate()/psi(): the
+  /// Select the amplitude-inference engine of evaluate()/psi() from the
+  /// decode/kernel fields of an ExecutionPolicy (exec/policy.hpp): the
   /// KV-cached teacher-forced decode sweep (default) or the stateless
   /// full-forward reference.  Both are bit-identical, so the policy only
   /// moves the inference wall clock.  `tileRows` bounds the decode KV arena
@@ -107,19 +108,10 @@ class QiankunNet {
   /// The policy applies to cache=false (inference) evaluations: a cache=true
   /// evaluate must run the full forward regardless, because backward()
   /// consumes the activations only that path stores.
-  void setEvalPolicy(DecodePolicy policy,
-                     nn::kernels::KernelPolicy kernel =
-                         nn::kernels::KernelPolicy::kAuto,
-                     Index tileRows = 0) {
-    evalPolicy_ = policy;
-    evalKernel_ = kernel;
-    evalTileRows_ = tileRows;
-  }
-  /// Consolidated overload: takes the decode/kernel fields of an
-  /// ExecutionPolicy (exec/policy.hpp), so callers that carry one policy
-  /// struct through the stack can forward it whole.
   void setEvalPolicy(const exec::ExecutionPolicy& exec, Index tileRows = 0) {
-    setEvalPolicy(exec.decode, exec.kernel, tileRows);
+    evalPolicy_ = exec.decode;
+    evalKernel_ = exec.kernel;
+    evalTileRows_ = tileRows;
   }
   [[nodiscard]] DecodePolicy evalPolicy() const { return evalPolicy_; }
 
@@ -129,6 +121,18 @@ class QiankunNet {
   /// evaluate, so a stale backward() throws instead of using old activations.
   void evaluate(const std::vector<Bits128>& samples, std::vector<Real>& logAmp,
                 std::vector<Real>& phase, bool cache);
+
+  /// Phase-only inference: phi(x) per sample via the phase MLP, skipping the
+  /// amplitude network entirely.  The complement of the fused BAS sweep,
+  /// which produces ln|Psi| as a sampling by-product (SampleSet::logAmp) but
+  /// never touches the phase MLP.  Invalidates like a cache=false evaluate.
+  void phases(const std::vector<Bits128>& samples, std::vector<Real>& phase);
+
+  /// ln|Psi| sentinel for samples outside the number-conserving support
+  /// (psiValue maps it to amplitude 0).  The fused sweep accumulates with
+  /// the exact arithmetic of the evaluate() paths, including this sentinel,
+  /// so fused and separate amplitudes are bit-identical.
+  static constexpr Real kLogZeroAmp = -1e30;
 
   /// The single (ln|Psi|, phi) -> psi convention: zero amplitude outside the
   /// number-conserving support, |psi| = sqrt(pi) <= 1 so no overflow.  Every
@@ -169,6 +173,11 @@ class QiankunNet {
   /// path; zero heap allocations once warm.
   void amplitudesDecode(const std::vector<Bits128>& samples,
                         std::vector<Real>& logAmp);
+
+  /// The phase-MLP forward shared by evaluate() and phases(): +-1 encode the
+  /// qubit strings, run the MLP, copy the scalar outputs.
+  void phaseForward(const std::vector<Bits128>& samples,
+                    std::vector<Real>& phase, bool cache);
 
   /// Fold position s's masked log-conditional of `sample` (given its logits
   /// lg[4]) into the running (la, nUp, nDown); pr[4] receives the masked

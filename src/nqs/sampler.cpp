@@ -2,21 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace nnqs::nqs {
-
-// The deprecated per-field aliases override exec only when explicitly moved
-// off their defaults; these resolvers are the single place that reads them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-DecodePolicy SamplerOptions::resolvedDecode() const {
-  return decode != DecodePolicy::kKvCache ? decode : exec.decode;
-}
-nn::kernels::KernelPolicy SamplerOptions::resolvedKernel() const {
-  return kernel != nn::kernels::KernelPolicy::kAuto ? kernel : exec.kernel;
-}
-#pragma GCC diagnostic pop
 
 namespace {
 
@@ -58,145 +47,23 @@ std::uint64_t binomialDraw(Rng& rng, std::uint64_t n, Real p) {
   return static_cast<std::uint64_t>(draw + 0.5);
 }
 
-/// One BAS layer's working state: unique prefixes with weights and counts.
-struct Layer {
-  std::vector<int> tokens;  ///< [nodes, step] flattened
-  std::vector<std::uint64_t> weights;
-  std::vector<std::array<int, 2>> counts;  ///< (up, down) used so far
-  int step = 0;
-
-  [[nodiscard]] std::size_t nodes() const { return weights.size(); }
-};
-
-/// Result of splitting one layer: the next layer plus, per surviving child,
-/// its parent node row and appended token — exactly what the KV-cache needs
-/// to gather its rows onto the new frontier.
-struct Expansion {
-  Layer next;
-  std::vector<Index> parentRows;
-  std::vector<int> childTokens;
-};
-
-/// Split the node weights of one layer multinomially over the 4 outcomes
-/// given the per-node conditionals (pruning zero-weight children).
-Expansion splitLayer(const Layer& cur, const std::vector<Real>& probs, Rng& rng) {
-  const int s = cur.step;
-  const int batch = static_cast<int>(cur.nodes());
-  Expansion e;
-  Layer& next = e.next;
-  next.step = s + 1;
-  next.tokens.reserve(cur.nodes() * static_cast<std::size_t>(s + 1) * 2);
-  next.weights.reserve(cur.nodes() * 2);
-  next.counts.reserve(cur.nodes() * 2);
-  e.parentRows.reserve(cur.nodes() * 2);
-  e.childTokens.reserve(cur.nodes() * 2);
-  for (int b = 0; b < batch; ++b) {
-    const auto split = multinomialSplit4(rng, cur.weights[static_cast<std::size_t>(b)],
-                                         probs.data() + static_cast<std::size_t>(b) * 4);
-    for (int t = 0; t < 4; ++t) {
-      if (split[static_cast<std::size_t>(t)] == 0) continue;  // pruned leaf
-      for (int j = 0; j < s; ++j)
-        next.tokens.push_back(cur.tokens[static_cast<std::size_t>(b * s + j)]);
-      next.tokens.push_back(t);
-      next.weights.push_back(split[static_cast<std::size_t>(t)]);
-      next.counts.push_back({cur.counts[static_cast<std::size_t>(b)][0] + (t & 1),
-                             cur.counts[static_cast<std::size_t>(b)][1] + ((t >> 1) & 1)});
-      e.parentRows.push_back(b);
-      e.childTokens.push_back(t);
-    }
-  }
-  return e;
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
 }
 
-/// Conditional-distribution engine behind the BAS sweeps: the stateless full
-/// re-forward reference, or the KV-cached incremental decoder whose cache
-/// rows track the live sampling-tree frontier exactly.
-class ConditionalEngine {
- public:
-  ConditionalEngine(QiankunNet& net, const SamplerOptions& opts)
-      : net_(net), policy_(opts.resolvedDecode()), kernel_(opts.resolvedKernel()) {}
-
-  /// Arm the engine on the given (root) layer.  In kKvCache mode this must
-  /// see the tree before any node has been expanded.
-  void begin(const Layer& root) {
-    if (policy_ != DecodePolicy::kKvCache) return;
-    net_.beginDecode(state_, static_cast<int>(root.nodes()), kernel_);
-    feed_.clear();
-  }
-
-  /// pi(x_s | prefix) for every node of the layer, [nodes, 4].  Valid until
-  /// the next conditionals() call: the buffer is engine-owned so the KV-cached
-  /// sweep reuses one allocation across all L steps.
-  const std::vector<Real>& conditionals(const Layer& layer) {
-    if (policy_ != DecodePolicy::kKvCache)
-      probs_ = net_.conditionals(layer.tokens, static_cast<int>(layer.nodes()),
-                                 layer.step, layer.counts);
-    else
-      net_.stepConditionals(state_, feed_, layer.counts, probs_);
-    return probs_;
-  }
-
-  /// After a split: gather the cache rows onto the surviving children and
-  /// remember each child's appended token for the next step's feed.
-  void advance(const Expansion& e) {
-    if (policy_ != DecodePolicy::kKvCache) return;
-    net_.gatherDecode(state_, e.parentRows);
-    feed_ = e.childTokens;
-  }
-
-  /// Keep only the given node rows (parallel-BAS rank partition).
-  void select(const std::vector<Index>& rows) {
-    if (policy_ != DecodePolicy::kKvCache) return;
-    net_.gatherDecode(state_, rows);
-    if (feed_.empty()) return;  // nothing fed yet: BOS step is implicit
-    std::vector<int> kept(rows.size());
-    for (std::size_t i = 0; i < rows.size(); ++i)
-      kept[i] = feed_[static_cast<std::size_t>(rows[i])];
-    feed_ = std::move(kept);
-  }
-
- private:
-  QiankunNet& net_;
-  DecodePolicy policy_;
-  nn::kernels::KernelPolicy kernel_;
-  nn::DecodeState state_;
-  std::vector<int> feed_;   ///< token appended to each live row at the last split
-  std::vector<Real> probs_; ///< reused conditionals buffer (one per sweep)
-};
-
-/// Expand one BAS layer: query the conditionals for every node, split the
-/// node weights over the 4 outcomes, advance the decode engine's frontier.
-/// Pass advanceEngine = false on the last layer of a sweep: the gathered
-/// cache would never be read again, and the gather is the expansion's most
-/// expensive memory operation at the (largest) final frontier.
-Layer expand(ConditionalEngine& engine, const Layer& cur, Rng& rng,
-             bool advanceEngine = true) {
-  const std::vector<Real>& probs = engine.conditionals(cur);
-  Expansion e = splitLayer(cur, probs, rng);
-  if (advanceEngine) engine.advance(e);
-  return std::move(e.next);
-}
-
-SampleSet layerToSamples(const QiankunNet& net, const Layer& layer) {
-  SampleSet out;
-  const int L = layer.step;
-  out.samples.reserve(layer.nodes());
-  out.weights = layer.weights;
-  for (std::size_t b = 0; b < layer.nodes(); ++b) {
-    Bits128 x;
-    for (int s = 0; s < L; ++s)
-      x = net.applyToken(x, s, layer.tokens[b * static_cast<std::size_t>(L) + static_cast<std::size_t>(s)]);
-    out.samples.push_back(x);
-  }
-  return out;
-}
-
-Layer rootLayer(std::uint64_t nSamples) {
-  Layer root;
-  root.step = 0;
-  root.weights = {nSamples};
-  root.counts = {{0, 0}};
-  return root;
+/// Deterministic per-node RNG substream key.  (bits, step) is bijective with
+/// the node's token prefix — the bits at step s pin tokens 0..s-1 exactly —
+/// so keys are unique across the whole sampling tree without storing them,
+/// and every node's multinomial draw is independent of traversal order, tile
+/// geometry, prefix representation, decode policy and rank partition.
+std::uint64_t nodeKey(std::uint64_t seed, Bits128 bits, int step) {
+  std::uint64_t h = mix64(seed ^ 0x6A09E667F3BCC909ull);
+  h = mix64(h ^ bits.lo);
+  h = mix64(h ^ bits.hi);
+  h = mix64(h ^ (static_cast<std::uint64_t>(step) + 0x9E3779B97F4A7C15ull));
+  return h;
 }
 
 }  // namespace
@@ -250,73 +117,270 @@ Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng, DecodePolicy decode,
   return x;
 }
 
+// ---------------------------------------------------------------------------
+// BasSweepEngine
+// ---------------------------------------------------------------------------
+
+void BasSweepEngine::NodeBlock::clear() {
+  bits.clear();
+  weights.clear();
+  counts.clear();
+  logp.clear();
+  tokens.clear();
+  step = 0;
+}
+
+void BasSweepEngine::armRoot(std::uint64_t nSamples) {
+  out_.clear();
+  cur_.clear();
+  next_.clear();
+  stackTop_ = 0;
+  cur_.bits.push_back(Bits128{});
+  cur_.weights.push_back(nSamples);
+  cur_.counts.push_back({0, 0});
+  cur_.logp.push_back(0.0);
+}
+
+void BasSweepEngine::stepProbs(NodeBlock& cur) {
+  const int s = cur.step;
+  if (kv_) {
+    // The step feed is the token each row chose at s-1, recovered from the
+    // incrementally-built bits — no per-node token storage (s = 0 feeds BOS
+    // inside stepConditionals).
+    feed_.clear();
+    if (s > 0) {
+      feed_.resize(cur.nodes());
+      for (std::size_t i = 0; i < cur.nodes(); ++i)
+        feed_[i] = net_.tokenOf(cur.bits[i], s - 1);
+    }
+    net_.stepConditionals(state_, feed_, cur.counts, probs_);
+  } else {
+    probs_ = net_.conditionals(cur.tokens, static_cast<int>(cur.nodes()), s,
+                               cur.counts);
+  }
+}
+
+void BasSweepEngine::expandInto(const NodeBlock& cur, NodeBlock& next) {
+  const int s = cur.step;
+  const std::size_t n = cur.nodes();
+  next.clear();
+  next.step = s + 1;
+  parentRows_.clear();
+  for (std::size_t b = 0; b < n; ++b) {
+    Rng rng(nodeKey(seed_, cur.bits[b], s));
+    const auto split =
+        multinomialSplit4(rng, cur.weights[b], probs_.data() + 4 * b);
+    for (int t = 0; t < 4; ++t) {
+      if (split[static_cast<std::size_t>(t)] == 0) continue;  // pruned leaf
+      next.bits.push_back(net_.applyToken(cur.bits[b], s, t));
+      next.weights.push_back(split[static_cast<std::size_t>(t)]);
+      next.counts.push_back({cur.counts[b][0] + (t & 1),
+                             cur.counts[b][1] + ((t >> 1) & 1)});
+      // Fused ln|Psi|: exactly the evaluate() accumulation (ascending s,
+      // la += 0.5*ln p_chosen over the same maskedSoftmax4 conditionals),
+      // including the dead-branch sentinel — multinomialSplit4's remainder
+      // can land weight on a zero-probability outcome, which evaluate()
+      // reports as kLogZeroAmp, never as log(0).
+      const Real p = probs_[4 * b + static_cast<std::size_t>(t)];
+      const Real parentLp = cur.logp[b];
+      next.logp.push_back(parentLp <= QiankunNet::kLogZeroAmp || p <= 0.0
+                              ? QiankunNet::kLogZeroAmp
+                              : parentLp + 0.5 * std::log(p));
+      if (carry_) {
+        const auto ss = static_cast<std::size_t>(s);
+        for (std::size_t j = 0; j < ss; ++j)
+          next.tokens.push_back(cur.tokens[b * ss + j]);
+        next.tokens.push_back(t);
+      }
+      parentRows_.push_back(static_cast<Index>(b));
+    }
+  }
+}
+
+void BasSweepEngine::copyRange(const NodeBlock& src, std::size_t lo,
+                               std::size_t hi, NodeBlock& dst) {
+  const auto plo = static_cast<std::ptrdiff_t>(lo);
+  const auto phi = static_cast<std::ptrdiff_t>(hi);
+  dst.bits.insert(dst.bits.end(), src.bits.begin() + plo, src.bits.begin() + phi);
+  dst.weights.insert(dst.weights.end(), src.weights.begin() + plo,
+                     src.weights.begin() + phi);
+  dst.counts.insert(dst.counts.end(), src.counts.begin() + plo,
+                    src.counts.begin() + phi);
+  dst.logp.insert(dst.logp.end(), src.logp.begin() + plo, src.logp.begin() + phi);
+  if (!src.tokens.empty()) {
+    const auto s = static_cast<std::ptrdiff_t>(src.step);
+    dst.tokens.insert(dst.tokens.end(), src.tokens.begin() + plo * s,
+                      src.tokens.begin() + phi * s);
+  }
+}
+
+void BasSweepEngine::shrinkBlock(NodeBlock& block, std::size_t keep) {
+  block.bits.resize(keep);
+  block.weights.resize(keep);
+  block.counts.resize(keep);
+  block.logp.resize(keep);
+  if (!block.tokens.empty())
+    block.tokens.resize(keep * static_cast<std::size_t>(block.step));
+}
+
+BasSweepEngine::Frame& BasSweepEngine::pushFrame() {
+  if (stackTop_ == stack_.size()) stack_.emplace_back();
+  Frame& f = stack_[stackTop_++];
+  f.nodes.clear();
+  f.slots.clear();
+  return f;
+}
+
+void BasSweepEngine::popFrame() {
+  Frame& f = stack_[--stackTop_];
+  std::swap(cur_, f.nodes);  // f.nodes keeps the old block's capacity pooled
+  state_.attachRows(f.slots, static_cast<Index>(cur_.step));
+  f.slots.clear();
+}
+
+void BasSweepEngine::deferExcess() {
+  const std::size_t n = cur_.nodes();
+  const std::size_t nChunks = (n + tileCap_ - 1) / tileCap_;
+  // Push chunks [1, nChunks) in reverse so the leftmost chunk pops first:
+  // depth-first left-to-right descent emits leaves in exactly the untiled
+  // breadth-first final-layer order, keeping sample sets EXPECT_EQ-identical
+  // across tile geometries.
+  for (std::size_t c = nChunks; c-- > 1;) {
+    const std::size_t lo = c * tileCap_;
+    const std::size_t hi = std::min(n, lo + tileCap_);
+    Frame& f = pushFrame();
+    f.nodes.step = cur_.step;
+    copyRange(cur_, lo, hi, f.nodes);
+    state_.detachRows(static_cast<Index>(lo), static_cast<Index>(hi), f.slots);
+  }
+  shrinkBlock(cur_, tileCap_);
+  state_.shrinkView(static_cast<Index>(tileCap_));
+}
+
+void BasSweepEngine::emitLeaf(const NodeBlock& leaves, std::size_t i) {
+  Bits128 x;
+  if (carry_) {
+    // Prefix-carrying modes emit by replaying the materialized tokens — the
+    // A/B check that the incremental bits and the token prefixes agree.
+    const auto L = static_cast<std::size_t>(leaves.step);
+    for (std::size_t j = 0; j < L; ++j)
+      x = net_.applyToken(x, static_cast<int>(j), leaves.tokens[i * L + j]);
+  } else {
+    x = leaves.bits[i];
+  }
+  out_.samples.push_back(x);
+  out_.weights.push_back(leaves.weights[i]);
+  if (fused_) out_.logAmp.push_back(leaves.logp[i]);
+}
+
+void BasSweepEngine::emitLeaves(const NodeBlock& leaves) {
+  for (std::size_t i = 0; i < leaves.nodes(); ++i) emitLeaf(leaves, i);
+}
+
+void BasSweepEngine::descend() {
+  const int L = net_.nSteps();
+  if (cur_.nodes() == 0) return;  // a rank can own zero subtrees
+  while (true) {
+    while (cur_.step < L) {
+      if (kv_ && cur_.nodes() > tileCap_) deferExcess();
+      stepProbs(cur_);
+      expandInto(cur_, next_);
+      if (kv_) {
+        if (next_.step < L)
+          net_.gatherDecode(state_, parentRows_);
+        else
+          state_.releaseRows();  // leaves need no rows; parents' data is dead
+      }
+      std::swap(cur_, next_);
+    }
+    emitLeaves(cur_);
+    if (stackTop_ == 0) break;
+    popFrame();
+  }
+}
+
+void BasSweepEngine::partitionLayer(int rank, int nRanks) {
+  // Partition the layer nodes so each rank gets ~equal total weight (greedy
+  // largest-first bin packing; deterministic, identical on every rank).
+  const std::size_t n = cur_.nodes();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::stable_sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+    return cur_.weights[a] > cur_.weights[b];
+  });
+  load_.assign(static_cast<std::size_t>(nRanks), 0);
+  owner_.resize(n);
+  for (std::size_t idx : order_) {
+    const int target = static_cast<int>(
+        std::min_element(load_.begin(), load_.end()) - load_.begin());
+    owner_[idx] = target;
+    load_[static_cast<std::size_t>(target)] += cur_.weights[idx];
+  }
+  next_.clear();
+  next_.step = cur_.step;
+  ownedRows_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (owner_[i] != rank) continue;
+    copyRange(cur_, i, i + 1, next_);
+    ownedRows_.push_back(static_cast<Index>(i));
+  }
+  std::swap(cur_, next_);
+}
+
+const SampleSet& BasSweepEngine::sweep(const SamplerOptions& opts, int rank,
+                                       int nRanks,
+                                       std::uint64_t uniqueThreshold) {
+  const int L = net_.nSteps();
+  seed_ = opts.seed;
+  kv_ = opts.exec.decode == DecodePolicy::kKvCache;
+  carry_ = opts.carryTokenPrefixes || !kv_;
+  fused_ = opts.exec.fusedSweep;
+  if (!kv_ || opts.exec.sweepTileRows < 0)
+    tileCap_ = std::numeric_limits<std::size_t>::max();  // one frontier tile
+  else
+    tileCap_ = opts.exec.sweepTileRows == 0
+                   ? static_cast<std::size_t>(kDefaultTileRows)
+                   : static_cast<std::size_t>(opts.exec.sweepTileRows);
+  armRoot(opts.nSamples);
+  if (kv_) net_.beginDecode(state_, 1, opts.exec.kernel);
+
+  if (nRanks > 1) {
+    // Breadth-first shared prefix: identical on every rank (shared seed,
+    // per-node substreams), so the partition below needs no communication.
+    // Untiled by construction — the split layer must exist whole, in
+    // canonical order, before it can be dealt out.
+    int s = 0;
+    for (; s < L; ++s) {
+      if (cur_.nodes() > uniqueThreshold) break;
+      stepProbs(cur_);
+      expandInto(cur_, next_);
+      if (kv_ && s + 1 < L) net_.gatherDecode(state_, parentRows_);
+      std::swap(cur_, next_);
+    }
+    if (s >= L) {
+      // Tree exhausted before the split threshold: deal leaves round-robin.
+      for (std::size_t i = static_cast<std::size_t>(rank); i < cur_.nodes();
+           i += static_cast<std::size_t>(nRanks))
+        emitLeaf(cur_, i);
+      return out_;
+    }
+    partitionLayer(rank, nRanks);
+    if (kv_) net_.gatherDecode(state_, ownedRows_);  // drop others' subtrees
+  }
+  descend();
+  return out_;
+}
+
 SampleSet batchAutoregressiveSample(QiankunNet& net, const SamplerOptions& opts) {
-  Rng rng(opts.seed);
-  Layer layer = rootLayer(opts.nSamples);
-  const int L = net.nSteps();
-  ConditionalEngine engine(net, opts);
-  engine.begin(layer);
-  for (int s = 0; s < L; ++s) layer = expand(engine, layer, rng, s + 1 < L);
-  return layerToSamples(net, layer);
+  BasSweepEngine engine(net);
+  return engine.sweep(opts);
 }
 
 SampleSet parallelBatchSample(QiankunNet& net, const SamplerOptions& opts,
                               int rank, int nRanks, std::uint64_t uniqueThreshold) {
   if (nRanks <= 1) return batchAutoregressiveSample(net, opts);
-  const int L = net.nSteps();
-  Rng rng(opts.seed);  // shared stream: the serial prefix is identical on all ranks
-  Layer layer = rootLayer(opts.nSamples);
-  ConditionalEngine engine(net, opts);
-  engine.begin(layer);
-  int s = 0;
-  for (; s < L; ++s) {
-    if (layer.nodes() > uniqueThreshold) break;
-    layer = expand(engine, layer, rng, s + 1 < L);
-  }
-  if (s >= L) {
-    // Tree exhausted before the split threshold: deal leaves round-robin.
-    SampleSet all = layerToSamples(net, layer);
-    SampleSet mine;
-    for (std::size_t i = static_cast<std::size_t>(rank); i < all.nUnique();
-         i += static_cast<std::size_t>(nRanks)) {
-      mine.samples.push_back(all.samples[i]);
-      mine.weights.push_back(all.weights[i]);
-    }
-    return mine;
-  }
-
-  // Partition the k-th layer nodes so each rank gets ~equal total weight
-  // (greedy largest-first bin packing; deterministic).
-  std::vector<std::size_t> order(layer.nodes());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return layer.weights[a] > layer.weights[b];
-  });
-  std::vector<std::uint64_t> load(static_cast<std::size_t>(nRanks), 0);
-  std::vector<int> owner(layer.nodes());
-  for (std::size_t idx : order) {
-    const int target = static_cast<int>(
-        std::min_element(load.begin(), load.end()) - load.begin());
-    owner[idx] = target;
-    load[static_cast<std::size_t>(target)] += layer.weights[idx];
-  }
-
-  Layer mine;
-  mine.step = layer.step;
-  std::vector<Index> ownedRows;
-  for (std::size_t i = 0; i < layer.nodes(); ++i) {
-    if (owner[i] != rank) continue;
-    for (int j = 0; j < layer.step; ++j)
-      mine.tokens.push_back(layer.tokens[i * static_cast<std::size_t>(layer.step) + static_cast<std::size_t>(j)]);
-    mine.weights.push_back(layer.weights[i]);
-    mine.counts.push_back(layer.counts[i]);
-    ownedRows.push_back(static_cast<Index>(i));
-  }
-  engine.select(ownedRows);  // drop the other ranks' subtrees from the cache
-  Rng mineRng(opts.seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(rank + 1)));
-  for (; mine.step < L && mine.nodes() > 0;)
-    mine = expand(engine, mine, mineRng, mine.step + 1 < L);
-  return layerToSamples(net, mine);
+  BasSweepEngine engine(net);
+  return engine.sweep(opts, rank, nRanks, uniqueThreshold);
 }
 
 }  // namespace nnqs::nqs

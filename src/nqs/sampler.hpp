@@ -12,6 +12,11 @@ namespace nnqs::nqs {
 struct SampleSet {
   std::vector<Bits128> samples;
   std::vector<std::uint64_t> weights;
+  /// ln|Psi| per unique sample, accumulated by the fused sweep
+  /// (ExecutionPolicy::fusedSweep) from the same masked conditionals the
+  /// split draws used — bit-identical to a separate evaluate() over
+  /// `samples`.  Empty when fusion is off.
+  std::vector<Real> logAmp;
 
   [[nodiscard]] std::size_t nUnique() const { return samples.size(); }
   [[nodiscard]] std::uint64_t totalWeight() const {
@@ -19,37 +24,35 @@ struct SampleSet {
     for (auto x : weights) w += x;
     return w;
   }
+  void clear() {
+    samples.clear();
+    weights.clear();
+    logAmp.clear();
+  }
 };
 
 // DecodePolicy (the kFullForward / kKvCache engine selector shared by the
 // samplers and the teacher-forced evaluate path) lives in nqs/ansatz.hpp.
 
-// The pragma region silences the -Wdeprecated-declarations noise of the
-// *synthesized* constructors (whose NSDMIs "use" the deprecated aliases);
-// user code touching the aliases still warns.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct SamplerOptions {
   std::uint64_t nSamples = 1 << 12;  ///< N_s; can be huge (the paper uses 1e12)
   std::uint64_t seed = 7;
-  /// Consolidated engine selection (exec/policy.hpp).  The samplers read
-  /// exec.decode (full-forward vs KV-cached engine) and exec.kernel (the
-  /// decode-attention backend; bit-identical, purely a performance knob);
+  /// Consolidated engine selection (exec/policy.hpp).  The sweep engine
+  /// reads exec.decode (full-forward vs KV-cached engine), exec.kernel (the
+  /// decode-attention backend; bit-identical, purely a performance knob),
+  /// exec.sweepTileRows (cache-resident tile geometry of the depth-first
+  /// descent) and exec.fusedSweep (ln|Psi| as a sampling by-product);
   /// exec.eloc / exec.comm are carried for callers that forward one policy
   /// through the whole stack.
   exec::ExecutionPolicy exec;
-
-  // Deprecated per-field aliases, kept for one release: when moved off their
-  // defaults they override the matching exec field (resolvedDecode/
-  // resolvedKernel below), so existing call sites keep their meaning.
-  [[deprecated("use exec.decode")]] DecodePolicy decode = DecodePolicy::kKvCache;
-  [[deprecated("use exec.kernel")]] nn::kernels::KernelPolicy kernel =
-      nn::kernels::KernelPolicy::kAuto;
-
-  [[nodiscard]] DecodePolicy resolvedDecode() const;
-  [[nodiscard]] nn::kernels::KernelPolicy resolvedKernel() const;
+  /// A/B knob of the prefix-representation refactor: carry materialized
+  /// token prefixes through the kKvCache sweep (the pre-refactor O(Nu*L^2)
+  /// layout) and emit samples by replaying them, instead of the
+  /// incrementally-built Bits128 occupations (O(Nu*L)).  Sample sets are
+  /// bit-identical either way; the full-forward reference path always
+  /// carries prefixes because its conditionals() consumes them.
+  bool carryTokenPrefixes = false;
 };
-#pragma GCC diagnostic pop
 
 /// Exact multinomial-style draw: split `n` trials over the 4 outcome
 /// probabilities (sequential binomials; exact for small n, gaussian/poisson
@@ -63,16 +66,143 @@ Bits128 autoregressiveSampleOne(QiankunNet& net, Rng& rng,
                                 nn::kernels::KernelPolicy kernel =
                                     nn::kernels::KernelPolicy::kAuto);
 
+/// The unified BAS sweep engine behind batchAutoregressiveSample /
+/// parallelBatchSample (Fig. 3(b) / Fig. 5) and the VMC driver's Stage 1.
+///
+/// One sweep walks the sampling quadtree (two qubits per step), splitting
+/// each node's weight multinomially over the 4 outcomes and pruning
+/// zero-weight children.  Three structural properties:
+///
+///  - **Incremental Bits128 prefixes.**  In kKvCache mode a node is its
+///    occupation bitstring (built token by token via applyToken) plus weight,
+///    electron counts and running ln|Psi| — O(Nu*L) storage per sweep.  The
+///    step feed is recovered from the bits (tokenOf at step s-1), so no token
+///    prefix is ever materialized; the full-forward reference path still
+///    carries prefixes because its stateless conditionals consume them.
+///  - **Cache-resident slot-range tiles.**  The frontier is chunked into
+///    tiles of at most `tileRows` rows, swept depth-first: a tile descends to
+///    the final layer before the next tile starts, so its KV slots stay
+///    cache-resident across all remaining steps.  Deferred sibling chunks
+///    park their rows via DecodeState::detachRows (index work only; zero K/V
+///    bytes) and resume via attachRows.  Split/prune gathers are tile-local.
+///  - **Fused final-sweep evaluation.**  Every split already computed the
+///    masked-softmax conditionals, so each child accumulates
+///    logp += 0.5*ln p(token) with exactly the arithmetic of the evaluate()
+///    paths (including the kLogZeroAmp dead-branch sentinel); the final
+///    layer's leaves emit ln|Psi| into SampleSet::logAmp for free.
+///
+/// Every tile geometry, prefix representation and rank partition draws
+/// bit-identical sample sets: each node's split consumes a private RNG
+/// substream keyed by (seed, bits, step) — the (bits, step) pair is
+/// bijective with the token prefix, so keys are unique, need no storage, and
+/// make draws independent of traversal order.  A parallel sweep's per-rank
+/// union therefore equals the serial sweep exactly.
+///
+/// The engine owns all sweep state (decode arena, frontier blocks, frame
+/// stack, output set) and reuses its capacity, so a warm kKvCache sweep
+/// performs zero heap allocations (asserted by BM_SweepFused).
+class BasSweepEngine {
+ public:
+  explicit BasSweepEngine(QiankunNet& net) : net_(net) {}
+
+  /// Default rows per depth-first tile (ExecutionPolicy::sweepTileRows = 0).
+  /// Sized so one tile's KV slots and activations sit in L2 at the paper's
+  /// model shapes, matching TransformerAR::kEvalTileRows.
+  static constexpr Index kDefaultTileRows = 256;
+
+  /// Run one BAS sweep for `rank` of `nRanks` (serial when nRanks <= 1).
+  /// Multi-rank sweeps replay a shared breadth-first prefix until the
+  /// frontier exceeds `uniqueThreshold`, partition that layer by weight
+  /// (greedy largest-first, deterministic), then each rank descends its own
+  /// subtrees.  Returns the engine-owned sample set, valid until the next
+  /// sweep; its vectors' capacity is reused across sweeps.
+  const SampleSet& sweep(const SamplerOptions& opts, int rank = 0,
+                         int nRanks = 1, std::uint64_t uniqueThreshold = 0);
+
+  /// The engine's decode state, for arena/sweep-stat assertions in tests and
+  /// benches (DecodeState::sweepStats separates tile-local split copies from
+  /// zero-byte tile bookkeeping).
+  [[nodiscard]] const nn::DecodeState& decodeState() const { return state_; }
+
+ private:
+  /// One frontier block: SoA over nodes at a common step.
+  struct NodeBlock {
+    std::vector<Bits128> bits;
+    std::vector<std::uint64_t> weights;
+    std::vector<std::array<int, 2>> counts;  ///< (up, down) used so far
+    std::vector<Real> logp;                  ///< running ln|Psi| of the prefix
+    std::vector<int> tokens;  ///< [nodes, step], only when carrying prefixes
+    int step = 0;
+
+    [[nodiscard]] std::size_t nodes() const { return weights.size(); }
+    void clear();
+  };
+  /// A deferred tile awaiting its depth-first descent: node data plus the
+  /// detached KV slots backing its decode rows (kKvCache only).
+  struct Frame {
+    NodeBlock nodes;
+    std::vector<Index> slots;
+  };
+
+  void armRoot(std::uint64_t nSamples);
+  /// Conditionals pi(x_s | prefix) of `cur` into probs_ ([nodes, 4]).
+  void stepProbs(NodeBlock& cur);
+  /// Split `cur` into `next` (children at step+1): per-node RNG substream
+  /// draws, fused logp accumulation, parentRows_ for the decode gather.
+  void expandInto(const NodeBlock& cur, NodeBlock& next);
+  /// Defer all but the first tileCap_ rows of cur_ as stack frames (pushed
+  /// in reverse so the leftmost chunk pops first, preserving the global
+  /// left-to-right leaf order of the untiled sweep).
+  void deferExcess();
+  /// Depth-first descent of cur_ (and every frame it defers) to the final
+  /// layer, emitting leaves into out_.
+  void descend();
+  void emitLeaves(const NodeBlock& leaves);
+  void emitLeaf(const NodeBlock& leaves, std::size_t i);
+  /// Keep only this rank's share of cur_ (greedy largest-first weight
+  /// balance, deterministic across ranks); fills ownedRows_ with the kept
+  /// canonical row indices for the decode-state gather.
+  void partitionLayer(int rank, int nRanks);
+  Frame& pushFrame();
+  void popFrame();
+  static void copyRange(const NodeBlock& src, std::size_t lo, std::size_t hi,
+                        NodeBlock& dst);
+  static void shrinkBlock(NodeBlock& block, std::size_t keep);
+
+  QiankunNet& net_;
+  nn::DecodeState state_;
+  SampleSet out_;
+  NodeBlock cur_, next_;          ///< double-buffered frontier blocks
+  std::vector<Frame> stack_;      ///< frame pool; [0, stackTop_) live
+  std::size_t stackTop_ = 0;
+  std::vector<Real> probs_;       ///< [nodes, 4] conditionals buffer
+  std::vector<int> feed_;         ///< step feed recovered from bits
+  std::vector<Index> parentRows_; ///< child -> parent row of the last split
+  // Rank-partition scratch (multi-rank sweeps only).
+  std::vector<std::size_t> order_;
+  std::vector<std::uint64_t> load_;
+  std::vector<int> owner_;
+  std::vector<Index> ownedRows_;
+  // Sweep-wide configuration, set by sweep().
+  std::uint64_t seed_ = 0;
+  std::size_t tileCap_ = 0;
+  bool kv_ = true;
+  bool carry_ = false;
+  bool fused_ = true;
+};
+
 /// Fig. 3(b): batch autoregressive sampling.  Generates N_s samples in one
 /// sweep over the quadtree (two qubits per step), pruning zero-weight and
-/// constraint-violating branches.
+/// constraint-violating branches.  Convenience wrapper over a one-shot
+/// BasSweepEngine; hold an engine instead to reuse its arena across sweeps.
 SampleSet batchAutoregressiveSample(QiankunNet& net, const SamplerOptions& opts);
 
 /// Fig. 5: parallel BAS.  Every rank replays the serial BAS with the shared
 /// seed until the layer where the unique-sample count first exceeds
 /// `uniqueThreshold` (the paper's N*_u), then the nodes of that layer are
 /// partitioned so each rank gets approximately equal total weight and each
-/// rank finishes its own subtree independently.
+/// rank finishes its own subtree independently.  Per-node RNG substreams
+/// make the union of the per-rank sets equal the serial sweep exactly.
 SampleSet parallelBatchSample(QiankunNet& net, const SamplerOptions& opts,
                               int rank, int nRanks, std::uint64_t uniqueThreshold);
 

@@ -12,17 +12,6 @@
 
 namespace nnqs::vmc {
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-exec::ExecutionPolicy VmcOptions::resolvedExec() const {
-  exec::ExecutionPolicy e = exec;
-  if (elocMode != ElocMode::kBatched) e.eloc = elocMode;
-  if (decodePolicy != nqs::DecodePolicy::kKvCache) e.decode = decodePolicy;
-  if (kernelPolicy != nn::kernels::KernelPolicy::kAuto) e.kernel = kernelPolicy;
-  return e;
-}
-#pragma GCC diagnostic pop
-
 namespace {
 
 /// Serialized (sample, weight, psi) record exchanged by the Allgather stage;
@@ -38,7 +27,7 @@ struct GatherRecord {
 
 VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
                  const nqs::QiankunNetConfig& netConfig, const VmcOptions& opts) {
-  const exec::ExecutionPolicy ex = opts.resolvedExec();
+  const exec::ExecutionPolicy ex = opts.exec;
   if (ex.eloc == ElocMode::kBaseline)
     throw std::invalid_argument(
         "runVmc: the baseline local-energy engine exists for Fig. 10 "
@@ -62,6 +51,10 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
     // the network ever sees) through the same decode/kernel policies as
     // sampling; cache=true gradient evaluates stay full-forward regardless.
     net.setEvalPolicy(ex);
+    // The sweep engine persists across iterations: its decode arena, frontier
+    // blocks and output set keep their capacity, so steady-state sampling
+    // allocates nothing.
+    nqs::BasSweepEngine sampler(net);
     nn::AdamWOptions adamOpts;
     adamOpts.lr = opts.learningRate;
     adamOpts.weightDecay = opts.weightDecay;
@@ -71,6 +64,7 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
 
     PhaseBreakdown phases;
     std::vector<Real> grads;
+    std::vector<Real> logAmp, phase;
     // Measured per-sample term counts of past iterations, the signal behind
     // the term-balanced Stage-3 split (sample sets overlap heavily across
     // iterations, so last iteration's measurement predicts this one's cost).
@@ -97,13 +91,21 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       sOpts.nSamples = nsCurrent;
       sOpts.seed = opts.seed + static_cast<std::uint64_t>(iter) * 0x9E37u;
       sOpts.exec = ex;
-      nqs::SampleSet local = nqs::parallelBatchSample(
-          net, sOpts, rank, nRanks,
+      const nqs::SampleSet& local = sampler.sweep(
+          sOpts, rank, nRanks,
           opts.uniqueThresholdPerRank * static_cast<std::uint64_t>(nRanks));
       if (trace) std::fprintf(stderr, "[it %d] sampled Nu=%zu W=%llu\n", iter, local.nUnique(), (unsigned long long)local.totalWeight());
-      // Evaluate psi of the local chunk (inference).
-      std::vector<Real> logAmp, phase;
-      net.evaluate(local.samples, logAmp, phase, /*cache=*/false);
+      // psi of the local chunk (inference).  A fused sweep already produced
+      // ln|Psi| as a sampling by-product, leaving only the phase MLP to run;
+      // otherwise fall back to the separate teacher-forced evaluate pass.
+      // (Copy, don't move, local.logAmp: the engine reuses its capacity.)
+      const bool fusedAmp = local.logAmp.size() == local.samples.size();
+      if (fusedAmp) {
+        logAmp.assign(local.logAmp.begin(), local.logAmp.end());
+        net.phases(local.samples, phase);
+      } else {
+        net.evaluate(local.samples, logAmp, phase, /*cache=*/false);
+      }
       phases.sampling += t0.seconds();
 
       // --- Stage 2: Allgather unique samples + psi ------------------------

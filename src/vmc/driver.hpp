@@ -25,11 +25,6 @@ enum class RankSplit {
 };
 
 /// Options of the data-centric parallel VMC loop (paper Fig. 4 / §3.2).
-// The pragma region silences the -Wdeprecated-declarations noise of the
-// *synthesized* constructors (whose NSDMIs "use" the deprecated aliases);
-// user code touching the aliases still warns.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct VmcOptions {
   int iterations = 400;
   std::uint64_t nSamples = 1 << 14;        ///< final N_s target
@@ -63,21 +58,10 @@ struct VmcOptions {
   /// shrink it so small systems still produce enough tiles to balance.
   std::size_t rankTileSize = 64;
 
-  // Deprecated per-field aliases of exec.*, kept for one release.  When moved
-  // off their defaults they override the matching exec field (resolvedExec()),
-  // so pre-ExecutionPolicy call sites keep their meaning.
-  [[deprecated("use exec.eloc")]] ElocMode elocMode = ElocMode::kBatched;
-  [[deprecated("use exec.decode")]] nqs::DecodePolicy decodePolicy =
-      nqs::DecodePolicy::kKvCache;
-  [[deprecated("use exec.kernel")]] nn::kernels::KernelPolicy kernelPolicy =
-      nn::kernels::KernelPolicy::kAuto;
-  [[nodiscard]] exec::ExecutionPolicy resolvedExec() const;
-
   int logEvery = 0;  ///< 0 = silent
   /// Optional per-iteration observer: (iteration, energy, nUnique).
   std::function<void(int, Real, std::size_t)> observer;
 };
-#pragma GCC diagnostic pop
 
 struct PhaseBreakdown {
   double sampling = 0, localEnergy = 0, gradient = 0, other = 0;
@@ -109,7 +93,9 @@ struct VmcResult {
 
 /// Run the 6-stage data-centric VMC of the paper on the comm backend selected
 /// by opts.exec.comm (thread ranks by default; real MPI under NNQS_WITH_MPI):
-/// 1) parallel BAS, 2) Allgather samples+psi, 3) sample-aware local energies
+/// 1) parallel BAS (with exec.fusedSweep the sweep itself yields ln|Psi|, so
+/// only the phase MLP runs separately), 2) Allgather samples+psi, 3)
+/// sample-aware local energies
 /// on a term-balanced chunk of the gathered set (AllgatherV'd back so every
 /// rank sees its own samples' values), 4) Allreduce energy, 5) backward on
 /// the own chunk, 6) Allreduce gradients + identical AdamW step everywhere.

@@ -255,22 +255,14 @@ TEST(Decode, GatherRejectsOutOfRangeRows) {
   EXPECT_THROW(net.gatherDecode(state, {0, 2}), std::out_of_range);
 }
 
-TEST(Decode, DeprecatedSamplerAliasesStillResolve) {
-  // One-release compatibility contract of the ExecutionPolicy consolidation:
-  // the old per-field SamplerOptions knobs keep working, and when moved off
-  // their defaults they win over the exec struct.
+TEST(Decode, SamplerOptionsExecDefaults) {
+  // ExecutionPolicy is the sole engine-selection surface (the deprecated
+  // per-field aliases of the consolidation are gone): defaults decode on the
+  // KV cache with auto kernels and the fused sweep enabled.
   SamplerOptions opts;
-  EXPECT_EQ(opts.resolvedDecode(), DecodePolicy::kKvCache);
-  EXPECT_EQ(opts.resolvedKernel(), nn::kernels::KernelPolicy::kAuto);
-  opts.exec.decode = DecodePolicy::kFullForward;
-  opts.exec.kernel = nn::kernels::KernelPolicy::kSimd;
-  EXPECT_EQ(opts.resolvedDecode(), DecodePolicy::kFullForward);
-  EXPECT_EQ(opts.resolvedKernel(), nn::kernels::KernelPolicy::kSimd);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  opts.decode = DecodePolicy::kFullForward;
-  opts.kernel = nn::kernels::KernelPolicy::kScalar;
-#pragma GCC diagnostic pop
-  EXPECT_EQ(opts.resolvedDecode(), DecodePolicy::kFullForward);
-  EXPECT_EQ(opts.resolvedKernel(), nn::kernels::KernelPolicy::kScalar);
+  EXPECT_EQ(opts.exec.decode, DecodePolicy::kKvCache);
+  EXPECT_EQ(opts.exec.kernel, nn::kernels::KernelPolicy::kAuto);
+  EXPECT_EQ(opts.exec.sweepTileRows, 0);
+  EXPECT_TRUE(opts.exec.fusedSweep);
+  EXPECT_FALSE(opts.carryTokenPrefixes);
 }

@@ -57,6 +57,17 @@ std::vector<Bits128> numberSector(int n, int na, int nb) {
   return out;
 }
 
+/// ExecutionPolicy with everything default except the eval-engine fields —
+/// the post-alias-removal spelling of "decode policy X, kernel Y".
+exec::ExecutionPolicy execFor(DecodePolicy decode,
+                              nn::kernels::KernelPolicy kernel =
+                                  nn::kernels::KernelPolicy::kAuto) {
+  exec::ExecutionPolicy ex;
+  ex.decode = decode;
+  ex.kernel = kernel;
+  return ex;
+}
+
 Real numericalGrad(const std::function<Real()>& f, Real& param, Real eps = 1e-5) {
   const Real orig = param;
   param = orig + eps;
@@ -87,11 +98,11 @@ TEST(Evaluate, DecodeMatchesFullForwardBitIdentical) {
     ASSERT_LE(batch, pool.size());
     const std::vector<Bits128> samples(pool.begin(),
                                        pool.begin() + static_cast<long>(batch));
-    net.setEvalPolicy(DecodePolicy::kFullForward);
+    net.setEvalPolicy(execFor(DecodePolicy::kFullForward));
     std::vector<Real> laRef, phRef;
     net.evaluate(samples, laRef, phRef, /*cache=*/false);
     for (auto kernel : kAllKernels) {
-      net.setEvalPolicy(DecodePolicy::kKvCache, kernel, /*tileRows=*/4);
+      net.setEvalPolicy(execFor(DecodePolicy::kKvCache, kernel), /*tileRows=*/4);
       std::vector<Real> la, ph;
       net.evaluate(samples, la, ph, /*cache=*/false);
       ASSERT_EQ(la.size(), laRef.size());
@@ -162,10 +173,9 @@ TEST(Evaluate, PsiSharesTheEvaluateEntryPoint) {
   samples.resize(9);
   samples.push_back(numberSector(n, na + 1, nb)[0]);
 
-  net.setEvalPolicy(DecodePolicy::kFullForward);
+  net.setEvalPolicy(execFor(DecodePolicy::kFullForward));
   const std::vector<Complex> ref = net.psi(samples);
-  net.setEvalPolicy(DecodePolicy::kKvCache, nn::kernels::KernelPolicy::kAuto,
-                    /*tileRows=*/4);
+  net.setEvalPolicy(execFor(DecodePolicy::kKvCache), /*tileRows=*/4);
   const std::vector<Complex> got = net.psi(samples);
   ASSERT_EQ(ref.size(), got.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
@@ -192,7 +202,7 @@ TEST(Evaluate, GradientsAfterCachedEvaluateMatchAcrossPolicies) {
 
   auto gradsUnder = [&](DecodePolicy policy) {
     QiankunNet net(smallConfig(n, na, nb, 77));
-    net.setEvalPolicy(policy, nn::kernels::KernelPolicy::kAuto, /*tileRows=*/2);
+    net.setEvalPolicy(execFor(policy), /*tileRows=*/2);
     // An inference evaluate first, as the VMC loop interleaves them; it must
     // not perturb the subsequent cached evaluate + backward.
     std::vector<Real> la, ph;
@@ -225,8 +235,7 @@ TEST(Evaluate, GradcheckWithDecodePathLoss) {
   cfg.phaseHiddenLayers = 1;
   cfg.seed = 77;
   QiankunNet net(cfg);
-  net.setEvalPolicy(DecodePolicy::kKvCache, nn::kernels::KernelPolicy::kAuto,
-                    /*tileRows=*/2);
+  net.setEvalPolicy(execFor(DecodePolicy::kKvCache), /*tileRows=*/2);
   const std::vector<Bits128> samples = {fromBitString("00001111"),
                                         fromBitString("00111100"),
                                         fromBitString("11000011")};
@@ -270,7 +279,7 @@ TEST(Evaluate, CacheFalseInvalidatesLikeTheModules) {
   const std::vector<Real> dLa = {0.1, 0.2, 0.3}, dPh = {0.4, 0.5, 0.6};
   for (DecodePolicy policy : {DecodePolicy::kFullForward, DecodePolicy::kKvCache}) {
     QiankunNet net(smallConfig(n, na, nb));
-    net.setEvalPolicy(policy);
+    net.setEvalPolicy(execFor(policy));
     std::vector<Real> la, ph;
     net.evaluate(samples, la, ph, /*cache=*/true);
     net.evaluate(samples, la, ph, /*cache=*/false);

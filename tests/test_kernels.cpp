@@ -298,3 +298,76 @@ TEST(DecodeStateArena, GatherRejectsOutOfRangeRows) {
   EXPECT_THROW(st.gather({0, 2}), std::out_of_range);
   EXPECT_THROW(st.gather({-1}), std::out_of_range);
 }
+
+TEST(DecodeStateArena, DetachAttachRoundTripMovesNoBytes) {
+  // The tile-suspension primitives of the BAS sweep engine: detaching rows
+  // parks their slots (index work only), the shrunk view keeps decoding, and
+  // attaching restores the parked rows untouched.  SweepStats separates this
+  // zero-byte bookkeeping from real split copies.
+  const Index maxLen = 8, d = 4, layers = 2, len = 4;
+  DecodeState st;
+  st.begin(6, maxLen, d, layers);
+  fillState(st, {0, 1, 2, 3, 4, 5}, len);
+
+  std::vector<Index> parked;
+  st.detachRows(2, 6, parked);
+  ASSERT_EQ(parked.size(), 4u);
+  st.shrinkView(2);
+  EXPECT_EQ(st.batch, 2);
+  EXPECT_EQ(st.detachedSlotCount(), 4);
+  EXPECT_EQ(st.sweepStats.detaches, 1);
+  EXPECT_EQ(st.sweepStats.slotsDetached, 4);
+  EXPECT_EQ(st.sweepStats.realsCopied, 0);
+  expectRows(st, {0, 1});
+
+  // The live tile splits: one duplicate copy, the parked rows untouched.
+  st.gather({0, 1, 0});
+  EXPECT_EQ(st.sweepStats.rowsCopied, 1);
+  EXPECT_EQ(st.sweepStats.realsCopied, 2 * layers * len * d);
+  expectRows(st, {0, 1, 0});
+
+  // Tile done: release its rows, resume the parked tile where it left off.
+  st.releaseRows();
+  EXPECT_EQ(st.batch, 0);
+  st.attachRows(parked, len);
+  EXPECT_EQ(st.batch, 4);
+  EXPECT_EQ(st.len, len);
+  EXPECT_EQ(st.detachedSlotCount(), 0);
+  EXPECT_EQ(st.sweepStats.attaches, 1);
+  EXPECT_EQ(st.sweepStats.realsCopied, 2 * layers * len * d);  // unchanged
+  expectRows(st, {2, 3, 4, 5});
+}
+
+TEST(DecodeStateArena, GrowPreservesDetachedRows) {
+  // An arena grow while tiles are parked must carry the detached slots' live
+  // prefixes (at their recorded lengths) into the new arena, at stable slot
+  // ids — suspended frames must resume untouched.
+  const Index maxLen = 8, d = 3, layers = 2, len = 3;
+  DecodeState st;
+  st.begin(2, maxLen, d, layers);
+  fillState(st, {0, 1}, len);
+  EXPECT_EQ(st.capacity, 2);
+
+  std::vector<Index> parked;
+  st.detachRows(1, 2, parked);
+  st.shrinkView(1);
+  // Splitting the single live row needs a free slot: none exist (the parked
+  // slot is not free), so the arena must grow — and keep the parked data.
+  st.gather({0, 0, 0, 0});
+  EXPECT_GE(st.sweepStats.grows, 1);
+  expectRows(st, {0, 0, 0, 0});
+
+  st.releaseRows();
+  st.attachRows(parked, len);
+  expectRows(st, {1});
+}
+
+TEST(DecodeStateArena, DetachRejectsBadRanges) {
+  DecodeState st;
+  st.begin(3, 4, 2, 1);
+  std::vector<Index> slots;
+  EXPECT_THROW(st.detachRows(1, 4, slots), std::out_of_range);
+  EXPECT_THROW(st.detachRows(-1, 2, slots), std::out_of_range);
+  EXPECT_THROW(st.shrinkView(4), std::out_of_range);
+  EXPECT_THROW(st.shrinkView(-1), std::out_of_range);
+}

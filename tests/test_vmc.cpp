@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "chem/basis_set.hpp"
+#include "nn/kernels/gemm.hpp"
 #include "chem/geometry_library.hpp"
 #include "fci/fci.hpp"
 #include "ops/jordan_wigner.hpp"
@@ -180,6 +181,44 @@ TEST(Vmc, TermBalancedSplitIsBitIdenticalToEqualSplit) {
   EXPECT_GT(bal.rankTermsMax, 0u);
 }
 
+TEST(Vmc, FusedSweepAndTileGeometryLeaveTrajectoryBitIdentical) {
+  // The fused sweep replaces Stage 1's separate teacher-forced evaluate with
+  // ln|Psi| accumulated during sampling (same masked conditionals, same FP
+  // sequence), and the tile knob only reorders *when* frontier rows are
+  // decoded, never what they compute — so the whole multi-rank trajectory
+  // must match the unfused / untiled runs bit for bit.
+  if (nn::kernels::gemmUsesBlas())
+    GTEST_SKIP() << "BLAS GEMM route is not bit-identical across batch shapes";
+  const System s = buildSystem("LiH");
+  VmcOptions opts;
+  opts.iterations = 8;
+  opts.nSamples = 1 << 11;
+  opts.nSamplesInitial = 1 << 11;
+  opts.pretrainIterations = 0;
+  opts.nRanks = 3;
+  opts.uniqueThresholdPerRank = 1;
+  opts.seed = 29;
+  const VmcResult ref = runVmc(s.packed, netCfg(s, 15), opts);  // fused, default tiles
+
+  auto expectSameTrajectory = [&](const VmcResult& got, const char* what) {
+    ASSERT_EQ(ref.energyHistory.size(), got.energyHistory.size()) << what;
+    for (std::size_t i = 0; i < ref.energyHistory.size(); ++i)
+      EXPECT_EQ(ref.energyHistory[i], got.energyHistory[i])
+          << what << " iteration " << i;
+    EXPECT_EQ(ref.energy, got.energy) << what;
+    EXPECT_EQ(ref.variance, got.variance) << what;
+    EXPECT_EQ(ref.nUnique, got.nUnique) << what;
+  };
+
+  opts.exec.fusedSweep = false;
+  expectSameTrajectory(runVmc(s.packed, netCfg(s, 15), opts), "unfused");
+  opts.exec.fusedSweep = true;
+  opts.exec.sweepTileRows = -1;  // untiled reference descent
+  expectSameTrajectory(runVmc(s.packed, netCfg(s, 15), opts), "untiled");
+  opts.exec.sweepTileRows = 7;  // ragged tiny tiles
+  expectSameTrajectory(runVmc(s.packed, netCfg(s, 15), opts), "tileRows=7");
+}
+
 TEST(Vmc, PhaseTimingsPopulated) {
   const System s = buildSystem("H2");
   VmcOptions opts;
@@ -197,20 +236,6 @@ TEST(Vmc, RejectsBaselineEngine) {
   VmcOptions opts;
   opts.exec.eloc = ElocMode::kBaseline;
   EXPECT_THROW(runVmc(s.packed, netCfg(s), opts), std::invalid_argument);
-}
-
-TEST(Vmc, DeprecatedOptionAliasesResolve) {
-  VmcOptions opts;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  opts.elocMode = ElocMode::kSaFuseLut;
-  opts.kernelPolicy = nn::kernels::KernelPolicy::kScalar;
-#pragma GCC diagnostic pop
-  const exec::ExecutionPolicy ex = opts.resolvedExec();
-  EXPECT_EQ(ex.eloc, ElocMode::kSaFuseLut);
-  EXPECT_EQ(ex.kernel, nn::kernels::KernelPolicy::kScalar);
-  EXPECT_EQ(ex.decode, nqs::DecodePolicy::kKvCache);
-  EXPECT_EQ(ex.comm, exec::CommBackend::kThreads);
 }
 
 TEST(Vmc, ObserverSeesEveryIteration) {
