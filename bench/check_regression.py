@@ -61,7 +61,7 @@ import sys
 # noise-sensitive for a 25% band on shared runners).
 DEFAULT_FILTER = (
     r"^BM_(DecodeAttnKernel|DecodeStepSweep|LinearGemm|GemmAccumulateTN|"
-    r"Elementwise|ElocBatched|SweepFused)\b"
+    r"Elementwise|ElocBatched|SweepFused|ServeThroughput)\b"
     r"|^BM_Evaluate/[01]/(16|32)/2048\b"
 )
 
@@ -75,7 +75,7 @@ DEFAULT_FILTER = (
 THREAD_SENSITIVE = (
     r"^BM_(DecodeAttnKernel/2|DecodeStepSweep/2|LinearGemm/2|"
     r"GemmAccumulateTN/2|Elementwise/[0-9]+/2|Evaluate|SweepFused|"
-    r"ElocBatched/[13])\b"
+    r"ElocBatched/[13]|ServeThroughput)\b"
 )
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -90,6 +90,11 @@ def load_times(path):
     job runs 3 repetitions for exactly this reason) and falls back to the
     raw run for repetition-free files.  error_occurred on any repetition
     (e.g. the zero-allocation asserts) is kept either way.
+
+    UseRealTime benchmarks (name suffixed "/real_time", e.g. the
+    BM_ServeThroughput client window, whose cost is condition-variable waits
+    rather than CPU) are compared on their wall clock; everything else on
+    cpu_time.
     """
     with open(path) as f:
         doc = json.load(f)
@@ -101,7 +106,8 @@ def load_times(path):
         if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
             continue
         if b.get("run_type") == "aggregate" or name not in times:
-            t = float(b.get("cpu_time", 0.0)) * _UNIT_NS[b.get("time_unit", "ns")]
+            field = "real_time" if "/real_time" in name else "cpu_time"
+            t = float(b.get(field, 0.0)) * _UNIT_NS[b.get("time_unit", "ns")]
             times[name] = t
     cpus = int(doc.get("context", {}).get("num_cpus", 0))
     return {n: (t, errs.get(n, False)) for n, t in times.items()}, cpus

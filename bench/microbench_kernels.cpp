@@ -12,10 +12,12 @@
 #include <new>
 
 #include "bench_common.hpp"
+#include "io/checkpoint.hpp"
 #include "nn/kernels/elementwise.hpp"
 #include "nn/kernels/gemm.hpp"
 #include "nn/kernels/kernels.hpp"
 #include "nqs/sampler.hpp"
+#include "serve/amplitude_server.hpp"
 #include "vmc/local_energy.hpp"
 
 // ---- Allocation-counting hook ----------------------------------------------
@@ -696,6 +698,100 @@ void BM_EriShellQuartets(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EriShellQuartets);
+
+// End-to-end amplitude serving at the C2 paper architecture: one client keeps
+// a W-deep window of R-row tickets in flight against an AmplitudeServer
+// loaded from an in-memory checkpoint, so the batcher genuinely coalesces
+// across outstanding requests.  Doubles as the zero-allocation assertion of
+// the warm serve loop (submit -> coalesce -> evaluateInto -> scatter): after
+// an adaptive warm-up, a full request window must perform zero heap
+// allocations across client *and* worker threads (global operator-new hook).
+// Wall clock includes the batcher's deadline waits, hence UseRealTime.
+void BM_ServeThroughput(benchmark::State& state) {
+  const auto maxBatch = static_cast<Index>(state.range(0));
+  const long maxDelayUs = state.range(1);
+  constexpr int kWindow = 8;        // tickets in flight
+  constexpr std::size_t kRows = 32; // rows per request
+  constexpr int kRequests = 64;     // requests per measured window run
+
+  const Pipeline& p = c2Pipeline();
+  const auto cfg = paperNetConfig(p);
+  nqs::QiankunNet net(cfg);
+  io::CheckpointWriter w;
+  io::addNet(w, net);
+  const io::CheckpointReader ckpt(w.serialize());
+
+  // Pool of valid (number-conserving) configurations, drawn deterministically.
+  std::vector<Bits128> pool;
+  {
+    Rng rng(17);
+    const int nOrb = cfg.nQubits / 2;
+    std::vector<int> orbs(static_cast<std::size_t>(nOrb));
+    for (int i = 0; i < nOrb; ++i) orbs[static_cast<std::size_t>(i)] = i;
+    for (int s = 0; s < 512; ++s) {
+      Bits128 x{0, 0};
+      for (const int spin : {0, 1}) {
+        for (int i = nOrb - 1; i > 0; --i)
+          std::swap(orbs[static_cast<std::size_t>(i)],
+                    orbs[static_cast<std::size_t>(rng.below(
+                        static_cast<std::uint64_t>(i + 1)))]);
+        const int fill = spin == 0 ? cfg.nAlpha : cfg.nBeta;
+        for (int i = 0; i < fill; ++i)
+          x.set(2 * orbs[static_cast<std::size_t>(i)] + spin);
+      }
+      pool.push_back(x);
+    }
+  }
+
+  serve::ServeOptions opts;
+  opts.nWorkers = 2;
+  opts.maxBatch = maxBatch;
+  opts.maxDelayUs = maxDelayUs;
+  serve::AmplitudeServer server(ckpt, opts);
+
+  std::vector<Real> la(kWindow * kRows), ph(kWindow * kRows);
+  auto runWindow = [&] {
+    serve::AmplitudeServer::Ticket tickets[kWindow];
+    for (int i = 0; i < kRequests; ++i) {
+      auto& t = tickets[i % kWindow];
+      if (i >= kWindow) server.wait(t);  // retire the slot's previous request
+      const Bits128* q =
+          pool.data() + (static_cast<std::size_t>(i) * kRows) % (pool.size() - kRows);
+      Real* outLa = la.data() + static_cast<std::size_t>(i % kWindow) * kRows;
+      Real* outPh = ph.data() + static_cast<std::size_t>(i % kWindow) * kRows;
+      while (server.submit(q, kRows, outLa, outPh, t) != serve::QueryStatus::kOk) {
+      }
+    }
+    for (auto& t : tickets) server.wait(t);
+  };
+
+  // Adaptive warm-up: run windows until one completes allocation-free (KV
+  // arenas, workspaces and coalescing buffers have all reached steady state).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t a0 = allocationCount();
+    runWindow();
+    if (allocationCount() == a0) break;
+  }
+  std::uint64_t lastWindowAllocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t allocs0 = allocationCount();
+    runWindow();
+    lastWindowAllocs = allocationCount() - allocs0;
+  }
+  server.shutdown();
+  const serve::ServeStats st = server.stats();
+  state.SetItemsProcessed(state.iterations() * kRequests * static_cast<std::int64_t>(kRows));
+  state.counters["allocs/window"] = static_cast<double>(lastWindowAllocs);
+  state.counters["p50us"] = st.latencyPercentileUs(50);
+  state.counters["p99us"] = st.latencyPercentileUs(99);
+  if (lastWindowAllocs != 0)
+    state.SkipWithError("warm serve loop heap-allocated");
+}
+// Args: maxBatch, maxDelayUs.  256/200 is the production batcher shape; 64/50
+// trades occupancy for latency (more, smaller flushes).
+BENCHMARK(BM_ServeThroughput)
+    ->Args({256, 200})->Args({64, 50})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

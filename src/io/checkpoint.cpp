@@ -1,0 +1,417 @@
+#include "io/checkpoint.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+
+#include "nn/optimizer.hpp"
+#include "nqs/ansatz.hpp"
+
+namespace nnqs::io {
+
+namespace {
+
+// ------------------------------------------------- little-endian primitives ---
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putF64(std::vector<std::uint8_t>& out, Real v) {
+  putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t readU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t readU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+Real readF64(const std::uint8_t* p) {
+  return std::bit_cast<Real>(readU64(p));
+}
+
+/// Bounds-checked parse cursor: every read names the field it serves, so a
+/// short file throws TruncatedError with the exact spot that fell off the end.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t remaining;
+
+  const std::uint8_t* take(std::size_t n, const std::string& field) {
+    if (n > remaining) throw TruncatedError(field);
+    const std::uint8_t* at = p;
+    p += n;
+    remaining -= n;
+    return at;
+  }
+  std::uint32_t u32(const std::string& field) { return readU32(take(4, field)); }
+  std::uint64_t u64(const std::string& field) { return readU64(take(8, field)); }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------- crc32 ---
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  // Table computed once (reflected polynomial 0xEDB88320, IEEE 802.3).
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ------------------------------------------------------------------ writer ---
+
+void CheckpointWriter::add(SectionKind kind, const std::string& name,
+                           std::vector<std::uint8_t> payload) {
+  for (const Section& s : sections_)
+    if (s.name == name) throw SchemaError(name, "duplicate section name");
+  sections_.push_back({kind, name, std::move(payload)});
+}
+
+void CheckpointWriter::addU64(const std::string& name, std::uint64_t v) {
+  std::vector<std::uint8_t> payload;
+  putU64(payload, v);
+  add(SectionKind::kU64, name, std::move(payload));
+}
+
+void CheckpointWriter::addU64Array(const std::string& name,
+                                   const std::uint64_t* p, std::size_t n) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 * n);
+  for (std::size_t i = 0; i < n; ++i) putU64(payload, p[i]);
+  add(SectionKind::kU64Array, name, std::move(payload));
+}
+
+void CheckpointWriter::addRealArray(const std::string& name, const Real* p,
+                                    std::size_t n) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 * n);
+  for (std::size_t i = 0; i < n; ++i) putF64(payload, p[i]);
+  add(SectionKind::kRealArray, name, std::move(payload));
+}
+
+void CheckpointWriter::addBitsArray(const std::string& name,
+                                    const std::vector<Bits128>& v) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16 * v.size());
+  for (const Bits128& b : v) {
+    putU64(payload, b.lo);
+    putU64(payload, b.hi);
+  }
+  add(SectionKind::kBitsArray, name, std::move(payload));
+}
+
+void CheckpointWriter::addTensor(const std::string& name, const nn::Tensor& t) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(4 + 8 * t.shape.size() + 8 * t.data.size());
+  putU32(payload, static_cast<std::uint32_t>(t.shape.size()));
+  for (const Index d : t.shape) putU64(payload, static_cast<std::uint64_t>(d));
+  for (const Real v : t.data) putF64(payload, v);
+  add(SectionKind::kTensor, name, std::move(payload));
+}
+
+std::vector<std::uint8_t> CheckpointWriter::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  putU32(out, kFormatVersion);
+  putU32(out, static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    out.push_back(static_cast<std::uint8_t>(s.kind));
+    putU32(out, static_cast<std::uint32_t>(s.name.size()));
+    out.insert(out.end(), s.name.begin(), s.name.end());
+    putU64(out, static_cast<std::uint64_t>(s.payload.size()));
+    out.insert(out.end(), s.payload.begin(), s.payload.end());
+    putU32(out, crc32(s.payload.data(), s.payload.size()));
+  }
+  return out;
+}
+
+void CheckpointWriter::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw CheckpointError("checkpoint save: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) throw CheckpointError("checkpoint save: short write to " + tmp);
+  }
+  // The atomic publish: readers see either the old checkpoint or the
+  // complete new one, never a torn file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw CheckpointError("checkpoint save: rename " + tmp + " -> " + path +
+                          " failed");
+}
+
+// ------------------------------------------------------------------ reader ---
+
+CheckpointReader::CheckpointReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("checkpoint load: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  parse(bytes, path);
+}
+
+CheckpointReader::CheckpointReader(const std::vector<std::uint8_t>& bytes) {
+  parse(bytes, "<memory>");
+}
+
+void CheckpointReader::parse(const std::vector<std::uint8_t>& bytes,
+                             const std::string& origin) {
+  Cursor c{bytes.data(), bytes.size()};
+  const std::uint8_t* magic = c.take(sizeof(kMagic), "magic");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i)
+    if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
+      throw BadMagicError(origin);
+  const std::uint32_t version = c.u32("version");
+  if (version != kFormatVersion) throw VersionError(version, kFormatVersion);
+  const std::uint32_t nSections = c.u32("sectionCount");
+
+  for (std::uint32_t i = 0; i < nSections; ++i) {
+    const std::string at = "section[" + std::to_string(i) + "]";
+    const std::uint8_t kindByte = *c.take(1, at + ".kind");
+    if (kindByte < static_cast<std::uint8_t>(SectionKind::kU64) ||
+        kindByte > static_cast<std::uint8_t>(SectionKind::kTensor))
+      throw SchemaError(at + ".kind",
+                        "unknown section kind " + std::to_string(kindByte));
+    const std::uint32_t nameLen = c.u32(at + ".nameLen");
+    const std::uint8_t* nameBytes = c.take(nameLen, at + ".name");
+    const std::string name(reinterpret_cast<const char*>(nameBytes), nameLen);
+    const std::uint64_t payloadLen = c.u64(name + ".payloadLen");
+    const std::uint8_t* payload =
+        c.take(static_cast<std::size_t>(payloadLen), name + ".payload");
+    const std::uint32_t storedCrc = c.u32(name + ".crc");
+    if (storedCrc != crc32(payload, static_cast<std::size_t>(payloadLen)))
+      throw CrcError(name);
+    if (sections_.count(name) != 0)
+      throw SchemaError(name, "duplicate section name");
+    names_.push_back(name);
+    sections_[name] = {static_cast<SectionKind>(kindByte),
+                       std::vector<std::uint8_t>(payload, payload + payloadLen)};
+  }
+  if (c.remaining != 0)
+    throw SchemaError("trailer", std::to_string(c.remaining) +
+                                     " byte(s) after the last section");
+}
+
+bool CheckpointReader::has(const std::string& name) const {
+  return sections_.count(name) != 0;
+}
+
+const CheckpointReader::Section& CheckpointReader::find(const std::string& name,
+                                                        SectionKind kind) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end()) throw SchemaError(name, "section missing");
+  if (it->second.kind != kind)
+    throw SchemaError(name, "section kind mismatch");
+  return it->second;
+}
+
+std::uint64_t CheckpointReader::getU64(const std::string& name) const {
+  const Section& s = find(name, SectionKind::kU64);
+  if (s.payload.size() != 8) throw SchemaError(name, "u64 payload size != 8");
+  return readU64(s.payload.data());
+}
+
+std::vector<std::uint64_t> CheckpointReader::getU64Array(
+    const std::string& name) const {
+  const Section& s = find(name, SectionKind::kU64Array);
+  if (s.payload.size() % 8 != 0)
+    throw SchemaError(name, "u64-array payload not a multiple of 8 bytes");
+  std::vector<std::uint64_t> out(s.payload.size() / 8);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = readU64(s.payload.data() + 8 * i);
+  return out;
+}
+
+std::vector<Real> CheckpointReader::getRealArray(const std::string& name) const {
+  const Section& s = find(name, SectionKind::kRealArray);
+  if (s.payload.size() % 8 != 0)
+    throw SchemaError(name, "real-array payload not a multiple of 8 bytes");
+  std::vector<Real> out(s.payload.size() / 8);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = readF64(s.payload.data() + 8 * i);
+  return out;
+}
+
+std::vector<Bits128> CheckpointReader::getBitsArray(const std::string& name) const {
+  const Section& s = find(name, SectionKind::kBitsArray);
+  if (s.payload.size() % 16 != 0)
+    throw SchemaError(name, "bits-array payload not a multiple of 16 bytes");
+  std::vector<Bits128> out(s.payload.size() / 16);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = Bits128(readU64(s.payload.data() + 16 * i),
+                     readU64(s.payload.data() + 16 * i + 8));
+  return out;
+}
+
+nn::Tensor CheckpointReader::getTensor(const std::string& name) const {
+  const Section& s = find(name, SectionKind::kTensor);
+  Cursor c{s.payload.data(), s.payload.size()};
+  const std::uint32_t rank = c.u32(name + ".rank");
+  std::vector<Index> shape(rank);
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    const std::uint64_t dim = c.u64(name + ".dims");
+    if (dim > static_cast<std::uint64_t>(std::numeric_limits<Index>::max()))
+      throw SchemaError(name, "tensor dimension overflows Index");
+    shape[d] = static_cast<Index>(dim);
+  }
+  const Index numel = nn::Tensor::numel(shape);
+  if (c.remaining != static_cast<std::size_t>(numel) * 8)
+    throw SchemaError(name, "tensor payload size does not match its shape");
+  nn::Tensor t = nn::Tensor::uninit(std::move(shape));
+  for (std::size_t i = 0; i < t.data.size(); ++i)
+    t.data[i] = readF64(c.take(8, name + ".data"));
+  return t;
+}
+
+// ------------------------------------------------- net / optimizer adapters ---
+
+namespace {
+
+/// The "net.cfg.*" scalar fields, one place so save and load cannot drift.
+struct CfgField {
+  const char* name;
+  std::uint64_t (*get)(const nqs::QiankunNetConfig&);
+  void (*set)(nqs::QiankunNetConfig&, std::uint64_t);
+};
+
+const CfgField kCfgFields[] = {
+    {"net.cfg.nQubits",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.nQubits); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.nQubits = static_cast<int>(v); }},
+    {"net.cfg.nAlpha",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.nAlpha); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.nAlpha = static_cast<int>(v); }},
+    {"net.cfg.nBeta",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.nBeta); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.nBeta = static_cast<int>(v); }},
+    {"net.cfg.dModel",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.dModel); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.dModel = static_cast<Index>(v); }},
+    {"net.cfg.nHeads",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.nHeads); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.nHeads = static_cast<Index>(v); }},
+    {"net.cfg.nDecoders",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.nDecoders); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.nDecoders = static_cast<Index>(v); }},
+    {"net.cfg.phaseHidden",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.phaseHidden); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.phaseHidden = static_cast<Index>(v); }},
+    {"net.cfg.phaseHiddenLayers",
+     [](const nqs::QiankunNetConfig& c) { return static_cast<std::uint64_t>(c.phaseHiddenLayers); },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.phaseHiddenLayers = static_cast<Index>(v); }},
+    {"net.cfg.seed",
+     [](const nqs::QiankunNetConfig& c) { return c.seed; },
+     [](nqs::QiankunNetConfig& c, std::uint64_t v) { c.seed = v; }},
+};
+
+void checkTensorShape(const std::string& section, const nn::Tensor& got,
+                      const std::vector<Index>& want) {
+  if (got.shape != want)
+    throw SchemaError(section, "tensor shape mismatch against the live net");
+}
+
+}  // namespace
+
+void addNet(CheckpointWriter& w, nqs::QiankunNet& net) {
+  for (const CfgField& f : kCfgFields) w.addU64(f.name, f.get(net.config()));
+  const auto params = net.parameters();
+  w.addU64("net.paramCount", params.size());
+  for (const nn::Parameter* p : params) w.addTensor("param." + p->name, p->value);
+}
+
+nqs::QiankunNetConfig readNetConfig(const CheckpointReader& r) {
+  nqs::QiankunNetConfig cfg;
+  for (const CfgField& f : kCfgFields) f.set(cfg, r.getU64(f.name));
+  return cfg;
+}
+
+void loadNet(const CheckpointReader& r, nqs::QiankunNet& net) {
+  // Validate the whole checkpoint against the live net before touching a
+  // single weight: a throw below leaves the net exactly as it was.
+  for (const CfgField& f : kCfgFields) {
+    // The init seed is not architecture: loading overwrites every weight the
+    // seed produced, so a same-shaped net with a different seed is valid.
+    if (std::string_view(f.name) == "net.cfg.seed") continue;
+    if (r.getU64(f.name) != f.get(net.config()))
+      throw SchemaError(f.name, "stored architecture differs from the live net");
+  }
+  const auto params = net.parameters();
+  if (r.getU64("net.paramCount") != params.size())
+    throw SchemaError("net.paramCount", "parameter-list size mismatch");
+  std::vector<nn::Tensor> loaded;
+  loaded.reserve(params.size());
+  for (const nn::Parameter* p : params) {
+    const std::string section = "param." + p->name;
+    loaded.push_back(r.getTensor(section));
+    checkTensorShape(section, loaded.back(), p->value.shape);
+  }
+  for (std::size_t k = 0; k < params.size(); ++k)
+    params[k]->value.data = std::move(loaded[k].data);
+}
+
+std::unique_ptr<nqs::QiankunNet> makeNet(const CheckpointReader& r) {
+  auto net = std::make_unique<nqs::QiankunNet>(readNetConfig(r));
+  loadNet(r, *net);
+  return net;
+}
+
+void addOptimizer(CheckpointWriter& w, const nn::AdamW& opt) {
+  const auto& params = opt.parameters();
+  w.addU64("opt.step", static_cast<std::uint64_t>(opt.stepCount()));
+  w.addU64("opt.paramCount", params.size());
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    w.addTensor("opt.m." + params[k]->name, opt.moments1()[k]);
+    w.addTensor("opt.v." + params[k]->name, opt.moments2()[k]);
+  }
+}
+
+void loadOptimizer(const CheckpointReader& r, nn::AdamW& opt) {
+  const auto& params = opt.parameters();
+  const std::uint64_t step = r.getU64("opt.step");
+  if (r.getU64("opt.paramCount") != params.size())
+    throw SchemaError("opt.paramCount", "parameter-list size mismatch");
+  std::vector<nn::Tensor> m, v;
+  m.reserve(params.size());
+  v.reserve(params.size());
+  for (const nn::Parameter* p : params) {
+    const std::string mName = "opt.m." + p->name;
+    const std::string vName = "opt.v." + p->name;
+    m.push_back(r.getTensor(mName));
+    checkTensorShape(mName, m.back(), p->value.shape);
+    v.push_back(r.getTensor(vName));
+    checkTensorShape(vName, v.back(), p->value.shape);
+  }
+  opt.restoreState(std::move(m), std::move(v), static_cast<long>(step));
+}
+
+}  // namespace nnqs::io

@@ -1,0 +1,225 @@
+#pragma once
+
+// Versioned, endian-explicit binary checkpoints for the NNQS engine.
+//
+// A checkpoint is a flat sequence of named, CRC-protected sections:
+//
+//   offset  size  field
+//   0       8     magic "NNQSCKPT"
+//   8       4     format version (u32 LE, currently 1)
+//   12      4     section count (u32 LE)
+//   then, per section:
+//           1     kind (SectionKind)
+//           4     name length (u32 LE)
+//           n     name bytes (UTF-8, no NUL)
+//           8     payload length in bytes (u64 LE)
+//           p     payload (kind-specific, see below)
+//           4     CRC-32 (IEEE 802.3) of the payload bytes (u32 LE)
+//
+// Payload encodings (everything little-endian, regardless of host):
+//   kU64        8 bytes, one u64.
+//   kU64Array   8 bytes per element.
+//   kRealArray  8 bytes per element (IEEE-754 binary64 bit patterns).
+//   kBitsArray  16 bytes per element (Bits128 as lo u64, hi u64).
+//   kTensor     u32 rank, rank * i64 dims, then numel * f64 data — the
+//               Tensor dump/load primitive (shape header + payload + CRC).
+//
+// Contracts:
+//  - Writers emit sections in insertion order and loaders never reorder, so
+//    save -> load -> save is byte-identical (tests/test_checkpoint.cpp).
+//  - f64 payloads round-trip *bit patterns* (std::bit_cast, not text), so a
+//    reloaded net reproduces psi() bit for bit.
+//  - CheckpointReader parses and CRC-validates the whole file up front; every
+//    failure throws a typed error naming the offending field, and the
+//    higher-level loaders (loadNet/loadOptimizer) validate *everything*
+//    before mutating anything — a failed load has no partial side effects.
+//  - CheckpointWriter::save() writes "<path>.tmp" and atomically renames it
+//    over <path>, so a crash mid-write never corrupts the last good
+//    checkpoint.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "nn/tensor.hpp"
+
+namespace nnqs::nqs {
+class QiankunNet;
+struct QiankunNetConfig;
+}  // namespace nnqs::nqs
+namespace nnqs::nn {
+class AdamW;
+}  // namespace nnqs::nn
+
+namespace nnqs::io {
+
+// ------------------------------------------------------------------ errors ---
+
+/// Base of every checkpoint failure; catch this to handle "bad file" as one
+/// condition, or the concrete types below to distinguish them.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The file does not start with the NNQSCKPT magic (not a checkpoint at all).
+class BadMagicError : public CheckpointError {
+ public:
+  explicit BadMagicError(const std::string& path)
+      : CheckpointError("checkpoint magic mismatch (not an NNQSCKPT file): " +
+                        path) {}
+};
+
+/// The file's format version is one this build cannot read.
+class VersionError : public CheckpointError {
+ public:
+  VersionError(std::uint32_t got, std::uint32_t want)
+      : CheckpointError("checkpoint version " + std::to_string(got) +
+                        " unsupported (this build reads version " +
+                        std::to_string(want) + ")") {}
+};
+
+/// A section's stored CRC does not match its payload (bit rot / torn write).
+class CrcError : public CheckpointError {
+ public:
+  explicit CrcError(const std::string& section)
+      : CheckpointError("checkpoint CRC mismatch in section '" + section + "'") {}
+};
+
+/// The file ended before the named field was complete (short read).
+class TruncatedError : public CheckpointError {
+ public:
+  explicit TruncatedError(const std::string& field)
+      : CheckpointError("checkpoint truncated reading field '" + field + "'") {}
+};
+
+/// Structurally valid file whose contents don't match what the loader needs
+/// (missing section, kind mismatch, shape/config mismatch, duplicate name).
+class SchemaError : public CheckpointError {
+ public:
+  SchemaError(const std::string& field, const std::string& detail)
+      : CheckpointError("checkpoint schema error at '" + field + "': " + detail) {}
+};
+
+// ------------------------------------------------------------------ format ---
+
+inline constexpr char kMagic[8] = {'N', 'N', 'Q', 'S', 'C', 'K', 'P', 'T'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class SectionKind : std::uint8_t {
+  kU64 = 1,
+  kU64Array = 2,
+  kRealArray = 3,
+  kBitsArray = 4,
+  kTensor = 5,
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the per-section integrity
+/// check.  `seed` chains partial computations (pass a previous result).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+// ------------------------------------------------------------------ writer ---
+
+/// Accumulates named sections and serializes them in insertion order.  Names
+/// must be unique (duplicates throw SchemaError at add time).
+class CheckpointWriter {
+ public:
+  void addU64(const std::string& name, std::uint64_t v);
+  void addU64Array(const std::string& name, const std::uint64_t* p, std::size_t n);
+  void addU64Array(const std::string& name, const std::vector<std::uint64_t>& v) {
+    addU64Array(name, v.data(), v.size());
+  }
+  void addRealArray(const std::string& name, const Real* p, std::size_t n);
+  void addRealArray(const std::string& name, const std::vector<Real>& v) {
+    addRealArray(name, v.data(), v.size());
+  }
+  void addBitsArray(const std::string& name, const std::vector<Bits128>& v);
+  void addTensor(const std::string& name, const nn::Tensor& t);
+
+  /// The full file image (magic + version + sections, each CRC-stamped).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Atomic save: serialize to "<path>.tmp", then rename over <path>.  A
+  /// crash between the two leaves the previous <path> intact.
+  void save(const std::string& path) const;
+
+ private:
+  struct Section {
+    SectionKind kind;
+    std::string name;
+    std::vector<std::uint8_t> payload;
+  };
+  void add(SectionKind kind, const std::string& name,
+           std::vector<std::uint8_t> payload);
+
+  std::vector<Section> sections_;
+};
+
+// ------------------------------------------------------------------ reader ---
+
+/// Parses and fully validates a checkpoint image up front (bounds-checked
+/// cursor, per-section CRC); the typed getters then throw SchemaError on
+/// missing names or kind mismatches.  Section order is preserved in names().
+class CheckpointReader {
+ public:
+  /// Load and validate from a file.  Throws the typed errors above.
+  explicit CheckpointReader(const std::string& path);
+  /// Parse an in-memory image (the serialize() format).
+  explicit CheckpointReader(const std::vector<std::uint8_t>& bytes);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::uint64_t getU64(const std::string& name) const;
+  [[nodiscard]] std::vector<std::uint64_t> getU64Array(const std::string& name) const;
+  [[nodiscard]] std::vector<Real> getRealArray(const std::string& name) const;
+  [[nodiscard]] std::vector<Bits128> getBitsArray(const std::string& name) const;
+  [[nodiscard]] nn::Tensor getTensor(const std::string& name) const;
+
+  /// Section names in file order.
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  struct Section {
+    SectionKind kind;
+    std::vector<std::uint8_t> payload;
+  };
+  void parse(const std::vector<std::uint8_t>& bytes, const std::string& origin);
+  const Section& find(const std::string& name, SectionKind kind) const;
+
+  std::vector<std::string> names_;
+  std::map<std::string, Section> sections_;
+};
+
+// ------------------------------------------------- net / optimizer adapters ---
+
+/// Add the net's architecture ("net.cfg.*" scalars) and every parameter
+/// tensor ("param.<name>", in the deterministic parameters() registry order)
+/// to the writer.
+void addNet(CheckpointWriter& w, nqs::QiankunNet& net);
+
+/// Restore every parameter of `net` from the checkpoint.  The stored
+/// architecture must match net.config() exactly and every parameter must be
+/// present with its exact shape; all validation happens before the first
+/// value is copied (no partial-load side effects).
+void loadNet(const CheckpointReader& r, nqs::QiankunNet& net);
+
+/// The architecture stored by addNet.
+[[nodiscard]] nqs::QiankunNetConfig readNetConfig(const CheckpointReader& r);
+
+/// Construct a net with the stored architecture and load its parameters.
+/// Returned by pointer: QiankunNet's parameter registry holds addresses into
+/// its own submodules, so the object must never be moved once built.
+[[nodiscard]] std::unique_ptr<nqs::QiankunNet> makeNet(const CheckpointReader& r);
+
+/// Optimizer state: "opt.step" plus first/second moments ("opt.m.<name>",
+/// "opt.v.<name>") per parameter, in the optimizer's parameter order.
+void addOptimizer(CheckpointWriter& w, const nn::AdamW& opt);
+
+/// Restore moments and step count; validates every tensor against the
+/// optimizer's parameter list before mutating anything.
+void loadOptimizer(const CheckpointReader& r, nn::AdamW& opt);
+
+}  // namespace nnqs::io

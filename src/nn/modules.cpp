@@ -199,8 +199,7 @@ Tensor TanhAct::forward(const Tensor& x, bool cache) {
     cachedY_ = y;
     hasCache_ = true;
   } else {
-    cachedY_ = Tensor{};
-    hasCache_ = false;
+    invalidate();  // write-free when already clear (modules.hpp contract)
   }
   return y;
 }

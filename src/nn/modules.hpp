@@ -28,6 +28,11 @@ class Module {
   virtual Tensor forward(const Tensor& x, bool cache) = 0;
   virtual Tensor backward(const Tensor& dy) = 0;
   virtual void collectParameters(std::vector<Parameter*>& out) = 0;
+  /// Clear the backward cache, write-free when already clear (the
+  /// per-concrete-class contract below).  Virtual so container modules
+  /// (PhaseMlp) and the concurrent-inference preparation step
+  /// (QiankunNet::prepareConcurrent) can clear heterogeneous layer lists.
+  virtual void invalidate() {}
 };
 
 /// Y = X W^T + b with W[out,in].  Forward and both backward GEMMs (dX = dY W,
@@ -51,7 +56,7 @@ class Linear : public Module {
   /// tile-parallel evaluate sweep pre-invalidates on the calling thread, so
   /// concurrent inference tiles perform no writes to shared module state
   /// (see TransformerAR::evaluateDecode).
-  void invalidate() {
+  void invalidate() override {
     if (!hasCache_) return;
     cachedX_ = Tensor{};
     hasCache_ = false;
@@ -80,7 +85,7 @@ class LayerNorm : public Module {
   /// module's arithmetic on the kernels directly (a cache=false forward under
   /// the Module invariant), so it clears the backward cache through this.
   /// Write-free when already clear (see Linear::invalidate).
-  void invalidate() {
+  void invalidate() override {
     if (!hasCache_) return;
     cachedXhat_ = Tensor{};
     cachedInvStd_.clear();
@@ -106,7 +111,7 @@ class Gelu : public Module {
 
   /// Decode-path cache invalidation (see LayerNorm::invalidate); write-free
   /// when already clear.
-  void invalidate() {
+  void invalidate() override {
     if (!hasCache_) return;
     cachedX_ = Tensor{};
     hasCache_ = false;
@@ -123,6 +128,15 @@ class TanhAct : public Module {
   Tensor forward(const Tensor& x, bool cache) override;
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>&) override {}
+
+  /// Write-free when already clear, like the other modules: the concurrent
+  /// phase-MLP inference path (PhaseMlp::forwardInto) requires every layer's
+  /// cache cleared up front so serving threads never write shared state.
+  void invalidate() override {
+    if (!hasCache_) return;
+    cachedY_ = Tensor{};
+    hasCache_ = false;
+  }
 
  private:
   Tensor cachedY_;

@@ -1,6 +1,7 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace nnqs::nn {
 
@@ -38,6 +39,20 @@ void AdamW::step(Real lrScale) {
 
 void AdamW::zeroGrad() {
   for (Parameter* p : params_) p->grad.setZero();
+}
+
+void AdamW::restoreState(std::vector<Tensor> m, std::vector<Tensor> v, long t) {
+  if (t < 0) throw std::invalid_argument("AdamW::restoreState: negative step");
+  if (m.size() != params_.size() || v.size() != params_.size())
+    throw std::invalid_argument("AdamW::restoreState: moment-list size mismatch");
+  for (std::size_t k = 0; k < params_.size(); ++k)
+    if (m[k].shape != params_[k]->value.shape ||
+        v[k].shape != params_[k]->value.shape)
+      throw std::invalid_argument("AdamW::restoreState: moment shape mismatch at " +
+                                  params_[k]->name);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
 }
 
 Index AdamW::parameterCount() const {

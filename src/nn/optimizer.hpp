@@ -26,6 +26,17 @@ class AdamW {
   [[nodiscard]] Index parameterCount() const;
   [[nodiscard]] const AdamWOptions& options() const { return opts_; }
 
+  // Checkpoint access (io/checkpoint.cpp): the optimizer's full resumable
+  // state is (m, v, t) over the fixed parameter list.
+  [[nodiscard]] const std::vector<Parameter*>& parameters() const { return params_; }
+  [[nodiscard]] const std::vector<Tensor>& moments1() const { return m_; }
+  [[nodiscard]] const std::vector<Tensor>& moments2() const { return v_; }
+  [[nodiscard]] long stepCount() const { return t_; }
+  /// Replace the moment estimates and step counter (checkpoint resume).
+  /// Shapes must match the parameter list exactly; validated before any
+  /// member is touched, so a throw leaves the optimizer unchanged.
+  void restoreState(std::vector<Tensor> m, std::vector<Tensor> v, long t);
+
  private:
   std::vector<Parameter*> params_;
   AdamWOptions opts_;

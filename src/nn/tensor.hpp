@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -83,6 +84,17 @@ struct Tensor {
   Real operator[](std::size_t i) const { return data[i]; }
 
   void setZero() { std::fill(data.begin(), data.end(), 0.0); }
+
+  /// Exact bitwise equality: same shape and every f64 *bit pattern* equal.
+  /// The checkpoint round-trip contract (io/checkpoint.hpp) is stated in
+  /// these terms rather than value comparison: NaN payloads compare equal to
+  /// themselves and -0.0 differs from +0.0, exactly as the serialized bytes do.
+  [[nodiscard]] bool bitIdentical(const Tensor& other) const {
+    return shape == other.shape && data.size() == other.data.size() &&
+           (data.empty() ||
+            std::memcmp(data.data(), other.data.data(),
+                        data.size() * sizeof(Real)) == 0);
+  }
 
   /// Gaussian init with the given std-dev.
   void randn(Rng& rng, Real stddev) {

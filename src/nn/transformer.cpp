@@ -1,5 +1,6 @@
 #include "nn/transformer.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace nnqs::nn {
@@ -223,6 +224,37 @@ Tensor PhaseMlp::forward(const Tensor& x, bool cache) {
   Tensor h = x;
   for (auto& l : layers_) h = l->forward(h, cache);
   return h;  // [B, 1]
+}
+
+void PhaseMlp::forwardInto(Workspace& ws, const Real* x, Index rows, Real* out,
+                           kernels::KernelPolicy policy) {
+  // The caller owns the carve cycle (x itself may be carved from `ws`, so a
+  // reset here would let the first layer's destination overlap its input).
+  // Layer list is [Linear, Tanh]* + Linear (see the constructor): Linear
+  // layers carve a fresh destination; tanh layers transform it in place (the
+  // same per-element std::tanh as TanhAct::forward, so the bits match).
+  const Real* cur = x;
+  Real* curMut = nullptr;
+  Index width = 0;
+  for (auto& l : layers_) {
+    if (auto* lin = dynamic_cast<Linear*>(l.get())) {
+      width = lin->w.value.shape[0];
+      Real* y = ws.alloc(rows * width);
+      lin->forwardInto(cur, rows, y, policy);
+      cur = curMut = y;
+    } else if (dynamic_cast<TanhAct*>(l.get()) != nullptr) {
+      for (Index i = 0; i < rows * width; ++i) curMut[i] = std::tanh(curMut[i]);
+    } else {
+      throw std::logic_error("PhaseMlp::forwardInto: unsupported layer type");
+    }
+  }
+  if (width != 1)
+    throw std::logic_error("PhaseMlp::forwardInto: final layer width != 1");
+  for (Index r = 0; r < rows; ++r) out[r] = cur[r];
+}
+
+void PhaseMlp::invalidate() {
+  for (auto& l : layers_) l->invalidate();
 }
 
 void PhaseMlp::backward(const Tensor& dPhase) {

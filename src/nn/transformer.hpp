@@ -179,12 +179,15 @@ class TransformerAR {
   /// pool: below this the per-step GEMMs are too short to amortize.
   static constexpr Index kMinEvalTileRows = 32;
 
- private:
   /// Clear every amplitude module's backward cache (each write-free when
   /// already clear), making subsequent decode steps mutation-free on shared
-  /// module state — the precondition of the tile-parallel evaluate sweep.
+  /// module state — the precondition of the tile-parallel evaluate sweep,
+  /// and (public since the serving layer) of concurrent evaluateDecode calls
+  /// from multiple threads on distinct DecodeStates
+  /// (QiankunNet::prepareConcurrent).
   void invalidateDecodeCaches();
 
+ private:
   Index seqLen_, d_;
   Embedding embed_;
   std::vector<std::unique_ptr<DecoderBlock>> blocks_;
@@ -200,6 +203,22 @@ class PhaseMlp {
 
   /// x: [B, nQubits] of +-1; returns [B] phases.
   Tensor forward(const Tensor& x, bool cache);
+
+  /// Raw-buffer inference: x [rows, nQubits] (caller storage, possibly carved
+  /// from `ws` itself), phases written to out[rows]; every intermediate
+  /// activation is carved from `ws` inside the *caller's* carve cycle (no
+  /// reset here).  Bit-identical to forward(cache=false) — the
+  /// Linear layers run the same kernels::gemm and the tanh layers the same
+  /// per-element std::tanh — but performs zero heap allocations once `ws` is
+  /// warm and, after invalidate(), never writes shared module state: the
+  /// serving layer runs this concurrently from many worker threads.
+  void forwardInto(Workspace& ws, const Real* x, Index rows, Real* out,
+                   kernels::KernelPolicy policy);
+
+  /// Clear every layer's backward cache (each write-free when already clear);
+  /// the precondition for concurrent forwardInto calls.
+  void invalidate();
+
   void backward(const Tensor& dPhase);
   void collectParameters(std::vector<Parameter*>& out);
 

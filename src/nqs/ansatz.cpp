@@ -1,8 +1,6 @@
 #include "nqs/ansatz.hpp"
 
 #include <cmath>
-#include <cstdio>
-#include <fstream>
 #include <stdexcept>
 
 namespace nnqs::nqs {
@@ -295,38 +293,52 @@ void QiankunNet::backward(const std::vector<Real>& dLogAmp,
   cachedBatch_ = -1;
 }
 
-void QiankunNet::saveParameters(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("saveParameters: cannot open " + path);
-  const auto params = parameters();
-  out << params.size() << "\n";
-  char buf[64];
-  for (const nn::Parameter* p : params) {
-    out << p->name << " " << p->value.data.size() << "\n";
-    for (Real v : p->value.data) {
-      std::snprintf(buf, sizeof(buf), "%.17g\n", v);
-      out << buf;
-    }
-  }
+void QiankunNet::prepareConcurrent() {
+  // Clear every backward cache on this (single) thread.  All the
+  // invalidate() calls the decode sweep and the phase MLP's forwardInto
+  // perform afterwards hit already-clear caches, which the modules guarantee
+  // to be write-free — so concurrent evaluateInto() calls only read shared
+  // network state (parameters), and all mutation lands in per-caller slots.
+  amplitude_.invalidateDecodeCaches();
+  phase_.invalidate();
+  cachedBatch_ = -1;
+  cachedSamples_.clear();
+  cachedProbs_ = nn::Tensor{};
 }
 
-void QiankunNet::loadParameters(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("loadParameters: cannot open " + path);
-  std::size_t n = 0;
-  in >> n;
-  const auto params = parameters();
-  if (n != params.size())
-    throw std::runtime_error("loadParameters: parameter-list size mismatch");
-  for (nn::Parameter* p : params) {
-    std::string name;
-    std::size_t len = 0;
-    in >> name >> len;
-    if (name != p->name || len != p->value.data.size())
-      throw std::runtime_error("loadParameters: architecture mismatch at " + name);
-    for (auto& v : p->value.data) in >> v;
-  }
-  if (!in) throw std::runtime_error("loadParameters: truncated file " + path);
+void QiankunNet::evaluateInto(EvalSlot& slot, const std::vector<Bits128>& samples,
+                              std::vector<Real>& logAmp, std::vector<Real>& phase,
+                              nn::kernels::KernelPolicy kernel, Index tileRows) {
+  const int L = nSteps();
+  const Index batch = static_cast<Index>(samples.size());
+  // Amplitude: the amplitudesDecode sweep verbatim, with every mutable
+  // buffer drawn from the caller's slot instead of the shared eval scratch.
+  inputTokens(samples, slot.tokens);
+  logAmp.assign(samples.size(), 0.0);
+  slot.up.assign(samples.size(), 0);
+  slot.down.assign(samples.size(), 0);
+  amplitude_.evaluateDecode(
+      slot.state, slot.tokens, batch, L, tileRows, kernel,
+      [&](Index t0, Index tb, Index s, const Real* logits) {
+        for (Index b = 0; b < tb; ++b) {
+          const auto row = static_cast<std::size_t>(t0 + b);
+          if (logAmp[row] <= kLogZero) continue;
+          Real pr[4];
+          stepLogAmp(logits + b * 4, samples[row], static_cast<int>(s),
+                     slot.up[row], slot.down[row], logAmp[row], pr);
+        }
+      });
+
+  // Phase: the same +-1 encoding and MLP arithmetic as phaseForward, via the
+  // raw workspace path (forwardInto) so no shared tensors are built.
+  slot.phaseWs.reset();
+  Real* xin = slot.phaseWs.alloc(batch * cfg_.nQubits);
+  for (Index b = 0; b < batch; ++b)
+    for (int q = 0; q < cfg_.nQubits; ++q)
+      xin[b * cfg_.nQubits + q] =
+          samples[static_cast<std::size_t>(b)].get(q) ? 1.0 : -1.0;
+  phase.resize(samples.size());
+  phase_.forwardInto(slot.phaseWs, xin, batch, phase.data(), kernel);
 }
 
 std::vector<nn::Parameter*> QiankunNet::parameters() {

@@ -147,15 +147,49 @@ class QiankunNet {
   /// last cached evaluate().
   void backward(const std::vector<Real>& dLogAmp, const std::vector<Real>& dPhase);
 
+  /// Deterministic named-parameter registry (amplitude network first, then
+  /// the phase MLP, each in construction order) — the ordering contract the
+  /// binary checkpoint format (io/checkpoint.hpp) relies on for byte-identical
+  /// re-saves.
   std::vector<nn::Parameter*> parameters();
   [[nodiscard]] Index parameterCount();
 
-  /// Checkpointing: text round-trip of all parameters (architecture must
-  /// match; verified by name and shape).
-  void saveParameters(const std::string& path);
-  void loadParameters(const std::string& path);
   void flattenGradients(std::vector<Real>& out);
   void loadGradients(const std::vector<Real>& in);
+
+  // --- Concurrent inference (the amplitude-serving path, src/serve/) --------
+
+  /// Everything one evaluateInto() call mutates: the decode state (KV arena +
+  /// workspace), token/count marshalling scratch, and the phase MLP's
+  /// activation workspace.  One slot per worker thread; all buffers reuse
+  /// their capacity, so a warm evaluateInto performs zero heap allocations.
+  struct EvalSlot {
+    nn::DecodeState state;
+    std::vector<int> tokens;
+    std::vector<int> up, down;
+    nn::Workspace phaseWs;
+  };
+
+  /// Make subsequent evaluateInto() calls safe to run concurrently from many
+  /// threads (each with its own EvalSlot): clears every module's backward
+  /// cache — after which the per-step invalidate() calls inside the decode
+  /// sweep are write-free — and drops any cached evaluate, so inference only
+  /// *reads* shared network state.  Call once after construction/loading and
+  /// after any cache=true evaluate; concurrent callers must not interleave
+  /// with evaluate()/phases()/backward() (which mutate shared scratch).
+  void prepareConcurrent();
+
+  /// ln|Psi| and phase of `samples` using only `slot` for mutable state —
+  /// bit-identical to a cache=false evaluate() under the kKvCache policy with
+  /// the same kernel, for any batch composition (per-row arithmetic is
+  /// independent of the surrounding batch, the serving layer's coalescing
+  /// contract).  `kernel` should be a non-forking policy (kSimd/kScalar) when
+  /// called from concurrent workers; `tileRows` as in setEvalPolicy.
+  void evaluateInto(EvalSlot& slot, const std::vector<Bits128>& samples,
+                    std::vector<Real>& logAmp, std::vector<Real>& phase,
+                    nn::kernels::KernelPolicy kernel =
+                        nn::kernels::KernelPolicy::kSimd,
+                    Index tileRows = 0);
 
  private:
   /// Tokens of a full sample in network input order: [BOS, t_0 .. t_{L-2}].

@@ -25,6 +25,9 @@ std::size_t ThreadComm::allGatherCounts(std::size_t myBytes,
     byteCounts[r] = st.contrib[r].second;
     total += byteCounts[r];
   }
+  // All sizes read: without this a fast rank's next contrib post (e.g.
+  // allGatherFill's pointer) races a slow rank's read loop above.
+  barrier();
   return total;
 }
 

@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <memory>
+
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "io/checkpoint.hpp"
 #include "vmc/repartition.hpp"
 
 namespace nnqs::vmc {
@@ -32,6 +35,16 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
     throw std::invalid_argument(
         "runVmc: the baseline local-energy engine exists for Fig. 10 "
         "benchmarking only; use a sample-aware mode");
+  if (opts.checkpointEvery > 0 && opts.checkpointPath.empty())
+    throw std::invalid_argument("runVmc: checkpointEvery needs a checkpointPath");
+  // Parse + CRC-validate the resume checkpoint once, on the calling thread;
+  // the reader is immutable afterwards, so every rank can restore from the
+  // same instance concurrently.  (Under MPI each process parses its own copy;
+  // the file must be reachable from every node.)
+  std::shared_ptr<const io::CheckpointReader> resume;
+  if (!opts.resumeFrom.empty())
+    resume = std::make_shared<io::CheckpointReader>(opts.resumeFrom);
+
   const auto world = parallel::makeWorld(ex.comm, opts.nRanks, opts.threadsPerRank);
   const int nRanks = world->size();
 
@@ -78,7 +91,35 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
     // schedule evolves identically everywhere.
     std::uint64_t nsCurrent = opts.nSamplesInitial;
 
-    for (int iter = 0; iter < opts.iterations; ++iter) {
+    // Resume: restore every piece of loop state a checkpoint carries.  The
+    // per-iteration sampler streams are keyed on (opts.seed, iter) alone, so
+    // with parameters/optimizer/N_s/iteration restored, the continued
+    // trajectory is bit-identical to the uninterrupted run.
+    int iterStart = 0;
+    if (resume) {
+      io::loadNet(*resume, net);
+      io::loadOptimizer(*resume, optimizer);
+      if (resume->getU64("vmc.seed") != opts.seed)
+        throw io::SchemaError("vmc.seed",
+                              "checkpoint seed differs from VmcOptions::seed");
+      const std::uint64_t iterNext = resume->getU64("vmc.iterNext");
+      if (iterNext > static_cast<std::uint64_t>(opts.iterations))
+        throw io::SchemaError("vmc.iterNext",
+                              "checkpoint iteration beyond opts.iterations");
+      iterStart = static_cast<int>(iterNext);
+      nsCurrent = resume->getU64("vmc.nsCurrent");
+      bytesAllIterations = resume->getU64("vmc.commBytes");
+      const std::vector<Real> hist = resume->getRealArray("vmc.energyHistory");
+      if (hist.size() != static_cast<std::size_t>(iterStart))
+        throw io::SchemaError("vmc.energyHistory",
+                              "length differs from the stored iteration count");
+      std::copy(hist.begin(), hist.end(), res.energyHistory.begin());
+      costModel.restore(resume->getBitsArray("vmc.costKeys"),
+                        resume->getU64Array("vmc.costCosts"),
+                        resume->getU64("vmc.costDefault"));
+    }
+
+    for (int iter = iterStart; iter < opts.iterations; ++iter) {
       // Per-iteration byte accounting: everything Stages 1-6 communicate
       // lands in this window; the end-of-iteration bookkeeping gather below
       // is snapshot *after* reading the counter and wiped by this reset, so
@@ -260,6 +301,26 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       res.energyHistory[static_cast<std::size_t>(iter)] = eMean.real();
       res.variance = variance;
       res.nUnique = lut.size();
+      // Periodic checkpoint (rank 0; every rank holds identical state, so one
+      // writer suffices).  Captured *after* the optimizer step, N_s update
+      // and byte bookkeeping, i.e. exactly the state iteration iter+1 starts
+      // from; the atomic save keeps the previous file intact on a crash.
+      if (opts.checkpointEvery > 0 && rank == 0 &&
+          (iter + 1) % opts.checkpointEvery == 0) {
+        io::CheckpointWriter w;
+        io::addNet(w, net);
+        io::addOptimizer(w, optimizer);
+        w.addU64("vmc.seed", opts.seed);
+        w.addU64("vmc.iterNext", static_cast<std::uint64_t>(iter) + 1);
+        w.addU64("vmc.nsCurrent", nsCurrent);
+        w.addU64("vmc.commBytes", bytesAllIterations);
+        w.addRealArray("vmc.energyHistory", res.energyHistory.data(),
+                       static_cast<std::size_t>(iter) + 1);
+        w.addBitsArray("vmc.costKeys", costModel.keys());
+        w.addU64Array("vmc.costCosts", costModel.costs());
+        w.addU64("vmc.costDefault", costModel.defaultCost());
+        w.save(opts.checkpointPath);
+      }
       if (iter == opts.iterations - 1) {
         // Publish rank 0's engine counters so every rank's result agrees.
         comm.bcast(&elocStats, 1);

@@ -58,6 +58,22 @@ struct VmcOptions {
   /// shrink it so small systems still produce enough tiles to balance.
   std::size_t rankTileSize = 64;
 
+  // --- Checkpointing (io/checkpoint.hpp) ------------------------------------
+  /// Write a checkpoint after every k-th iteration (0 = never).  Rank 0
+  /// writes; the atomic tmp+rename publish means a crash mid-write leaves the
+  /// previous checkpoint intact.  Requires a non-empty checkpointPath.
+  int checkpointEvery = 0;
+  /// Destination file of periodic checkpoints (overwritten in place).
+  std::string checkpointPath;
+  /// Resume from this checkpoint: restores net parameters, optimizer moments/
+  /// step, the N_s schedule position, the term-cost model and the energy
+  /// history, then continues at the stored iteration.  The per-iteration
+  /// sampler streams are keyed on (seed, iteration) alone — the sampler holds
+  /// no cross-iteration state — so the resumed trajectory is bit-identical to
+  /// the uninterrupted run (tests/test_vmc.cpp).  The stored seed must match
+  /// opts.seed and the stored iteration must not exceed opts.iterations.
+  std::string resumeFrom;
+
   int logEvery = 0;  ///< 0 = silent
   /// Optional per-iteration observer: (iteration, energy, nUnique).
   std::function<void(int, Real, std::size_t)> observer;

@@ -96,6 +96,21 @@ void TermCostModel::update(const std::vector<Bits128>& samples,
                      : std::max<std::uint64_t>(1, total / samples.size());
 }
 
+void TermCostModel::restore(std::vector<Bits128> keys,
+                            std::vector<std::uint64_t> costs,
+                            std::uint64_t defaultCost) {
+  if (keys.size() != costs.size())
+    throw std::invalid_argument("TermCostModel::restore: size mismatch");
+  for (std::size_t i = 1; i < keys.size(); ++i)
+    if (!(keys[i - 1] < keys[i]))
+      throw std::invalid_argument("TermCostModel::restore: keys not ascending");
+  if (defaultCost < 1)
+    throw std::invalid_argument("TermCostModel::restore: defaultCost must be >= 1");
+  keys_ = std::move(keys);
+  costs_ = std::move(costs);
+  defaultCost_ = defaultCost;
+}
+
 std::uint64_t TermCostModel::estimate(const Bits128& sample) const {
   const auto it = std::lower_bound(keys_.begin(), keys_.end(), sample);
   if (it == keys_.end() || !(*it == sample)) return defaultCost_;

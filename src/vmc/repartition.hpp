@@ -73,6 +73,17 @@ class TermCostModel {
   [[nodiscard]] std::uint64_t estimate(const Bits128& sample) const;
   [[nodiscard]] bool empty() const { return keys_.empty(); }
 
+  // Checkpoint access (the VMC driver serializes the model so a resumed run
+  // computes the same Stage-3 partition as the uninterrupted one from its
+  // first iteration on).
+  [[nodiscard]] const std::vector<Bits128>& keys() const { return keys_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& costs() const { return costs_; }
+  [[nodiscard]] std::uint64_t defaultCost() const { return defaultCost_; }
+  /// Replace the stored generation wholesale.  `keys` must be strictly
+  /// ascending (the invariant update() establishes) and sized like `costs`.
+  void restore(std::vector<Bits128> keys, std::vector<std::uint64_t> costs,
+               std::uint64_t defaultCost);
+
  private:
   std::vector<Bits128> keys_;  ///< ascending
   std::vector<std::uint64_t> costs_;

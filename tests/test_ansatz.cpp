@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "io/checkpoint.hpp"
 #include "nqs/ansatz.hpp"
 
 using namespace nnqs;
@@ -140,21 +141,24 @@ TEST(Ansatz, DeterministicAcrossInstancesWithSameSeed) {
 
 TEST(Ansatz, CheckpointRoundTrip) {
   QiankunNet a(smallConfig(8, 2, 2, 31));
-  const std::string path = ::testing::TempDir() + "/qiankun_ckpt.txt";
-  a.saveParameters(path);
-  QiankunNet b(smallConfig(8, 2, 2, 99));  // different init
-  b.loadParameters(path);
+  const std::string path = ::testing::TempDir() + "/qiankun_ckpt.bin";
+  io::CheckpointWriter w;
+  io::addNet(w, a);
+  w.save(path);
+  const io::CheckpointReader r(path);
+  QiankunNet b(smallConfig(8, 2, 2, 99));  // different init, same architecture
+  io::loadNet(r, b);
   const auto sector = numberSector(8, 2, 2);
   std::vector<Real> la1, ph1, la2, ph2;
   a.evaluate(sector, la1, ph1, false);
   b.evaluate(sector, la2, ph2, false);
   for (std::size_t i = 0; i < sector.size(); ++i) {
-    EXPECT_NEAR(la1[i], la2[i], 1e-14);
-    EXPECT_NEAR(ph1[i], ph2[i], 1e-14);
+    EXPECT_DOUBLE_EQ(la1[i], la2[i]);  // binary f64 round trip: bit-exact
+    EXPECT_DOUBLE_EQ(ph1[i], ph2[i]);
   }
   // Architecture mismatch is rejected.
   QiankunNet c(smallConfig(10, 2, 2, 1));
-  EXPECT_THROW(c.loadParameters(path), std::runtime_error);
+  EXPECT_THROW(io::loadNet(r, c), io::SchemaError);
 }
 
 TEST(Ansatz, GradientFlattenRoundTrip) {

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "io/checkpoint.hpp"
+#include "nn/optimizer.hpp"
+#include "nqs/ansatz.hpp"
+
+using namespace nnqs;
+using namespace nnqs::io;
+
+namespace {
+
+nqs::QiankunNetConfig smallConfig(std::uint64_t seed = 11) {
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = 8;
+  cfg.nAlpha = 2;
+  cfg.nBeta = 2;
+  cfg.dModel = 16;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 32;
+  cfg.phaseHiddenLayers = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<Bits128> numberSector(int n, int na, int nb) {
+  std::vector<Bits128> out;
+  for (std::uint64_t v = 0; v < (1ull << n); ++v) {
+    Bits128 b{v, 0};
+    int up = 0, down = 0;
+    for (int q = 0; q < n; q += 2) up += b.get(q);
+    for (int q = 1; q < n; q += 2) down += b.get(q);
+    if (up == na && down == nb) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> netImage(nqs::QiankunNet& net) {
+  CheckpointWriter w;
+  addNet(w, net);
+  return w.serialize();
+}
+
+std::vector<std::uint8_t> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Byte offset of the first section's payload: header (8 magic + 4 version +
+/// 4 count) + kind (1) + name length (4) + the name itself + payload length
+/// (8).  The first section addNet emits is "net.cfg.nQubits".
+constexpr std::size_t kFirstPayloadOffset = 16 + 1 + 4 + sizeof("net.cfg.nQubits") - 1 + 8;
+
+}  // namespace
+
+TEST(Checkpoint, Crc32MatchesIeeeCheckValue) {
+  // The standard CRC-32 check value: crc of the ASCII digits "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  // Chaining partial computations matches a single pass.
+  const std::uint32_t part = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, part), 0xCBF43926u);
+}
+
+TEST(Checkpoint, PrimitiveSectionsRoundTrip) {
+  CheckpointWriter w;
+  w.addU64("a", 0xDEADBEEFCAFEBABEull);
+  w.addU64Array("arr", std::vector<std::uint64_t>{1, 2, 3});
+  w.addRealArray("reals", std::vector<Real>{0.1, -2.5e300, 0.0});
+  w.addBitsArray("bits", {Bits128{5, 7}, Bits128{~0ull, 1}});
+  nn::Tensor t;
+  t.shape = {2, 3};
+  t.data = {1, 2, 3, 4, 5, 6};
+  w.addTensor("tensor", t);
+
+  const CheckpointReader r(w.serialize());
+  EXPECT_TRUE(r.has("a"));
+  EXPECT_FALSE(r.has("nope"));
+  EXPECT_EQ(r.getU64("a"), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(r.getU64Array("arr"), (std::vector<std::uint64_t>{1, 2, 3}));
+  const auto reals = r.getRealArray("reals");
+  ASSERT_EQ(reals.size(), 3u);
+  EXPECT_EQ(reals[0], 0.1);
+  EXPECT_EQ(reals[1], -2.5e300);
+  const auto bits = r.getBitsArray("bits");
+  ASSERT_EQ(bits.size(), 2u);
+  EXPECT_EQ(bits[0].lo, 5u);
+  EXPECT_EQ(bits[0].hi, 7u);
+  EXPECT_EQ(bits[1].lo, ~0ull);
+  const nn::Tensor back = r.getTensor("tensor");
+  EXPECT_TRUE(back.bitIdentical(t));
+  // Section order is preserved.
+  EXPECT_EQ(r.names().front(), "a");
+  EXPECT_EQ(r.names().back(), "tensor");
+}
+
+TEST(Checkpoint, SaveLoadPsiBitIdenticalAcrossPolicies) {
+  nqs::QiankunNet a(smallConfig(31));
+  const std::string path = ::testing::TempDir() + "/ckpt_psi.bin";
+  CheckpointWriter w;
+  addNet(w, a);
+  w.save(path);
+
+  const CheckpointReader r(path);
+  auto b = makeNet(r);  // architecture + weights from the file alone
+  const auto sector = numberSector(8, 2, 2);
+  std::vector<Real> la1, ph1, la2, ph2;
+  a.evaluate(sector, la1, ph1, false);
+
+  // The reloaded net must reproduce psi bit for bit on every inference
+  // engine/kernel combination (they are bit-identical to each other too).
+  exec::ExecutionPolicy pol;
+  for (const auto decode : {exec::DecodePolicy::kKvCache, exec::DecodePolicy::kFullForward}) {
+    for (const auto kernel : {nn::kernels::KernelPolicy::kScalar,
+                              nn::kernels::KernelPolicy::kSimd}) {
+      pol.decode = decode;
+      pol.kernel = kernel;
+      b->setEvalPolicy(pol);
+      b->evaluate(sector, la2, ph2, false);
+      for (std::size_t i = 0; i < sector.size(); ++i) {
+        EXPECT_EQ(la1[i], la2[i]) << "sample " << i;
+        EXPECT_EQ(ph1[i], ph2[i]) << "sample " << i;
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, SaveLoadSaveIsByteIdentical) {
+  nqs::QiankunNet a(smallConfig(41));
+  const auto bytes1 = netImage(a);
+  const CheckpointReader r(bytes1);
+  nqs::QiankunNet b(readNetConfig(r));
+  loadNet(r, b);
+  const auto bytes2 = netImage(b);
+  EXPECT_EQ(bytes1, bytes2);
+}
+
+TEST(Checkpoint, OptimizerStateRoundTrips) {
+  nqs::QiankunNet a(smallConfig(51));
+  nn::AdamW optA(a.parameters());
+  // Take a few steps so the moments and the counter are non-trivial.
+  Rng rng(3);
+  for (int it = 0; it < 3; ++it) {
+    for (auto* p : a.parameters())
+      for (auto& g : p->grad.data) g = rng.normal();
+    optA.step();
+  }
+  CheckpointWriter w;
+  addNet(w, a);
+  addOptimizer(w, optA);
+  const CheckpointReader r(w.serialize());
+
+  nqs::QiankunNet b(smallConfig(51));
+  nn::AdamW optB(b.parameters());
+  loadNet(r, b);
+  loadOptimizer(r, optB);
+  EXPECT_EQ(optB.stepCount(), optA.stepCount());
+  for (std::size_t k = 0; k < optA.moments1().size(); ++k) {
+    EXPECT_TRUE(optB.moments1()[k].bitIdentical(optA.moments1()[k]));
+    EXPECT_TRUE(optB.moments2()[k].bitIdentical(optA.moments2()[k]));
+  }
+  // One more identical gradient step must now produce identical weights.
+  Rng rngA(9), rngB(9);
+  for (auto* p : a.parameters())
+    for (auto& g : p->grad.data) g = rngA.normal();
+  for (auto* p : b.parameters())
+    for (auto& g : p->grad.data) g = rngB.normal();
+  optA.step();
+  optB.step();
+  const auto pa = a.parameters(), pb = b.parameters();
+  for (std::size_t k = 0; k < pa.size(); ++k)
+    EXPECT_TRUE(pb[k]->value.bitIdentical(pa[k]->value)) << pa[k]->name;
+}
+
+TEST(Checkpoint, AtomicSaveSurvivesSimulatedCrash) {
+  nqs::QiankunNet a(smallConfig(61));
+  const std::string path = ::testing::TempDir() + "/ckpt_atomic.bin";
+  CheckpointWriter w;
+  addNet(w, a);
+  w.save(path);
+  const auto good = readFile(path);
+
+  // Simulate a crash mid-write of the *next* checkpoint: a torn tmp file
+  // exists, but <path> was never replaced — the last good checkpoint loads.
+  {
+    std::ofstream torn(path + ".tmp", std::ios::binary);
+    torn << "NNQS";  // half a magic, then nothing
+  }
+  EXPECT_EQ(readFile(path), good);
+  EXPECT_NO_THROW(CheckpointReader{path});
+
+  // A subsequent successful save renames over both the torn tmp and the old
+  // checkpoint.
+  w.save(path);
+  EXPECT_EQ(readFile(path), good);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "save() must not leave its tmp file behind";
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  nqs::QiankunNet a(smallConfig());
+  auto bytes = netImage(a);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(CheckpointReader{bytes}, BadMagicError);
+
+  const std::string path = ::testing::TempDir() + "/not_a_ckpt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint, just some text longer than a header";
+  }
+  EXPECT_THROW(CheckpointReader{path}, BadMagicError);
+}
+
+TEST(Checkpoint, VersionSkewThrows) {
+  nqs::QiankunNet a(smallConfig());
+  auto bytes = netImage(a);
+  bytes[8] = 0xFF;  // version u32 LE at offset 8
+  EXPECT_THROW(CheckpointReader{bytes}, VersionError);
+}
+
+TEST(Checkpoint, CrcMismatchNamesTheSection) {
+  nqs::QiankunNet a(smallConfig());
+  auto bytes = netImage(a);
+  bytes[kFirstPayloadOffset] ^= 0x01;  // flip one payload bit
+  try {
+    CheckpointReader r(bytes);
+    FAIL() << "corrupt payload must not parse";
+  } catch (const CrcError& e) {
+    EXPECT_NE(std::string(e.what()).find("net.cfg.nQubits"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, TruncationThrowsAtEveryLayer) {
+  nqs::QiankunNet a(smallConfig());
+  const auto bytes = netImage(a);
+  // Mid-header, mid-section-table, and mid-final-section cuts all surface as
+  // TruncatedError (never a crash or a silent partial parse).
+  for (const std::size_t keep :
+       {std::size_t{10}, std::size_t{20}, kFirstPayloadOffset + 3,
+        bytes.size() - 3}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(CheckpointReader{cut}, TruncatedError) << "keep=" << keep;
+  }
+  // Trailing garbage is also rejected: the format is self-delimiting.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(CheckpointReader{padded}, SchemaError);
+}
+
+TEST(Checkpoint, SchemaErrorsNameTheField) {
+  nqs::QiankunNet a(smallConfig());
+  const CheckpointReader r(netImage(a));
+  EXPECT_THROW(r.getU64("does.not.exist"), SchemaError);
+  // Kind mismatch: net.cfg.nQubits is a u64, not a real array.
+  EXPECT_THROW(r.getRealArray("net.cfg.nQubits"), SchemaError);
+  // Duplicate section names are rejected at add time.
+  CheckpointWriter w;
+  w.addU64("x", 1);
+  EXPECT_THROW(w.addU64("x", 2), SchemaError);
+}
+
+TEST(Checkpoint, FailedLoadHasNoPartialSideEffects) {
+  nqs::QiankunNet a(smallConfig(71));
+  const CheckpointReader r(netImage(a));
+
+  // Architecture mismatch: every weight of the target must stay untouched.
+  nqs::QiankunNetConfig other = smallConfig(72);
+  other.nQubits = 10;
+  nqs::QiankunNet c(other);
+  std::vector<nn::Tensor> before;
+  for (auto* p : c.parameters()) before.push_back(p->value);
+  EXPECT_THROW(loadNet(r, c), SchemaError);
+  const auto after = c.parameters();
+  for (std::size_t k = 0; k < after.size(); ++k)
+    EXPECT_TRUE(after[k]->value.bitIdentical(before[k])) << after[k]->name;
+
+  // Optimizer: a checkpoint without optimizer sections fails the same way.
+  nqs::QiankunNet b(smallConfig(71));
+  nn::AdamW opt(b.parameters());
+  EXPECT_THROW(loadOptimizer(r, opt), SchemaError);
+  EXPECT_EQ(opt.stepCount(), 0);
+}

@@ -4,6 +4,7 @@
 #include "nn/kernels/gemm.hpp"
 #include "chem/geometry_library.hpp"
 #include "fci/fci.hpp"
+#include "io/checkpoint.hpp"
 #include "ops/jordan_wigner.hpp"
 #include "scf/rhf.hpp"
 #include "vmc/driver.hpp"
@@ -236,6 +237,70 @@ TEST(Vmc, RejectsBaselineEngine) {
   VmcOptions opts;
   opts.exec.eloc = ElocMode::kBaseline;
   EXPECT_THROW(runVmc(s.packed, netCfg(s), opts), std::invalid_argument);
+}
+
+TEST(Vmc, CheckpointResumeIsBitIdentical) {
+  // A run interrupted at iteration k and resumed from its checkpoint must
+  // retrace the uninterrupted trajectory bit for bit: the checkpoint captures
+  // net weights, optimizer moments/step, the N_s schedule position, the
+  // term-cost model and the energy-history prefix, and the per-iteration
+  // sampler streams are keyed on (seed, iteration) alone.
+  const System s = buildSystem("H2");
+  const std::string path = ::testing::TempDir() + "/vmc_resume.ckpt";
+  VmcOptions opts;
+  opts.iterations = 12;
+  opts.nSamples = 1 << 10;
+  opts.nSamplesInitial = 1 << 10;
+  opts.pretrainIterations = 0;
+  opts.warmupSteps = 10;
+  opts.seed = 17;
+  const VmcResult full = runVmc(s.packed, netCfg(s, 23), opts);
+
+  opts.iterations = 5;  // "interrupted" run: checkpoint lands after iter 5
+  opts.checkpointEvery = 5;
+  opts.checkpointPath = path;
+  runVmc(s.packed, netCfg(s, 23), opts);
+
+  opts.iterations = 12;
+  opts.checkpointEvery = 0;
+  opts.checkpointPath.clear();
+  opts.resumeFrom = path;
+  const VmcResult resumed = runVmc(s.packed, netCfg(s, 23), opts);
+
+  ASSERT_EQ(full.energyHistory.size(), resumed.energyHistory.size());
+  for (std::size_t i = 0; i < full.energyHistory.size(); ++i)
+    EXPECT_EQ(full.energyHistory[i], resumed.energyHistory[i])
+        << "iteration " << i;
+  EXPECT_EQ(full.energy, resumed.energy);
+  EXPECT_EQ(full.variance, resumed.variance);
+  EXPECT_EQ(full.nUnique, resumed.nUnique);
+}
+
+TEST(Vmc, CheckpointOptionValidation) {
+  const System s = buildSystem("H2");
+  VmcOptions opts;
+  opts.iterations = 2;
+  opts.nSamples = 1 << 10;
+  opts.pretrainIterations = 0;
+  // checkpointEvery without a destination is a configuration error.
+  opts.checkpointEvery = 1;
+  EXPECT_THROW(runVmc(s.packed, netCfg(s), opts), std::invalid_argument);
+
+  // Resuming under a different seed would silently change the trajectory the
+  // checkpoint promises to continue — rejected with a typed schema error.
+  const std::string path = ::testing::TempDir() + "/vmc_seedcheck.ckpt";
+  opts.checkpointPath = path;
+  opts.seed = 17;
+  runVmc(s.packed, netCfg(s), opts);
+  opts.checkpointEvery = 0;
+  opts.checkpointPath.clear();
+  opts.resumeFrom = path;
+  opts.seed = 18;
+  EXPECT_THROW(runVmc(s.packed, netCfg(s), opts), io::SchemaError);
+  // Stored iteration beyond the requested run length is likewise rejected.
+  opts.seed = 17;
+  opts.iterations = 1;
+  EXPECT_THROW(runVmc(s.packed, netCfg(s), opts), io::SchemaError);
 }
 
 TEST(Vmc, ObserverSeesEveryIteration) {
