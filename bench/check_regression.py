@@ -63,6 +63,7 @@ DEFAULT_FILTER = (
     r"^BM_(DecodeAttnKernel|DecodeStepSweep|LinearGemm|GemmAccumulateTN|"
     r"Elementwise|ElocBatched|SweepFused|ServeThroughput)\b"
     r"|^BM_Evaluate/[01]/(16|32)/2048\b"
+    r"|^BM_BackwardTiled/1/32/2048\b"
 )
 
 # Benchmarks whose wall time scales with the host's core count: the
@@ -74,8 +75,8 @@ DEFAULT_FILTER = (
 # notice) until the baseline is refreshed on matching hardware.
 THREAD_SENSITIVE = (
     r"^BM_(DecodeAttnKernel/2|DecodeStepSweep/2|LinearGemm/2|"
-    r"GemmAccumulateTN/2|Elementwise/[0-9]+/2|Evaluate|SweepFused|"
-    r"ElocBatched/[13]|ServeThroughput)\b"
+    r"GemmAccumulateTN/2|Elementwise/[0-9]+/2|Evaluate|BackwardTiled|"
+    r"SweepFused|ElocBatched/[13]|ServeThroughput)\b"
 )
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

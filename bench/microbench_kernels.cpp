@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <malloc.h>
 #include <sys/resource.h>
 
 #include <atomic>
@@ -24,25 +25,59 @@
 // Every global operator new bumps a counter, so BM_DecodeStepSweep can assert
 // the workspace-backed decode path's zero-steady-state-allocation contract
 // (the arena/workspace growth paths use aligned_alloc and are covered by the
-// reuse logic those benches also exercise).
+// reuse logic those benches also exercise).  The hook also tracks live and
+// peak-live heap bytes (malloc_usable_size), so BM_BackwardTiled can report
+// the monolithic gradient path's peak activation footprint — those
+// activations live in Tensor std::vectors, which route through operator new.
+// Arena-backed memory (HugeBuffer, aligned_alloc) is invisible here by
+// design; the tiled leg reports its tape arena's own high-water instead.
 
 namespace {
 std::atomic<std::uint64_t> gAllocCount{0};
+std::atomic<std::uint64_t> gLiveBytes{0};
+std::atomic<std::uint64_t> gPeakLiveBytes{0};
 std::uint64_t allocationCount() {
   return gAllocCount.load(std::memory_order_relaxed);
+}
+std::uint64_t liveHeapBytes() {
+  return gLiveBytes.load(std::memory_order_relaxed);
+}
+std::uint64_t peakLiveHeapBytes() {
+  return gPeakLiveBytes.load(std::memory_order_relaxed);
+}
+/// Restart the peak tracker from the current live level.
+void resetPeakLiveHeapBytes() {
+  gPeakLiveBytes.store(gLiveBytes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
 }
 }  // namespace
 
 void* operator new(std::size_t n) {
   gAllocCount.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  if (void* p = std::malloc(n != 0 ? n : 1)) {
+    const std::uint64_t sz = malloc_usable_size(p);
+    const std::uint64_t live =
+        gLiveBytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+    std::uint64_t peak = gPeakLiveBytes.load(std::memory_order_relaxed);
+    while (live > peak && !gPeakLiveBytes.compare_exchange_weak(
+                              peak, live, std::memory_order_relaxed)) {
+    }
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t n) { return ::operator new(n); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+namespace {
+void countingFree(void* p) noexcept {
+  if (p != nullptr)
+    gLiveBytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+void operator delete(void* p) noexcept { countingFree(p); }
+void operator delete[](void* p) noexcept { countingFree(p); }
+void operator delete(void* p, std::size_t) noexcept { countingFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { countingFree(p); }
 
 using namespace nnqs;
 using namespace nnqs::bench;
@@ -108,7 +143,7 @@ void BM_TransformerForward(benchmark::State& state) {
     samples.push_back(nqs::autoregressiveSampleOne(net, rng));
   std::vector<Real> la, ph;
   for (auto _ : state) {
-    net.evaluate(samples, la, ph, false);
+    net.evaluate(samples, la, ph, nn::GradMode::kInference);
     benchmark::DoNotOptimize(la.data());
   }
   state.SetItemsProcessed(state.iterations() * batch);
@@ -210,7 +245,7 @@ void BM_SweepFused(benchmark::State& state) {
       logAmp.assign(s.logAmp.begin(), s.logAmp.end());
       net.phases(s.samples, phase);
     } else {
-      net.evaluate(s.samples, logAmp, phase, /*cache=*/false);
+      net.evaluate(s.samples, logAmp, phase, nn::GradMode::kInference);
     }
     nu = s.nUnique();
     benchmark::DoNotOptimize(logAmp.data());
@@ -464,7 +499,7 @@ void BM_Evaluate(benchmark::State& state) {
 
   if (impl == 0) {
     for (auto _ : state) {
-      const nn::Tensor logits = net.forward(tokens, L, /*cache=*/false);
+      const nn::Tensor logits = net.forward(tokens, L, nn::GradMode::kInference);
       benchmark::DoNotOptimize(logits.data.data());
     }
     state.SetLabel("full");
@@ -510,6 +545,103 @@ BENCHMARK(BM_Evaluate)
     ->Args({0, 32, 8192})->Args({1, 32, 8192})
     ->Args({0, 32, 2048})->Args({1, 32, 2048})
     ->Args({0, 16, 2048})->Args({1, 16, 2048})
+    ->Unit(benchmark::kMillisecond);
+
+// The full training step — recompute-in-tiles evaluateGrad vs. the monolithic
+// cached-activation reference — at the BM_Evaluate architecture (d_model 64,
+// 2 decoders).  Both legs fill bit-identical parameter gradients
+// (tests/test_evaluate.cpp); the interesting column is activationMiB, the
+// peak activation memory of one step:
+//  - monolithic: peak-live heap bytes above the pre-step baseline (the cached
+//    activations are Tensor std::vectors, visible to the operator-new hook);
+//  - tiled: the gradient tape arena's high-water mark (HugeBuffer-backed, so
+//    invisible to the hook; gradTapeStats() reports it exactly).
+// The tiled leg is also the warm zero-allocation assertion of the training
+// step: after the cold step has grown the tape, token scratch, and frames,
+// a same-shape step must perform zero heap allocations.
+void BM_BackwardTiled(benchmark::State& state) {
+  const bool tiled = state.range(0) == 1;  // 0 = monolithic reference
+  const int L = static_cast<int>(state.range(1));
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = 2 * L;
+  cfg.nAlpha = L / 2;
+  cfg.nBeta = L / 2;
+  cfg.dModel = 64;
+  cfg.nHeads = 4;
+  cfg.nDecoders = 2;
+  cfg.phaseHidden = 64;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = 7;
+  nqs::QiankunNet net(cfg);
+  exec::ExecutionPolicy ex;
+  ex.gradTileRows = tiled ? 0 : -1;  // 0 = engine default (256-sample tiles)
+  net.setEvalPolicy(ex);
+
+  // Deterministic in-sector samples: nAlpha electrons on even qubits, nBeta
+  // on odd, positions drawn per sample (rejection on collisions).
+  Rng rng(11);
+  std::vector<Bits128> samples(batch);
+  for (auto& s : samples) {
+    s = Bits128{};
+    for (int spin = 0; spin < 2; ++spin) {
+      int placed = 0;
+      while (placed < cfg.nAlpha) {
+        const int q =
+            2 * static_cast<int>(rng.below(static_cast<std::uint64_t>(L))) +
+            spin;
+        if (!s.get(q)) {
+          s.set(q, true);
+          ++placed;
+        }
+      }
+    }
+  }
+  std::vector<Real> dLa(batch), dPh(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    dLa[i] = 0.01 * (static_cast<Real>(i % 13) - 6.0);
+    dPh[i] = 0.01 * (static_cast<Real>(i % 9) - 4.0);
+  }
+
+  // Cold step: grows the tape / caches, and is where the monolithic leg's
+  // activation tensors are first allocated — its peak above the pre-step
+  // live level IS the monolithic activation footprint (the tensors stay
+  // live between steps, so warm steps would hide it).
+  resetPeakLiveHeapBytes();
+  const std::uint64_t live0 = liveHeapBytes();
+  net.evaluateGrad(samples, dLa, dPh);
+  const std::uint64_t coldPeakBytes = peakLiveHeapBytes() - live0;
+
+  std::uint64_t lastStepAllocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t allocs0 = allocationCount();
+    net.evaluateGrad(samples, dLa, dPh);
+    lastStepAllocs = allocationCount() - allocs0;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+  const double mib = 1024.0 * 1024.0;
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  state.counters["peakRssMiB"] = static_cast<double>(ru.ru_maxrss) / 1024.0;
+  if (tiled) {
+    state.SetLabel("tiled");
+    state.counters["activationMiB"] =
+        static_cast<double>(net.gradTapeStats().highWater) * sizeof(Real) / mib;
+    state.counters["allocs/step"] = static_cast<double>(lastStepAllocs);
+    if (lastStepAllocs != 0)
+      state.SkipWithError("warm tiled training step heap-allocated");
+  } else {
+    state.SetLabel("monolithic");
+    state.counters["activationMiB"] = static_cast<double>(coldPeakBytes) / mib;
+  }
+}
+// Args: impl (0 = monolithic cached-activation reference, 1 = tiled
+// recompute), L, batch.  L=32/batch=8192 is the acceptance shape of the
+// memory claim (>= 4x activation reduction); 2048 is the CI-gated point —
+// small enough to time cheaply, same per-tile working set.
+BENCHMARK(BM_BackwardTiled)
+    ->Args({0, 32, 2048})->Args({1, 32, 2048})
+    ->Args({0, 32, 8192})->Args({1, 32, 8192})
     ->Unit(benchmark::kMillisecond);
 
 // The decode elementwise stages in isolation at the decode shapes: GELU over

@@ -85,6 +85,24 @@ struct ExecutionPolicy {
   /// the untiled A/B reference.  Every geometry draws bit-identical sample
   /// sets (per-node RNG substreams), so this knob only moves cache traffic.
   int sweepTileRows = 0;
+  /// Rows per tile of the teacher-forced evaluate sweep (inference
+  /// amplitudes, kKvCache decode only): bounds the decode KV arena
+  /// independent of the batch size.  0 selects the engine default
+  /// (TransformerAR::kEvalTileRows); a negative value disables tiling — one
+  /// tile spanning the whole batch.  Every geometry is bit-identical (the
+  /// decode contract), so this knob only moves cache traffic.  Replaces the
+  /// tileRows argument the two-parameter QiankunNet::setEvalPolicy carried.
+  int evalTileRows = 0;
+  /// Samples per tile of the recompute-in-tiles gradient path
+  /// (QiankunNet::evaluateGrad): each tile re-runs the recording forward,
+  /// backprops, and releases its activations, bounding peak training
+  /// activation memory at O(tile * L * d) independent of the batch size.
+  /// 0 selects the engine default (TransformerAR::kEvalTileRows); a negative
+  /// value selects the monolithic full-batch cached-activation reference.
+  /// Ascending-tile accumulation order makes every geometry produce
+  /// bit-identical parameter gradients, so this knob only trades recompute
+  /// time against activation memory.
+  int gradTileRows = 0;
   /// Fuse final-sweep evaluation into the BAS sweep: the per-step masked
   /// conditionals the sampler already computes are accumulated into ln|Psi|
   /// per leaf (SampleSet::logAmp), so the VMC driver skips its separate

@@ -4,43 +4,46 @@
 #include <cstring>
 #include <stdexcept>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace nnqs::nn {
 
 CausalSelfAttention::CausalSelfAttention(Index dModel, Index nHeads, Index seqLen,
                                          Rng& rng, std::string name)
-    : d_(dModel), heads_(nHeads), headDim_(dModel / nHeads), seqLen_(seqLen),
-      window_(seqLen),
+    : name_(name), d_(dModel), heads_(nHeads), headDim_(dModel / nHeads),
+      seqLen_(seqLen), window_(seqLen),
       qkv_(dModel, 3 * dModel, rng, name + ".qkv"),
       proj_(dModel, dModel, rng, name + ".proj") {
   if (dModel % nHeads != 0)
     throw std::invalid_argument("attention: dModel must be divisible by nHeads");
 }
 
-Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
-  const Index L = window_;
-  const Index rows = x.numel() / d_;
-  const Index batch = rows / L;
-  const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
-
-  Tensor qkv = qkv_.forward(x, cache);  // [B*L, 3D]: q | k | v per row
-  Tensor attn({batch, heads_, L, L});
-  Tensor ctx({rows, d_});
-
-#pragma omp parallel for collapse(2) schedule(static) if (batch * heads_ > 8)
+namespace {
+/// Causal-softmax attention forward shared by the Tensor and tape paths: one
+/// arithmetic sequence (scores -> softmaxNormalize -> unnormalized context *
+/// rinv -> normalized weights), so the two gradient paths see bit-identical
+/// activations.  attn [B,H,L,L] is fully written (masked entries zeroed);
+/// ctx [B*L, D] must arrive zeroed (the context accumulates).
+void attnForwardCore(const Real* qkv, Real* attn, Real* ctx, Index batch,
+                     Index L, Index d, Index heads, Index headDim,
+                     Real scale) {
+#pragma omp parallel for collapse(2) schedule(static) if (batch * heads > 8)
   for (Index b = 0; b < batch; ++b)
-    for (Index h = 0; h < heads_; ++h) {
-      const Index qOff = h * headDim_;
-      const Index kOff = d_ + h * headDim_;
-      const Index vOff = 2 * d_ + h * headDim_;
-      Real* aRow = attn.data.data() + ((b * heads_ + h) * L) * L;
+    for (Index h = 0; h < heads; ++h) {
+      const Index qOff = h * headDim;
+      const Index kOff = d + h * headDim;
+      const Index vOff = 2 * d + h * headDim;
+      Real* aRow = attn + ((b * heads + h) * L) * L;
       for (Index i = 0; i < L; ++i) {
-        const Real* qi = qkv.data.data() + (b * L + i) * 3 * d_ + qOff;
+        const Real* qi = qkv + (b * L + i) * 3 * d + qOff;
         Real* ai = aRow + i * L;
         Real mx = -1e300;
         for (Index j = 0; j <= i; ++j) {
-          const Real* kj = qkv.data.data() + (b * L + j) * 3 * d_ + kOff;
+          const Real* kj = qkv + (b * L + j) * 3 * d + kOff;
           Real s = 0;
-          for (Index t = 0; t < headDim_; ++t) s += qi[t] * kj[t];
+          for (Index t = 0; t < headDim; ++t) s += qi[t] * kj[t];
           ai[j] = s * scale;
           mx = std::max(mx, ai[j]);
         }
@@ -51,45 +54,132 @@ Tensor CausalSelfAttention::forward(const Tensor& x, bool cache) {
         const Real rinv = kernels::softmaxNormalize(ai, i + 1, mx);
         for (Index j = i + 1; j < L; ++j) ai[j] = 0.0;  // causal mask
         // Context = (sum_j e_ij v_j) * rinv.
-        Real* ci = ctx.data.data() + (b * L + i) * d_ + qOff;
+        Real* ci = ctx + (b * L + i) * d + qOff;
         for (Index j = 0; j <= i; ++j) {
           const Real e = ai[j];
-          const Real* vj = qkv.data.data() + (b * L + j) * 3 * d_ + vOff;
-          for (Index t = 0; t < headDim_; ++t) ci[t] += e * vj[t];
+          const Real* vj = qkv + (b * L + j) * 3 * d + vOff;
+          for (Index t = 0; t < headDim; ++t) ci[t] += e * vj[t];
         }
-        for (Index t = 0; t < headDim_; ++t) ci[t] *= rinv;
+        for (Index t = 0; t < headDim; ++t) ci[t] *= rinv;
         // Normalized weights for backward's softmax-gradient cache.
         for (Index j = 0; j <= i; ++j) ai[j] *= rinv;
       }
     }
+}
 
-  if (cache) {
+/// Attention backward core shared by the Tensor and tape paths.  dQkv must
+/// arrive zeroed; dA is per-thread scratch [nThreads * L] (fully rewritten
+/// per query row before use).  Writes of each (b,h) pair touch disjoint
+/// head-sliced columns, so the parallel accumulation is race-free and the
+/// per-element arithmetic order is thread-count independent.
+void attnBackwardCore(const Real* qkv, const Real* attn, const Real* dCtx,
+                      Real* dQkv, Real* dAScratch, Index batch, Index Lc,
+                      Index d, Index heads, Index headDim, Real scale) {
+#pragma omp parallel for collapse(2) schedule(static) if (batch * heads > 8)
+  for (Index b = 0; b < batch; ++b)
+    for (Index h = 0; h < heads; ++h) {
+      const Index qOff = h * headDim;
+      const Index kOff = d + h * headDim;
+      const Index vOff = 2 * d + h * headDim;
+      const Real* aRow = attn + ((b * heads + h) * Lc) * Lc;
+#ifdef _OPENMP
+      Real* dA = dAScratch + static_cast<Index>(omp_get_thread_num()) * Lc;
+#else
+      Real* dA = dAScratch;
+#endif
+      for (Index i = 0; i < Lc; ++i) {
+        const Real* ai = aRow + i * Lc;
+        const Real* dci = dCtx + (b * Lc + i) * d + qOff;
+        // dV_j += a_ij dC_i ; dA_ij = dC_i . V_j
+        for (Index j = 0; j <= i; ++j) {
+          const Real* vj = qkv + (b * Lc + j) * 3 * d + vOff;
+          Real* dvj = dQkv + (b * Lc + j) * 3 * d + vOff;
+          Real da = 0;
+          for (Index t = 0; t < headDim; ++t) {
+            dvj[t] += ai[j] * dci[t];
+            da += dci[t] * vj[t];
+          }
+          dA[j] = da;
+        }
+        // Softmax backward: dS_ij = a_ij (dA_ij - sum_k a_ik dA_ik).
+        Real dot = 0;
+        for (Index j = 0; j <= i; ++j) dot += ai[j] * dA[j];
+        const Real* qi = qkv + (b * Lc + i) * 3 * d + qOff;
+        Real* dqi = dQkv + (b * Lc + i) * 3 * d + qOff;
+        for (Index j = 0; j <= i; ++j) {
+          const Real ds = ai[j] * (dA[j] - dot) * scale;
+          if (ds == 0.0) continue;
+          const Real* kj = qkv + (b * Lc + j) * 3 * d + kOff;
+          Real* dkj = dQkv + (b * Lc + j) * 3 * d + kOff;
+          for (Index t = 0; t < headDim; ++t) {
+            dqi[t] += ds * kj[t];
+            dkj[t] += ds * qi[t];
+          }
+        }
+      }
+    }
+}
+}  // namespace
+
+Tensor CausalSelfAttention::forward(const Tensor& x, GradMode mode) {
+  const Index L = window_;
+  const Index rows = x.numel() / d_;
+  const Index batch = rows / L;
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
+
+  Tensor qkv = qkv_.forward(x, mode);  // [B*L, 3D]: q | k | v per row
+  Tensor attn({batch, heads_, L, L});
+  Tensor ctx({rows, d_});
+
+  attnForwardCore(qkv.data.data(), attn.data.data(), ctx.data.data(), batch,
+                  L, d_, heads_, headDim_, scale);
+
+  if (mode == GradMode::kRecordTape) {
     cachedQkv_ = qkv;
     cachedAttn_ = attn;
     cachedBatch_ = batch;
     cachedWindow_ = L;
     hasCache_ = true;
   } else {
-    cachedQkv_ = Tensor{};
-    cachedAttn_ = Tensor{};
-    cachedBatch_ = 0;
-    cachedWindow_ = 0;
-    hasCache_ = false;
+    invalidateBecause(stale::kInferenceForward);
   }
-  return proj_.forward(ctx, cache);
+  return proj_.forward(ctx, mode);
 }
 
-void CausalSelfAttention::invalidate() {
+const Real* CausalSelfAttention::forwardTape(Tape& tape, TapeFrame& f,
+                                             const Real* x, Index rows) {
+  const Index L = window_;
+  const Index batch = rows / L;
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
+
+  invalidateBecause(stale::kTapeForward);
+  const Real* qkv = qkv_.forwardTape(tape, f.qkv, x, rows);
+  Real* attn = tape.alloc(batch * heads_ * L * L);
+  Real* ctx = tape.alloc(rows * d_);
+  // The context accumulates (the Tensor path's zero-filled constructor).
+  std::memset(ctx, 0, static_cast<std::size_t>(rows * d_) * sizeof(Real));
+  attnForwardCore(qkv, attn, ctx, batch, L, d_, heads_, headDim_, scale);
+  f.qkvOut = qkv;
+  f.attn = attn;
+  f.batch = batch;
+  f.window = L;
+  return proj_.forwardTape(tape, f.proj, ctx, rows);
+}
+
+void CausalSelfAttention::invalidateBecause(const char* why) {
   if (hasCache_) {
     cachedQkv_ = Tensor{};
     cachedAttn_ = Tensor{};
     cachedBatch_ = 0;
     cachedWindow_ = 0;
     hasCache_ = false;
+    staleReason_ = why;
   }
   qkv_.invalidate();
   proj_.invalidate();
 }
+
+void CausalSelfAttention::invalidate() { invalidateBecause(stale::kExplicit); }
 
 void CausalSelfAttention::decodeStep(const Real* x, Index batch,
                                      DecodeState& state, Index layer,
@@ -98,9 +188,9 @@ void CausalSelfAttention::decodeStep(const Real* x, Index batch,
   const Index maxLen = state.maxLen;
   const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
 
-  // A decode step is a non-caching forward: invalidate the backward cache
+  // A decode step is an inference forward: invalidate the backward cache
   // like every other inference path (modules.hpp invariant).
-  invalidate();
+  invalidateBecause(stale::kDecodeStep);
 
   // [B, 3D]: q | k | v per row, on the GEMM backend of the state's policy,
   // carved from the decode workspace (no per-step tensor churn).
@@ -146,9 +236,7 @@ void CausalSelfAttention::decodeStep(const Real* x, Index batch,
 }
 
 Tensor CausalSelfAttention::backward(const Tensor& dy) {
-  if (!hasCache_)
-    throw std::logic_error(
-        "attention backward without cache (last forward ran with cache=false)");
+  if (!hasCache_) throw StaleTapeError(name_, staleReason_);
   const Index batch = cachedBatch_;
   const Index Lc = cachedWindow_;
   const Index rows = batch * Lc;
@@ -156,48 +244,40 @@ Tensor CausalSelfAttention::backward(const Tensor& dy) {
 
   Tensor dCtx = proj_.backward(dy);  // [B*L, D]
   Tensor dQkv({rows, 3 * d_});
-
-#pragma omp parallel for collapse(2) schedule(static) if (batch * heads_ > 8)
-  for (Index b = 0; b < batch; ++b)
-    for (Index h = 0; h < heads_; ++h) {
-      const Index qOff = h * headDim_;
-      const Index kOff = d_ + h * headDim_;
-      const Index vOff = 2 * d_ + h * headDim_;
-      const Real* aRow = cachedAttn_.data.data() + ((b * heads_ + h) * Lc) * Lc;
-      std::vector<Real> dA(static_cast<std::size_t>(Lc));
-      for (Index i = 0; i < Lc; ++i) {
-        const Real* ai = aRow + i * Lc;
-        const Real* dci = dCtx.data.data() + (b * Lc + i) * d_ + qOff;
-        // dV_j += a_ij dC_i ; dA_ij = dC_i . V_j
-        for (Index j = 0; j <= i; ++j) {
-          const Real* vj = cachedQkv_.data.data() + (b * Lc + j) * 3 * d_ + vOff;
-          Real* dvj = dQkv.data.data() + (b * Lc + j) * 3 * d_ + vOff;
-          Real da = 0;
-          for (Index t = 0; t < headDim_; ++t) {
-            dvj[t] += ai[j] * dci[t];
-            da += dci[t] * vj[t];
-          }
-          dA[static_cast<std::size_t>(j)] = da;
-        }
-        // Softmax backward: dS_ij = a_ij (dA_ij - sum_k a_ik dA_ik).
-        Real dot = 0;
-        for (Index j = 0; j <= i; ++j) dot += ai[j] * dA[static_cast<std::size_t>(j)];
-        const Real* qi = cachedQkv_.data.data() + (b * Lc + i) * 3 * d_ + qOff;
-        Real* dqi = dQkv.data.data() + (b * Lc + i) * 3 * d_ + qOff;
-        for (Index j = 0; j <= i; ++j) {
-          const Real ds = ai[j] * (dA[static_cast<std::size_t>(j)] - dot) * scale;
-          if (ds == 0.0) continue;
-          const Real* kj = cachedQkv_.data.data() + (b * Lc + j) * 3 * d_ + kOff;
-          Real* dkj = dQkv.data.data() + (b * Lc + j) * 3 * d_ + kOff;
-          for (Index t = 0; t < headDim_; ++t) {
-            dqi[t] += ds * kj[t];
-            dkj[t] += ds * qi[t];
-          }
-        }
-      }
-    }
-
+#ifdef _OPENMP
+  const Index nThreads = omp_get_max_threads();
+#else
+  const Index nThreads = 1;
+#endif
+  std::vector<Real> dA(static_cast<std::size_t>(nThreads * Lc));
+  attnBackwardCore(cachedQkv_.data.data(), cachedAttn_.data.data(),
+                   dCtx.data.data(), dQkv.data.data(), dA.data(), batch, Lc,
+                   d_, heads_, headDim_, scale);
   return qkv_.backward(dQkv);
+}
+
+Real* CausalSelfAttention::backwardTape(Tape& tape, const TapeFrame& f,
+                                        const Real* dy) {
+  if (f.qkvOut == nullptr && f.batch > 0)
+    throw StaleTapeError(name_, "backwardTape frame was never recorded by forwardTape");
+  const Index batch = f.batch;
+  const Index Lc = f.window;
+  const Index rows = batch * Lc;
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(headDim_));
+
+  Real* dCtx = proj_.backwardTape(tape, f.proj, dy);
+  Real* dQkv = tape.alloc(rows * 3 * d_);
+  std::memset(dQkv, 0, static_cast<std::size_t>(rows * 3 * d_) * sizeof(Real));
+#ifdef _OPENMP
+  const Index nThreads = omp_get_max_threads();
+#else
+  const Index nThreads = 1;
+#endif
+  // Per-thread dA scratch from the tape keeps the warm tile allocation-free.
+  Real* dA = tape.alloc(nThreads * Lc);
+  attnBackwardCore(f.qkvOut, f.attn, dCtx, dQkv, dA, batch, Lc, d_, heads_,
+                   headDim_, scale);
+  return qkv_.backwardTape(tape, f.qkv, dQkv);
 }
 
 void CausalSelfAttention::collectParameters(std::vector<Parameter*>& out) {

@@ -13,7 +13,8 @@ class CausalSelfAttention : public Module {
   CausalSelfAttention(Index dModel, Index nHeads, Index seqLen, Rng& rng,
                       std::string name);
 
-  Tensor forward(const Tensor& x, bool cache) override;
+  using Module::forward;
+  Tensor forward(const Tensor& x, GradMode mode) override;
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>& out) override;
 
@@ -27,7 +28,7 @@ class CausalSelfAttention : public Module {
   ///
   /// Zero-allocation contract: `out` [B, D] is caller storage and the qkv /
   /// context scratch is carved from `state.ws`, so a warm step touches no
-  /// heap (counts as a cache=false forward; invalidates the backward cache).
+  /// heap (counts as an inference forward; invalidates the backward cache).
   void decodeStep(const Real* x, Index batch, DecodeState& state, Index layer,
                   Real* out);
 
@@ -35,23 +36,42 @@ class CausalSelfAttention : public Module {
   /// prefix windows; the causal mask keeps shorter windows consistent).
   void setWindow(Index w) { window_ = w; }
 
+  /// Tile-recompute record: qkv activations, normalized attention weights
+  /// and the projection input all live on the caller's tape; dQkv / per-
+  /// thread dA scratch are carved from the same tape in backwardTape, so a
+  /// warm tile performs zero heap allocations.
+  struct TapeFrame {
+    Linear::TapeFrame qkv;
+    Linear::TapeFrame proj;
+    const Real* qkvOut = nullptr;  ///< [B*L, 3D]: q | k | v per row
+    const Real* attn = nullptr;    ///< [B, heads, L, L] row-softmaxed weights
+    Index batch = 0;
+    Index window = 0;
+  };
+  const Real* forwardTape(Tape& tape, TapeFrame& f, const Real* x, Index rows);
+  Real* backwardTape(Tape& tape, const TapeFrame& f, const Real* dy);
+
   /// Decode-path cache invalidation of this module and its Linears.
   /// Write-free when already clear, so pre-invalidated concurrent inference
   /// tiles make no shared writes (see TransformerAR::evaluateDecode).
   void invalidate();
 
  private:
+  void invalidateBecause(const char* why);
+
+  std::string name_;
   Index d_, heads_, headDim_, seqLen_;
   Index window_;
   Linear qkv_;   ///< D -> 3D
   Linear proj_;  ///< D -> D
-  // Caches for backward (invalidated by any cache=false forward, like the
+  // Caches for backward (invalidated by any inference forward, like the
   // row-wise modules).
   Tensor cachedQkv_;   ///< [B*L, 3D]
   Tensor cachedAttn_;  ///< [B, heads, L, L] row-softmaxed weights
   Index cachedBatch_ = 0;
   Index cachedWindow_ = 0;
   bool hasCache_ = false;
+  const char* staleReason_ = stale::kNeverRecorded;
 };
 
 }  // namespace nnqs::nn

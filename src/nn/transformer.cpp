@@ -13,14 +13,37 @@ DecoderBlock::DecoderBlock(Index dModel, Index nHeads, Index ffDim, Index seqLen
       ln1_(dModel, name + ".ln1"), ln2_(dModel, name + ".ln2"),
       attn_(dModel, nHeads, seqLen, rng, name + ".attn"),
       ff1_(dModel, ffDim, rng, name + ".ff1"),
-      ff2_(ffDim, dModel, rng, name + ".ff2") {}
+      ff2_(ffDim, dModel, rng, name + ".ff2"),
+      gelu_(name + ".gelu") {}
 
-Tensor DecoderBlock::forward(const Tensor& x, bool cache) {
-  Tensor h = attn_.forward(ln1_.forward(x, cache), cache);
+Tensor DecoderBlock::forward(const Tensor& x, GradMode mode) {
+  Tensor h = attn_.forward(ln1_.forward(x, mode), mode);
   for (std::size_t i = 0; i < h.data.size(); ++i) h.data[i] += x.data[i];
-  Tensor f = ff2_.forward(gelu_.forward(ff1_.forward(ln2_.forward(h, cache), cache), cache), cache);
+  Tensor f = ff2_.forward(gelu_.forward(ff1_.forward(ln2_.forward(h, mode), mode), mode), mode);
   for (std::size_t i = 0; i < f.data.size(); ++i) f.data[i] += h.data[i];
   return f;
+}
+
+const Real* DecoderBlock::forwardTape(Tape& tape, TapeFrame& f, const Real* x,
+                                      Index rows) {
+  const Index n = rows * d_;
+  // Same arithmetic sequence as the Tensor forward above — unfused LNs and
+  // explicit residual adds — so the recomputed tile is bit-identical to the
+  // monolithic activations (NOT the fused decodeStep kernels).
+  const Real* ln1out = ln1_.forwardTape(tape, f.ln1, x, rows);
+  const Real* attnOut = attn_.forwardTape(tape, f.attn, ln1out, rows);
+  Real* h = tape.alloc(n);
+  for (Index i = 0; i < n; ++i) h[i] = attnOut[i] + x[i];
+  const Real* ln2out = ln2_.forwardTape(tape, f.ln2, h, rows);
+  const Real* f1 = ff1_.forwardTape(tape, f.ff1, ln2out, rows);
+  const Real* g = gelu_.forwardTape(tape, f.gelu, f1, rows * ffDim_);
+  const Real* f2 = ff2_.forwardTape(tape, f.ff2, g, rows);
+  Real* out = tape.alloc(n);
+  for (Index i = 0; i < n; ++i) out[i] = f2[i] + h[i];
+  f.x = x;
+  f.h = h;
+  f.rows = rows;
+  return out;
 }
 
 void DecoderBlock::decodeStep(const Real* a, const Real* r, DecodeState& state,
@@ -28,7 +51,7 @@ void DecoderBlock::decodeStep(const Real* a, const Real* r, DecodeState& state,
   const Index batch = state.batch;
   const Index n = batch * d_;
   Workspace& ws = state.ws;
-  // Kernel calls below are cache=false forwards (modules.hpp invariant).
+  // Kernel calls below are inference forwards (modules.hpp invariant).
   ln1_.invalidate();
   ln2_.invalidate();
   gelu_.invalidate();
@@ -91,6 +114,22 @@ Tensor DecoderBlock::backward(const Tensor& dy) {
   return dx;
 }
 
+Real* DecoderBlock::backwardTape(Tape& tape, const TapeFrame& f,
+                                 const Real* dy) {
+  const Index n = f.rows * d_;
+  // Mirror of backward() above, frame for cache: dh = ln2'(ff1'(gelu'(ff2'(dy))))
+  // + dy; dx = ln1'(attn'(dh)) + dh — identical adds in identical order.
+  Real* t = ff2_.backwardTape(tape, f.ff2, dy);
+  t = gelu_.backwardTape(tape, f.gelu, t);
+  t = ff1_.backwardTape(tape, f.ff1, t);
+  Real* dh = ln2_.backwardTape(tape, f.ln2, t);
+  for (Index i = 0; i < n; ++i) dh[i] += dy[i];
+  Real* da = attn_.backwardTape(tape, f.attn, dh);
+  Real* dx = ln1_.backwardTape(tape, f.ln1, da);
+  for (Index i = 0; i < n; ++i) dx[i] += dh[i];
+  return dx;
+}
+
 void DecoderBlock::invalidate() {
   ln1_.invalidate();
   attn_.invalidate();
@@ -122,15 +161,41 @@ TransformerAR::TransformerAR(Index seqLen, Index dModel, Index nHeads,
 }
 
 Tensor TransformerAR::forward(const std::vector<int>& tokens, Index window,
-                              bool cache) {
+                              GradMode mode) {
   cachedWindow_ = window;
-  Tensor x = embed_.forward(tokens, window, cache);
+  Tensor x = embed_.forward(tokens, window, mode);
   for (auto& block : blocks_) {
     block->setWindow(window);
-    x = block->forward(x, cache);
+    x = block->forward(x, mode);
   }
-  x = lnFinal_.forward(x, cache);
-  return head_.forward(x, cache);
+  x = lnFinal_.forward(x, mode);
+  return head_.forward(x, mode);
+}
+
+const Real* TransformerAR::forwardTape(Tape& tape, TapeFrame& f,
+                                       const int* tokens, Index rows,
+                                       Index window) {
+  f.blocks.resize(blocks_.size());  // no-op reuse on warm tiles
+  const Real* x = embed_.forwardTape(tape, tokens, rows, window);
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    blocks_[l]->setWindow(window);
+    x = blocks_[l]->forwardTape(tape, f.blocks[l], x, rows);
+  }
+  x = lnFinal_.forwardTape(tape, f.lnf, x, rows);
+  const Real* logits = head_.forwardTape(tape, f.head, x, rows);
+  f.tokens = tokens;
+  f.rows = rows;
+  f.window = window;
+  return logits;
+}
+
+void TransformerAR::backwardTape(Tape& tape, const TapeFrame& f,
+                                 const Real* dLogits) {
+  Real* dx = lnFinal_.backwardTape(tape, f.lnf,
+                                   head_.backwardTape(tape, f.head, dLogits));
+  for (std::size_t l = blocks_.size(); l-- > 0;)
+    dx = blocks_[l]->backwardTape(tape, f.blocks[l], dx);
+  embed_.backwardTape(f.tokens, f.rows, f.window, dx);
 }
 
 void TransformerAR::beginDecode(DecodeState& state, Index batch,
@@ -189,7 +254,7 @@ void TransformerAR::invalidateDecodeCaches() {
   lnFinal_.invalidate();
   head_.invalidate();
   // Embedding::stepInto is const (it never caches), so embed_ needs no
-  // clearing here; its cache only exists after a cache=true forward, which
+  // clearing here; its cache only exists after a recording forward, which
   // the QiankunNet-level guard already pairs with exactly one backward.
 }
 
@@ -214,15 +279,15 @@ PhaseMlp::PhaseMlp(Index nQubits, Index hidden, Index nHidden, Rng& rng) {
   for (Index l = 0; l < nHidden; ++l) {
     layers_.push_back(std::make_unique<Linear>(in, hidden, rng,
                                                "phase.l" + std::to_string(l)));
-    layers_.push_back(std::make_unique<TanhAct>());
+    layers_.push_back(std::make_unique<TanhAct>("phase.tanh" + std::to_string(l)));
     in = hidden;
   }
   layers_.push_back(std::make_unique<Linear>(in, 1, rng, "phase.out"));
 }
 
-Tensor PhaseMlp::forward(const Tensor& x, bool cache) {
+Tensor PhaseMlp::forward(const Tensor& x, GradMode mode) {
   Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h, cache);
+  for (auto& l : layers_) h = l->forward(h, mode);
   return h;  // [B, 1]
 }
 
@@ -251,6 +316,47 @@ void PhaseMlp::forwardInto(Workspace& ws, const Real* x, Index rows, Real* out,
   if (width != 1)
     throw std::logic_error("PhaseMlp::forwardInto: final layer width != 1");
   for (Index r = 0; r < rows; ++r) out[r] = cur[r];
+}
+
+const Real* PhaseMlp::forwardTape(Tape& tape, TapeFrame& f, const Real* x,
+                                  Index rows) {
+  std::size_t nLin = 0, nTanh = 0;
+  for (auto& l : layers_)
+    (dynamic_cast<Linear*>(l.get()) != nullptr) ? ++nLin : ++nTanh;
+  f.linear.resize(nLin);  // no-op reuse on warm tiles
+  f.tanh.resize(nTanh);
+  const Real* cur = x;
+  Index width = 0;
+  std::size_t li = 0, ti = 0;
+  for (auto& l : layers_) {
+    if (auto* lin = dynamic_cast<Linear*>(l.get())) {
+      cur = lin->forwardTape(tape, f.linear[li++], cur, rows);
+      width = lin->w.value.shape[0];
+    } else if (auto* th = dynamic_cast<TanhAct*>(l.get())) {
+      cur = th->forwardTape(tape, f.tanh[ti++], cur, rows * width);
+    } else {
+      throw std::logic_error("PhaseMlp::forwardTape: unsupported layer type");
+    }
+  }
+  if (width != 1)
+    throw std::logic_error("PhaseMlp::forwardTape: final layer width != 1");
+  f.rows = rows;
+  return cur;  // [rows]
+}
+
+void PhaseMlp::backwardTape(Tape& tape, const TapeFrame& f,
+                            const Real* dPhase) {
+  const Real* d = dPhase;
+  std::size_t li = f.linear.size(), ti = f.tanh.size();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    if (auto* lin = dynamic_cast<Linear*>(it->get())) {
+      d = lin->backwardTape(tape, f.linear[--li], d);
+    } else if (auto* th = dynamic_cast<TanhAct*>(it->get())) {
+      d = th->backwardTape(tape, f.tanh[--ti], d);
+    } else {
+      throw std::logic_error("PhaseMlp::backwardTape: unsupported layer type");
+    }
+  }
 }
 
 void PhaseMlp::invalidate() {

@@ -17,7 +17,8 @@ class DecoderBlock : public Module {
  public:
   DecoderBlock(Index dModel, Index nHeads, Index ffDim, Index seqLen, Rng& rng,
                std::string name);
-  Tensor forward(const Tensor& x, bool cache) override;
+  using Module::forward;
+  Tensor forward(const Tensor& x, GradMode mode) override;
   Tensor backward(const Tensor& dy) override;
   void collectParameters(std::vector<Parameter*>& out) override;
   void setWindow(Index w) { attn_.setWindow(w); }
@@ -32,6 +33,23 @@ class DecoderBlock : public Module {
   /// buffers are carved from `state.ws`; a warm step touches no heap.
   void decodeStep(const Real* a, const Real* r, DecodeState& state, Index layer,
                   const Real** aOut, const Real** rOut);
+
+  /// Tile-recompute record of one block: submodule frames plus the two
+  /// residual streams (block input x, post-attention h), all tape-resident.
+  /// Arithmetic mirrors the Tensor forward exactly — separate (unfused)
+  /// LayerNorms and explicit residual adds, NOT the fused decode kernels —
+  /// so replayed tiles reproduce the monolithic activations bit for bit.
+  struct TapeFrame {
+    LayerNorm::TapeFrame ln1, ln2;
+    CausalSelfAttention::TapeFrame attn;
+    Linear::TapeFrame ff1, ff2;
+    Gelu::TapeFrame gelu;
+    const Real* x = nullptr;  ///< block input [rows, d]
+    const Real* h = nullptr;  ///< post-attention residual stream [rows, d]
+    Index rows = 0;
+  };
+  const Real* forwardTape(Tape& tape, TapeFrame& f, const Real* x, Index rows);
+  Real* backwardTape(Tape& tape, const TapeFrame& f, const Real* dy);
 
   /// Invalidate every submodule's backward cache (write-free when already
   /// clear; see TransformerAR::evaluateDecode's tile-parallel driver).
@@ -55,10 +73,36 @@ class TransformerAR {
 
   /// tokens is a flattened [B, L'] window (L' <= seqLen); returns logits
   /// [B, L', 4].
-  Tensor forward(const std::vector<int>& tokens, Index window, bool cache);
+  Tensor forward(const std::vector<int>& tokens, Index window, GradMode mode);
+  [[deprecated("use forward(tokens, window, GradMode)")]]
+  Tensor forward(const std::vector<int>& tokens, Index window, bool cache) {
+    return forward(tokens, window,
+                   cache ? GradMode::kRecordTape : GradMode::kInference);
+  }
   /// Backprop dLogits [B, L', 4]; accumulates parameter gradients.
   void backward(const Tensor& dLogits);
   void collectParameters(std::vector<Parameter*>& out);
+
+  /// Tile-recompute record of the whole amplitude net for one tile of rows
+  /// (rows = tileBatch * window).  The frame is caller-owned and reused
+  /// across tiles (the blocks vector keeps its capacity), so a warm tile
+  /// records without heap allocations; every activation lives on `tape` and
+  /// is released wholesale by the caller's Tape::reset().
+  struct TapeFrame {
+    std::vector<DecoderBlock::TapeFrame> blocks;
+    LayerNorm::TapeFrame lnf;
+    Linear::TapeFrame head;
+    const int* tokens = nullptr;  ///< tile token window, caller-owned storage
+    Index rows = 0;
+    Index window = 0;
+  };
+  /// Returns the tile's logits [rows, 4] (tape-resident).
+  const Real* forwardTape(Tape& tape, TapeFrame& f, const int* tokens,
+                          Index rows, Index window);
+  /// Backward through the recorded tile; accumulates parameter gradients in
+  /// the same kernel fold order as backward(), so ascending-tile calls are
+  /// bit-identical to the monolithic backward.
+  void backwardTape(Tape& tape, const TapeFrame& f, const Real* dLogits);
 
   /// Start a stateful incremental decode over `batch` rows (KV caches sized
   /// for the full sequence length), run on the given kernel backend.
@@ -202,18 +246,33 @@ class PhaseMlp {
   PhaseMlp(Index nQubits, Index hidden, Index nHidden, Rng& rng);
 
   /// x: [B, nQubits] of +-1; returns [B] phases.
-  Tensor forward(const Tensor& x, bool cache);
+  Tensor forward(const Tensor& x, GradMode mode);
+  [[deprecated("use forward(x, GradMode)")]]
+  Tensor forward(const Tensor& x, bool cache) {
+    return forward(x, cache ? GradMode::kRecordTape : GradMode::kInference);
+  }
 
   /// Raw-buffer inference: x [rows, nQubits] (caller storage, possibly carved
   /// from `ws` itself), phases written to out[rows]; every intermediate
   /// activation is carved from `ws` inside the *caller's* carve cycle (no
-  /// reset here).  Bit-identical to forward(cache=false) — the
+  /// reset here).  Bit-identical to forward(GradMode::kInference) — the
   /// Linear layers run the same kernels::gemm and the tanh layers the same
   /// per-element std::tanh — but performs zero heap allocations once `ws` is
   /// warm and, after invalidate(), never writes shared module state: the
   /// serving layer runs this concurrently from many worker threads.
   void forwardInto(Workspace& ws, const Real* x, Index rows, Real* out,
                    kernels::KernelPolicy policy);
+
+  /// Tile-recompute record: one Linear frame per Linear layer, one TanhAct
+  /// frame per activation, caller-owned and reused across tiles.  Returns
+  /// the tile's phases [rows] (tape-resident).
+  struct TapeFrame {
+    std::vector<Linear::TapeFrame> linear;
+    std::vector<TanhAct::TapeFrame> tanh;
+    Index rows = 0;
+  };
+  const Real* forwardTape(Tape& tape, TapeFrame& f, const Real* x, Index rows);
+  void backwardTape(Tape& tape, const TapeFrame& f, const Real* dPhase);
 
   /// Clear every layer's backward cache (each write-free when already clear);
   /// the precondition for concurrent forwardInto calls.

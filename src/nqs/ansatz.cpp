@@ -1,6 +1,8 @@
 #include "nqs/ansatz.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace nnqs::nqs {
@@ -56,7 +58,7 @@ std::vector<Real> QiankunNet::conditionals(const std::vector<int>& prefixTokens,
       tokens[static_cast<std::size_t>(b * window + 1 + j)] =
           prefixTokens[static_cast<std::size_t>(b * s + j)];
   }
-  nn::Tensor logits = amplitude_.forward(tokens, window, /*cache=*/false);
+  nn::Tensor logits = amplitude_.forward(tokens, window, nn::GradMode::kInference);
   // Take the last position of each prefix, mask, softmax.
   std::vector<Real> probs(static_cast<std::size_t>(batch) * 4);
   for (int b = 0; b < batch; ++b) {
@@ -135,14 +137,16 @@ void QiankunNet::stepLogAmp(const Real* lg, Bits128 sample, int s, int& nUp,
 }
 
 void QiankunNet::amplitudesFullForward(const std::vector<Bits128>& samples,
-                                       std::vector<Real>& logAmp, bool cache) {
+                                       std::vector<Real>& logAmp,
+                                       nn::GradMode mode) {
+  const bool record = mode == nn::GradMode::kRecordTape;
   const int L = nSteps();
   const Index batch = static_cast<Index>(samples.size());
   inputTokens(samples, evalTokens_);
-  nn::Tensor logits = amplitude_.forward(evalTokens_, L, cache);
+  nn::Tensor logits = amplitude_.forward(evalTokens_, L, mode);
 
   nn::Tensor probs;
-  if (cache) probs = nn::Tensor({batch, L, 4});
+  if (record) probs = nn::Tensor({batch, L, 4});
   logAmp.assign(samples.size(), 0.0);
   for (Index b = 0; b < batch; ++b) {
     int nUp = 0, nDown = 0;
@@ -150,14 +154,14 @@ void QiankunNet::amplitudesFullForward(const std::vector<Bits128>& samples,
     Real prLocal[4];
     for (int s = 0; s < L; ++s) {
       const Real* lg = logits.data.data() + (b * L + s) * 4;
-      Real* pr = cache ? probs.data.data() + (b * L + s) * 4 : prLocal;
+      Real* pr = record ? probs.data.data() + (b * L + s) * 4 : prLocal;
       stepLogAmp(lg, samples[static_cast<std::size_t>(b)], s, nUp, nDown, la, pr);
       if (la <= kLogZero) break;
     }
     logAmp[static_cast<std::size_t>(b)] = la;
   }
 
-  if (cache) {
+  if (record) {
     cachedBatch_ = static_cast<long>(samples.size());
     cachedSamples_ = samples;
     cachedProbs_ = std::move(probs);
@@ -181,8 +185,12 @@ void QiankunNet::amplitudesDecode(const std::vector<Bits128>& samples,
   // (its remaining teacher-forced steps cost nothing but the shared GEMMs).
   evalUp_.assign(samples.size(), 0);
   evalDown_.assign(samples.size(), 0);
+  // ExecutionPolicy::evalTileRows: 0 = engine default (resolved inside
+  // evaluateDecode), negative = untiled (one tile spanning the batch).
+  const Index tileRows =
+      evalTileRows_ < 0 ? std::max<Index>(batch, 1) : evalTileRows_;
   amplitude_.evaluateDecode(
-      evalState_, evalTokens_, batch, L, evalTileRows_, evalKernel_,
+      evalState_, evalTokens_, batch, L, tileRows, evalKernel_,
       [&](Index t0, Index tb, Index s, const Real* logits) {
         for (Index b = 0; b < tb; ++b) {
           const auto row = static_cast<std::size_t>(t0 + b);
@@ -196,37 +204,34 @@ void QiankunNet::amplitudesDecode(const std::vector<Bits128>& samples,
 
 void QiankunNet::evaluate(const std::vector<Bits128>& samples,
                           std::vector<Real>& logAmp, std::vector<Real>& phase,
-                          bool cache) {
-  const Index batch = static_cast<Index>(samples.size());
-  // Amplitude ln|Psi|.  cache=true must run the full forward (backward()
-  // consumes the activations only it stores); inference follows the policy.
-  if (cache || evalPolicy_ == DecodePolicy::kFullForward)
-    amplitudesFullForward(samples, logAmp, cache);
+                          nn::GradMode mode) {
+  const bool record = mode == nn::GradMode::kRecordTape;
+  // Amplitude ln|Psi|.  A recording evaluate must run the full forward
+  // (backward() consumes the activations only it stores); inference follows
+  // the policy.
+  if (record || evalPolicy_ == DecodePolicy::kFullForward)
+    amplitudesFullForward(samples, logAmp, mode);
   else
     amplitudesDecode(samples, logAmp);
 
   // Phase network on the +-1 encoded qubit string.
-  phaseForward(samples, phase, cache);
+  phaseForward(samples, phase, mode);
 
-  // A cache=false evaluate invalidates like the modules' cache=false
-  // forwards (modules.hpp invariant): backward() after it throws instead of
-  // mixing stale cachedProbs_/cachedSamples_ with the fresh activations.
-  if (!cache) {
-    cachedBatch_ = -1;
-    cachedSamples_.clear();
-    cachedProbs_ = nn::Tensor{};
-  }
+  // An inference evaluate invalidates like the modules' inference forwards
+  // (modules.hpp invariant): backward() after it throws instead of mixing
+  // stale cachedProbs_/cachedSamples_ with the fresh activations.
+  if (!record) invalidateEvaluate(nn::stale::kInferenceForward);
 }
 
 void QiankunNet::phaseForward(const std::vector<Bits128>& samples,
-                              std::vector<Real>& phase, bool cache) {
+                              std::vector<Real>& phase, nn::GradMode mode) {
   const Index batch = static_cast<Index>(samples.size());
   nn::Tensor xin({batch, cfg_.nQubits});
   for (Index b = 0; b < batch; ++b)
     for (int q = 0; q < cfg_.nQubits; ++q)
       xin.data[static_cast<std::size_t>(b * cfg_.nQubits + q)] =
           samples[static_cast<std::size_t>(b)].get(q) ? 1.0 : -1.0;
-  nn::Tensor ph = phase_.forward(xin, cache);
+  nn::Tensor ph = phase_.forward(xin, mode);
   phase.resize(samples.size());
   for (Index b = 0; b < batch; ++b)
     phase[static_cast<std::size_t>(b)] = ph.data[static_cast<std::size_t>(b)];
@@ -234,13 +239,19 @@ void QiankunNet::phaseForward(const std::vector<Bits128>& samples,
 
 void QiankunNet::phases(const std::vector<Bits128>& samples,
                         std::vector<Real>& phase) {
-  phaseForward(samples, phase, /*cache=*/false);
-  // Same invalidation contract as a cache=false evaluate: the phase MLP's
-  // activation cache is gone, so a backward() before the next cache=true
+  phaseForward(samples, phase, nn::GradMode::kInference);
+  // Same invalidation contract as an inference evaluate: the phase MLP's
+  // activation cache is gone, so a backward() before the next recording
   // evaluate must throw rather than mix stale activations.
+  invalidateEvaluate(nn::stale::kInferenceForward);
+}
+
+void QiankunNet::invalidateEvaluate(const char* why) {
+  if (cachedBatch_ < 0) return;  // write-free when already clear
   cachedBatch_ = -1;
   cachedSamples_.clear();
   cachedProbs_ = nn::Tensor{};
+  staleReason_ = why;
 }
 
 Complex QiankunNet::psiValue(Real logAmp, Real phase) {
@@ -250,38 +261,42 @@ Complex QiankunNet::psiValue(Real logAmp, Real phase) {
 
 std::vector<Complex> QiankunNet::psi(const std::vector<Bits128>& samples) {
   std::vector<Real> la, ph;
-  evaluate(samples, la, ph, /*cache=*/false);
+  evaluate(samples, la, ph, nn::GradMode::kInference);
   std::vector<Complex> out(samples.size());
   for (std::size_t i = 0; i < samples.size(); ++i) out[i] = psiValue(la[i], ph[i]);
   return out;
 }
 
+void QiankunNet::seedLogitRow(Real seed, Bits128 sample, int s, const Real* pr,
+                              Real* dl) const {
+  // d ln|Psi| / d logits: ln|Psi| = 1/2 sum_s ln p_chosen ->
+  // dlogit[t] = 1/2 seed * (delta_{t,chosen} - p_t) over the masked softmax.
+  const int chosen = tokenOf(sample, s);
+  for (int t = 0; t < 4; ++t) {
+    if (pr[t] <= 0.0) continue;  // masked outcome: no gradient path
+    dl[t] = 0.5 * seed * ((t == chosen ? 1.0 : 0.0) - pr[t]);
+  }
+}
+
 void QiankunNet::backward(const std::vector<Real>& dLogAmp,
                           const std::vector<Real>& dPhase) {
-  if (cachedBatch_ < 0)
-    throw std::logic_error("QiankunNet::backward without cached evaluate");
+  if (cachedBatch_ < 0) throw nn::StaleTapeError("QiankunNet", staleReason_);
   if (cachedBatch_ == 0) {  // empty chunk: gradients stay zero
     cachedBatch_ = -1;
+    staleReason_ = "already consumed by a previous backward";
     return;
   }
   const int L = nSteps();
   const Index batch = static_cast<Index>(cachedSamples_.size());
 
-  // d ln|Psi| / d logits: ln|Psi| = 1/2 sum_s ln p_chosen ->
-  // dlogit[t] = 1/2 seed * (delta_{t,chosen} - p_t) over the masked softmax.
   nn::Tensor dLogits({batch, L, 4});
   for (Index b = 0; b < batch; ++b) {
     const Real seed = dLogAmp[static_cast<std::size_t>(b)];
     if (seed == 0.0) continue;
-    for (int s = 0; s < L; ++s) {
-      const Real* pr = cachedProbs_.data.data() + (b * L + s) * 4;
-      Real* dl = dLogits.data.data() + (b * L + s) * 4;
-      const int chosen = tokenOf(cachedSamples_[static_cast<std::size_t>(b)], s);
-      for (int t = 0; t < 4; ++t) {
-        if (pr[t] <= 0.0) continue;  // masked outcome: no gradient path
-        dl[t] = 0.5 * seed * ((t == chosen ? 1.0 : 0.0) - pr[t]);
-      }
-    }
+    for (int s = 0; s < L; ++s)
+      seedLogitRow(seed, cachedSamples_[static_cast<std::size_t>(b)], s,
+                   cachedProbs_.data.data() + (b * L + s) * 4,
+                   dLogits.data.data() + (b * L + s) * 4);
   }
   amplitude_.backward(dLogits);
 
@@ -290,7 +305,101 @@ void QiankunNet::backward(const std::vector<Real>& dLogAmp,
   phase_.backward(dPh);
 
   cachedSamples_.clear();
+  cachedProbs_ = nn::Tensor{};
   cachedBatch_ = -1;
+  staleReason_ = "already consumed by a previous backward";
+}
+
+void QiankunNet::evaluateGrad(const std::vector<Bits128>& samples,
+                              const std::vector<Real>& dLogAmp,
+                              const std::vector<Real>& dPhase) {
+  if (dLogAmp.size() != samples.size() || dPhase.size() != samples.size())
+    throw std::invalid_argument("QiankunNet::evaluateGrad: seed/sample size mismatch");
+
+  // Monolithic cached-activation reference (gradTileRows < 0): one recording
+  // full forward + the Tensor-level backward.
+  if (gradTileRows_ < 0) {
+    std::vector<Real> la, ph;
+    evaluate(samples, la, ph, nn::GradMode::kRecordTape);
+    backward(dLogAmp, dPhase);
+    return;
+  }
+
+  // This call records and consumes its own per-tile activations; any
+  // previously recorded evaluate is stale from here on.
+  invalidateEvaluate(nn::stale::kTapeForward);
+
+  const int L = nSteps();
+  const Index batch = static_cast<Index>(samples.size());
+  const Index tile =
+      gradTileRows_ > 0 ? gradTileRows_ : nn::TransformerAR::kEvalTileRows;
+
+  // Tiles run SEQUENTIALLY in ascending order: every per-parameter
+  // accumulation is a strictly sequential ascending-row fold that the tile
+  // boundaries merely partition, so this ordering — not any tolerance — is
+  // what makes the result bit-identical to the monolithic backward.
+  // Parallelism stays inside the per-tile kernels.
+  for (Index t0 = 0; t0 < batch; t0 += tile) {
+    const Index tb = std::min(tile, batch - t0);
+    const Index rows = tb * L;
+    gradTape_.reset();
+
+    // Tile tokens, marshalled exactly as inputTokens() lays them out.
+    gradTokens_.resize(static_cast<std::size_t>(rows));
+    for (Index b = 0; b < tb; ++b) {
+      const auto row = static_cast<std::size_t>(b) * static_cast<std::size_t>(L);
+      gradTokens_[row] = nn::TransformerAR::kBos;
+      for (int s = 0; s + 1 < L; ++s)
+        gradTokens_[row + 1 + static_cast<std::size_t>(s)] =
+            tokenOf(samples[static_cast<std::size_t>(t0 + b)], s);
+    }
+
+    // Recompute this tile's teacher-forced forward onto the tape: only this
+    // tile's activations exist (the previous tile's were released by the
+    // reset above).  Per-row activations are batch-composition-independent,
+    // so the logits equal the monolithic forward's rows [t0, t0+tb).
+    const Real* logits =
+        amplitude_.forwardTape(gradTape_, ampFrame_, gradTokens_.data(), rows, L);
+
+    // Masked conditionals + loss seeds for the tile, both tape-carved.
+    // Zero-filled like their Tensor counterparts: rows that leave the
+    // number-conserving support keep pr = 0 past the exit (no gradient).
+    Real* probs = gradTape_.alloc(rows * 4);
+    std::memset(probs, 0, static_cast<std::size_t>(rows * 4) * sizeof(Real));
+    for (Index b = 0; b < tb; ++b) {
+      const auto row = static_cast<std::size_t>(t0 + b);
+      int nUp = 0, nDown = 0;
+      Real la = 0;
+      for (int s = 0; s < L; ++s) {
+        stepLogAmp(logits + (b * L + s) * 4, samples[row], s, nUp, nDown, la,
+                   probs + (b * L + s) * 4);
+        if (la <= kLogZero) break;
+      }
+    }
+    Real* dLogits = gradTape_.alloc(rows * 4);
+    std::memset(dLogits, 0, static_cast<std::size_t>(rows * 4) * sizeof(Real));
+    for (Index b = 0; b < tb; ++b) {
+      const Real seed = dLogAmp[static_cast<std::size_t>(t0 + b)];
+      if (seed == 0.0) continue;
+      for (int s = 0; s < L; ++s)
+        seedLogitRow(seed, samples[static_cast<std::size_t>(t0 + b)], s,
+                     probs + (b * L + s) * 4, dLogits + (b * L + s) * 4);
+    }
+    amplitude_.backwardTape(gradTape_, ampFrame_, dLogits);
+
+    // Phase MLP, tiled the same way (disjoint parameter set, so interleaving
+    // amplitude/phase tiles preserves each parameter's ascending-row fold).
+    Real* xin = gradTape_.alloc(tb * cfg_.nQubits);
+    for (Index b = 0; b < tb; ++b)
+      for (int q = 0; q < cfg_.nQubits; ++q)
+        xin[b * cfg_.nQubits + q] =
+            samples[static_cast<std::size_t>(t0 + b)].get(q) ? 1.0 : -1.0;
+    phase_.forwardTape(gradTape_, phaseFrame_, xin, tb);
+    Real* dPh = gradTape_.alloc(tb);
+    for (Index b = 0; b < tb; ++b)
+      dPh[b] = dPhase[static_cast<std::size_t>(t0 + b)];
+    phase_.backwardTape(gradTape_, phaseFrame_, dPh);
+  }
 }
 
 void QiankunNet::prepareConcurrent() {
@@ -301,9 +410,7 @@ void QiankunNet::prepareConcurrent() {
   // network state (parameters), and all mutation lands in per-caller slots.
   amplitude_.invalidateDecodeCaches();
   phase_.invalidate();
-  cachedBatch_ = -1;
-  cachedSamples_.clear();
-  cachedProbs_ = nn::Tensor{};
+  invalidateEvaluate(nn::stale::kExplicit);
 }
 
 void QiankunNet::evaluateInto(EvalSlot& slot, const std::vector<Bits128>& samples,

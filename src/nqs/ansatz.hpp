@@ -98,29 +98,48 @@ class QiankunNet {
     state.gather(rows);
   }
 
-  /// Select the amplitude-inference engine of evaluate()/psi() from the
-  /// decode/kernel fields of an ExecutionPolicy (exec/policy.hpp): the
-  /// KV-cached teacher-forced decode sweep (default) or the stateless
-  /// full-forward reference.  Both are bit-identical, so the policy only
-  /// moves the inference wall clock.  `tileRows` bounds the decode KV arena
-  /// independent of the batch size (0 = TransformerAR::kEvalTileRows).
+  /// Select the amplitude-inference and gradient engines of
+  /// evaluate()/psi()/evaluateGrad() from an ExecutionPolicy
+  /// (exec/policy.hpp): decode/kernel pick the inference engine (the
+  /// KV-cached teacher-forced decode sweep by default, or the stateless
+  /// full-forward reference — bit-identical, so they only move the wall
+  /// clock); evalTileRows bounds the decode KV arena and gradTileRows the
+  /// recompute-gradient tile (both 0 = engine default, negative = untiled).
   ///
-  /// The policy applies to cache=false (inference) evaluations: a cache=true
-  /// evaluate must run the full forward regardless, because backward()
-  /// consumes the activations only that path stores.
-  void setEvalPolicy(const exec::ExecutionPolicy& exec, Index tileRows = 0) {
+  /// The inference policy applies to GradMode::kInference evaluations: a
+  /// recording evaluate must run the full forward regardless, because
+  /// backward() consumes the activations only that path stores.
+  void setEvalPolicy(const exec::ExecutionPolicy& exec) {
     evalPolicy_ = exec.decode;
     evalKernel_ = exec.kernel;
-    evalTileRows_ = tileRows;
+    evalTileRows_ = exec.evalTileRows;
+    gradTileRows_ = exec.gradTileRows;
+  }
+  /// One-release migration shim: the tiling knob moved into the policy
+  /// struct itself (ExecutionPolicy::evalTileRows), so one struct carries
+  /// every tiling knob.
+  [[deprecated("set ExecutionPolicy::evalTileRows and call setEvalPolicy(exec)")]]
+  void setEvalPolicy(const exec::ExecutionPolicy& exec, Index tileRows) {
+    exec::ExecutionPolicy p = exec;
+    p.evalTileRows = static_cast<int>(tileRows);
+    setEvalPolicy(p);
   }
   [[nodiscard]] DecodePolicy evalPolicy() const { return evalPolicy_; }
 
-  /// ln|Psi| and phase for a batch of samples.  cache=true stores activations
-  /// for exactly one subsequent backward() (always full-forward); cache=false
-  /// runs the engine selected by setEvalPolicy() and *invalidates* any cached
-  /// evaluate, so a stale backward() throws instead of using old activations.
+  /// ln|Psi| and phase for a batch of samples.  GradMode::kRecordTape stores
+  /// activations for exactly one subsequent backward() (always full-forward);
+  /// GradMode::kInference runs the engine selected by setEvalPolicy() and
+  /// *invalidates* any recorded evaluate, so a stale backward() throws
+  /// (nn::StaleTapeError naming the invalidating event) instead of using old
+  /// activations.
   void evaluate(const std::vector<Bits128>& samples, std::vector<Real>& logAmp,
-                std::vector<Real>& phase, bool cache);
+                std::vector<Real>& phase, nn::GradMode mode);
+  [[deprecated("use evaluate(samples, logAmp, phase, GradMode)")]]
+  void evaluate(const std::vector<Bits128>& samples, std::vector<Real>& logAmp,
+                std::vector<Real>& phase, bool cache) {
+    evaluate(samples, logAmp, phase,
+             cache ? nn::GradMode::kRecordTape : nn::GradMode::kInference);
+  }
 
   /// Phase-only inference: phi(x) per sample via the phase MLP, skipping the
   /// amplitude network entirely.  The complement of the fused BAS sweep,
@@ -144,8 +163,42 @@ class QiankunNet {
   std::vector<Complex> psi(const std::vector<Bits128>& samples);
 
   /// Backprop the VMC loss seeds d/d(ln|Psi|) and d/d(phi) per sample of the
-  /// last cached evaluate().
+  /// last recording evaluate().
   void backward(const std::vector<Real>& dLogAmp, const std::vector<Real>& dPhase);
+
+  /// The recompute-in-tiles training step: forward + backward over `samples`
+  /// with the given per-sample loss seeds, accumulating parameter gradients
+  /// without ever materializing the full batch's activations.  The batch is
+  /// swept in ascending `gradTileRows`-sample tiles (ExecutionPolicy;
+  /// 0 = TransformerAR::kEvalTileRows); each tile re-runs the teacher-forced
+  /// full forward onto the tape — only that tile's activations exist —
+  /// backprops the tile, and releases the tape, bounding peak training
+  /// activation memory at O(tile * L * d) independent of the batch size.
+  ///
+  /// Gradients are **bit-identical** to evaluate(kRecordTape) + backward():
+  /// forward activations are per-row batch-composition-independent, every
+  /// per-parameter accumulation (GEMM accumulate=true ascending-k fold,
+  /// LayerNorm ascending-row fold, embedding/bias ascending-row loops) is a
+  /// strictly sequential ascending-row fold that tile boundaries merely
+  /// partition, and tiles are swept sequentially in ascending order — the
+  /// ordering IS the bit-identity mechanism, so tiles are never parallelized
+  /// (threading stays inside the per-tile kernels).  gradTileRows < 0 runs
+  /// the monolithic cached-activation reference instead.  A warm call (same
+  /// shapes as the last) performs zero heap allocations on the tiled path:
+  /// all per-tile storage lives on the owned Tape arena.
+  ///
+  /// Invalidates any recorded evaluate (this call records and consumes its
+  /// own activations tile by tile).
+  void evaluateGrad(const std::vector<Bits128>& samples,
+                    const std::vector<Real>& dLogAmp,
+                    const std::vector<Real>& dPhase);
+
+  /// Arena accounting of the tiled gradient path's tape: highWater is the
+  /// peak Reals live in any one tile — the measured "peak training
+  /// activation memory" BM_BackwardTiled reports and the README quotes.
+  [[nodiscard]] const nn::Workspace::Stats& gradTapeStats() const {
+    return gradTape_.stats();
+  }
 
   /// Deterministic named-parameter registry (amplitude network first, then
   /// the phase MLP, each in construction order) — the ordering contract the
@@ -198,10 +251,10 @@ class QiankunNet {
   void inputTokens(const std::vector<Bits128>& samples, std::vector<int>& out) const;
 
   /// ln|Psi| of `samples` via the stateless full transformer forward;
-  /// cache=true additionally stores the masked conditionals into
+  /// kRecordTape additionally stores the masked conditionals into
   /// cachedProbs_ ([B, L, 4], the layout backward() consumes).
   void amplitudesFullForward(const std::vector<Bits128>& samples,
-                             std::vector<Real>& logAmp, bool cache);
+                             std::vector<Real>& logAmp, nn::GradMode mode);
   /// ln|Psi| via the teacher-forced incremental-decode sweep
   /// (TransformerAR::evaluateDecode).  Bit-identical to the full-forward
   /// path; zero heap allocations once warm.
@@ -211,7 +264,17 @@ class QiankunNet {
   /// The phase-MLP forward shared by evaluate() and phases(): +-1 encode the
   /// qubit strings, run the MLP, copy the scalar outputs.
   void phaseForward(const std::vector<Bits128>& samples,
-                    std::vector<Real>& phase, bool cache);
+                    std::vector<Real>& phase, nn::GradMode mode);
+
+  /// d ln|Psi| / d logits for one (sample, position): dl[4] must arrive
+  /// zeroed; pr[4] are that position's masked conditionals.  The single
+  /// seed-to-logit-gradient point of both the monolithic backward() and the
+  /// tiled evaluateGrad(), so their arithmetic cannot drift apart.
+  void seedLogitRow(Real seed, Bits128 sample, int s, const Real* pr, Real* dl) const;
+
+  /// Drop any recorded evaluate (write-free when none), recording `why` for
+  /// the StaleTapeError a subsequent backward() raises.
+  void invalidateEvaluate(const char* why);
 
   /// Fold position s's masked log-conditional of `sample` (given its logits
   /// lg[4]) into the running (la, nUp, nDown); pr[4] receives the masked
@@ -229,6 +292,14 @@ class QiankunNet {
   DecodePolicy evalPolicy_ = DecodePolicy::kKvCache;
   nn::kernels::KernelPolicy evalKernel_ = nn::kernels::KernelPolicy::kAuto;
   Index evalTileRows_ = 0;
+  Index gradTileRows_ = 0;  ///< 0 = default tile; < 0 = monolithic reference
+  // Tiled-gradient scratch (evaluateGrad): the per-tile activation tape, the
+  // tile's marshalled tokens, and the caller-owned module frames.  All reuse
+  // their capacity, so a warm tiled training step allocates nothing.
+  nn::Tape gradTape_;
+  std::vector<int> gradTokens_;
+  nn::TransformerAR::TapeFrame ampFrame_;
+  nn::PhaseMlp::TapeFrame phaseFrame_;
   // Persistent evaluation scratch: the decode state (KV arena + workspace),
   // the marshalled input tokens, and the per-row (up, down) running counts.
   // All re-use their capacity, so the warm decode-path *amplitude* sweep of
@@ -243,6 +314,7 @@ class QiankunNet {
   long cachedBatch_ = -1;
   std::vector<Bits128> cachedSamples_;
   nn::Tensor cachedProbs_;  ///< [B, L, 4] masked conditional probabilities
+  const char* staleReason_ = nn::stale::kNeverRecorded;
   std::vector<nn::Parameter*> paramCache_;
 };
 

@@ -145,7 +145,7 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
         logAmp.assign(local.logAmp.begin(), local.logAmp.end());
         net.phases(local.samples, phase);
       } else {
-        net.evaluate(local.samples, logAmp, phase, /*cache=*/false);
+        net.evaluate(local.samples, logAmp, phase, nn::GradMode::kInference);
       }
       phases.sampling += t0.seconds();
 
@@ -269,7 +269,12 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
       if (trace) std::fprintf(stderr, "[it %d] eloc done E=%f\n", iter, eMean.real());
       // --- Stage 5: backward on the own chunk -----------------------------
       Timer t4;
-      net.evaluate(local.samples, logAmp, phase, /*cache=*/true);
+      // The loss seeds depend only on eloc/eMean/weights, so they are
+      // computed up front and the forward+backward runs through the
+      // recompute-in-tiles gradient path (ExecutionPolicy::gradTileRows):
+      // peak training activation memory is one tile's, not the chunk's, and
+      // the accumulated gradients are bit-identical to the monolithic
+      // recording-evaluate + backward this replaced.
       std::vector<Real> dLogAmp(local.nUnique()), dPhase(local.nUnique());
       for (std::size_t i = 0; i < local.nUnique(); ++i) {
         const Complex delta = eloc[i] - eMean;
@@ -277,7 +282,7 @@ VmcResult runVmc(const ops::PackedHamiltonian& hamiltonian,
         dLogAmp[i] = 2.0 * w * delta.real();
         dPhase[i] = 2.0 * w * delta.imag();
       }
-      net.backward(dLogAmp, dPhase);
+      net.evaluateGrad(local.samples, dLogAmp, dPhase);
       phases.gradient += t4.seconds();
 
       if (trace) std::fprintf(stderr, "[it %d] backward done\n", iter);

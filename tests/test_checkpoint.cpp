@@ -109,7 +109,7 @@ TEST(Checkpoint, SaveLoadPsiBitIdenticalAcrossPolicies) {
   auto b = makeNet(r);  // architecture + weights from the file alone
   const auto sector = numberSector(8, 2, 2);
   std::vector<Real> la1, ph1, la2, ph2;
-  a.evaluate(sector, la1, ph1, false);
+  a.evaluate(sector, la1, ph1, nn::GradMode::kInference);
 
   // The reloaded net must reproduce psi bit for bit on every inference
   // engine/kernel combination (they are bit-identical to each other too).
@@ -120,7 +120,7 @@ TEST(Checkpoint, SaveLoadPsiBitIdenticalAcrossPolicies) {
       pol.decode = decode;
       pol.kernel = kernel;
       b->setEvalPolicy(pol);
-      b->evaluate(sector, la2, ph2, false);
+      b->evaluate(sector, la2, ph2, nn::GradMode::kInference);
       for (std::size_t i = 0; i < sector.size(); ++i) {
         EXPECT_EQ(la1[i], la2[i]) << "sample " << i;
         EXPECT_EQ(ph1[i], ph2[i]) << "sample " << i;

@@ -218,13 +218,13 @@ TEST(ElementwiseKernels, ModulesRunOnTheKernels) {
   Gelu g;
   Tensor x({3, 7});
   x.randn(rng, 2.0);
-  const Tensor y = g.forward(x, false);
+  const Tensor y = g.forward(x, GradMode::kInference);
   for (Index i = 0; i < x.numel(); ++i)
     EXPECT_EQ(y.data[static_cast<std::size_t>(i)],
               kernels::geluScalar(x.data[static_cast<std::size_t>(i)]));
 
   LayerNorm ln(7, "t");
-  const Tensor ly = ln.forward(x, false);
+  const Tensor ly = ln.forward(x, GradMode::kInference);
   std::vector<Real> xv(x.data.begin(), x.data.end());
   const auto ref = runLn(xv, nullptr, 3, 7,
                          {ln.gamma.value.data.begin(), ln.gamma.value.data.end()},

@@ -2,7 +2,7 @@
 // bit-identity with the stateless full-forward path for amplitudes, phases,
 // logits, and gradients, across KernelPolicy x DecodePolicy on ragged batch
 // sizes (empty batches, batches larger than one tile), plus the cache
-// invalidation guard of evaluate(cache=false).
+// invalidation guard of GradMode::kInference evaluates.
 
 #include <gtest/gtest.h>
 
@@ -58,13 +58,15 @@ std::vector<Bits128> numberSector(int n, int na, int nb) {
 }
 
 /// ExecutionPolicy with everything default except the eval-engine fields —
-/// the post-alias-removal spelling of "decode policy X, kernel Y".
+/// the post-alias-removal spelling of "decode policy X, kernel Y, tile Z".
 exec::ExecutionPolicy execFor(DecodePolicy decode,
                               nn::kernels::KernelPolicy kernel =
-                                  nn::kernels::KernelPolicy::kAuto) {
+                                  nn::kernels::KernelPolicy::kAuto,
+                              int evalTileRows = 0) {
   exec::ExecutionPolicy ex;
   ex.decode = decode;
   ex.kernel = kernel;
+  ex.evalTileRows = evalTileRows;
   return ex;
 }
 
@@ -100,11 +102,11 @@ TEST(Evaluate, DecodeMatchesFullForwardBitIdentical) {
                                        pool.begin() + static_cast<long>(batch));
     net.setEvalPolicy(execFor(DecodePolicy::kFullForward));
     std::vector<Real> laRef, phRef;
-    net.evaluate(samples, laRef, phRef, /*cache=*/false);
+    net.evaluate(samples, laRef, phRef, nn::GradMode::kInference);
     for (auto kernel : kAllKernels) {
-      net.setEvalPolicy(execFor(DecodePolicy::kKvCache, kernel), /*tileRows=*/4);
+      net.setEvalPolicy(execFor(DecodePolicy::kKvCache, kernel, /*evalTileRows=*/4));
       std::vector<Real> la, ph;
-      net.evaluate(samples, la, ph, /*cache=*/false);
+      net.evaluate(samples, la, ph, nn::GradMode::kInference);
       ASSERT_EQ(la.size(), laRef.size());
       ASSERT_EQ(ph.size(), phRef.size());
       for (std::size_t i = 0; i < batch; ++i) {
@@ -130,7 +132,7 @@ TEST(Evaluate, TransformerEvaluateDecodeMatchesForwardLogits) {
     for (Index s = 1; s < L; ++s)
       tokens[static_cast<std::size_t>(b * L + s)] = static_cast<int>(tok.below(4));
   }
-  const nn::Tensor ref = net.forward(tokens, L, /*cache=*/false);
+  const nn::Tensor ref = net.forward(tokens, L, nn::GradMode::kInference);
 
   for (auto kernel : kAllKernels) {
     std::vector<Real> got(static_cast<std::size_t>(batch * L * 4), -1.0);
@@ -175,7 +177,7 @@ TEST(Evaluate, PsiSharesTheEvaluateEntryPoint) {
 
   net.setEvalPolicy(execFor(DecodePolicy::kFullForward));
   const std::vector<Complex> ref = net.psi(samples);
-  net.setEvalPolicy(execFor(DecodePolicy::kKvCache), /*tileRows=*/4);
+  net.setEvalPolicy(execFor(DecodePolicy::kKvCache, nn::kernels::KernelPolicy::kAuto, /*evalTileRows=*/4));
   const std::vector<Complex> got = net.psi(samples);
   ASSERT_EQ(ref.size(), got.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
@@ -186,7 +188,7 @@ TEST(Evaluate, PsiSharesTheEvaluateEntryPoint) {
 }
 
 TEST(Evaluate, GradientsAfterCachedEvaluateMatchAcrossPolicies) {
-  // The VMC gradient stage: evaluate(cache=true) + backward() must fill
+  // The VMC gradient stage: evaluate(GradMode::kRecordTape) + backward() must fill
   // bit-identical gradients whether the net's inference policy is decode or
   // full-forward (the cached evaluate itself always runs full-forward; the
   // policy must not leak into the gradient path).
@@ -202,12 +204,12 @@ TEST(Evaluate, GradientsAfterCachedEvaluateMatchAcrossPolicies) {
 
   auto gradsUnder = [&](DecodePolicy policy) {
     QiankunNet net(smallConfig(n, na, nb, 77));
-    net.setEvalPolicy(execFor(policy), /*tileRows=*/2);
+    net.setEvalPolicy(execFor(policy, nn::kernels::KernelPolicy::kAuto, /*evalTileRows=*/2));
     // An inference evaluate first, as the VMC loop interleaves them; it must
     // not perturb the subsequent cached evaluate + backward.
     std::vector<Real> la, ph;
-    net.evaluate(samples, la, ph, /*cache=*/false);
-    net.evaluate(samples, la, ph, /*cache=*/true);
+    net.evaluate(samples, la, ph, nn::GradMode::kInference);
+    net.evaluate(samples, la, ph, nn::GradMode::kRecordTape);
     net.backward(dLa, dPh);
     std::vector<Real> grads;
     net.flattenGradients(grads);
@@ -235,14 +237,14 @@ TEST(Evaluate, GradcheckWithDecodePathLoss) {
   cfg.phaseHiddenLayers = 1;
   cfg.seed = 77;
   QiankunNet net(cfg);
-  net.setEvalPolicy(execFor(DecodePolicy::kKvCache), /*tileRows=*/2);
+  net.setEvalPolicy(execFor(DecodePolicy::kKvCache, nn::kernels::KernelPolicy::kAuto, /*evalTileRows=*/2));
   const std::vector<Bits128> samples = {fromBitString("00001111"),
                                         fromBitString("00111100"),
                                         fromBitString("11000011")};
   const std::vector<Real> cA = {0.7, -1.1, 0.4}, cP = {0.2, 0.9, -0.5};
   auto loss = [&] {
     std::vector<Real> la, ph;
-    net.evaluate(samples, la, ph, /*cache=*/false);
+    net.evaluate(samples, la, ph, nn::GradMode::kInference);
     Real s = 0;
     for (std::size_t i = 0; i < samples.size(); ++i)
       s += cA[i] * la[i] + cP[i] * ph[i];
@@ -250,7 +252,7 @@ TEST(Evaluate, GradcheckWithDecodePathLoss) {
   };
   {
     std::vector<Real> la, ph;
-    net.evaluate(samples, la, ph, /*cache=*/true);
+    net.evaluate(samples, la, ph, nn::GradMode::kRecordTape);
     net.backward(cA, cP);
   }
   Rng rng(123);
@@ -267,7 +269,7 @@ TEST(Evaluate, GradcheckWithDecodePathLoss) {
 }
 
 TEST(Evaluate, CacheFalseInvalidatesLikeTheModules) {
-  // evaluate(cache=false) — either engine — must invalidate the previously
+  // An inference-mode evaluate — either engine — must invalidate the previously
   // cached evaluate: a stale backward() throws instead of silently mixing
   // old cachedProbs_ with fresh (or missing) activations.
   const int n = 8, na = 2, nb = 2;
@@ -281,13 +283,218 @@ TEST(Evaluate, CacheFalseInvalidatesLikeTheModules) {
     QiankunNet net(smallConfig(n, na, nb));
     net.setEvalPolicy(execFor(policy));
     std::vector<Real> la, ph;
-    net.evaluate(samples, la, ph, /*cache=*/true);
-    net.evaluate(samples, la, ph, /*cache=*/false);
+    net.evaluate(samples, la, ph, nn::GradMode::kRecordTape);
+    net.evaluate(samples, la, ph, nn::GradMode::kInference);
     EXPECT_THROW(net.backward(dLa, dPh), std::logic_error);
     // A fresh cached evaluate restores the gradient path.
-    net.evaluate(samples, la, ph, /*cache=*/true);
+    net.evaluate(samples, la, ph, nn::GradMode::kRecordTape);
     EXPECT_NO_THROW(net.backward(dLa, dPh));
     // backward consumed the cache: a second backward throws again.
     EXPECT_THROW(net.backward(dLa, dPh), std::logic_error);
   }
 }
+
+TEST(EvaluateGrad, TiledBitIdenticalToMonolithicAcrossTileGeometries) {
+  // The recompute-in-tiles training step must fill parameter gradients
+  // bit-identical to the monolithic cached-activation reference
+  // (gradTileRows = -1) at every tile geometry: degenerate single-sample
+  // tiles, a ragged last tile (32 on batch 70 -> 32, 32, 6), one tile
+  // larger than the batch (256 > 70, single ragged tile), an exact-batch
+  // tile, and the engine default (0).
+  NNQS_SKIP_IF_BLAS();
+  const int n = 12, na = 3, nb = 2;
+  const auto samples = [&] {
+    auto s = numberSector(n, na, nb);
+    s.resize(70);
+    return s;
+  }();
+  std::vector<Real> dLa(samples.size()), dPh(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    dLa[i] = 0.1 * (static_cast<Real>(i % 7) - 3.0);
+    dPh[i] = 0.05 * (static_cast<Real>(i % 5) - 2.0);
+  }
+  auto gradsWithTile = [&](int tile) {
+    QiankunNet net(smallConfig(n, na, nb, 77));
+    exec::ExecutionPolicy ex;
+    ex.gradTileRows = tile;
+    net.setEvalPolicy(ex);
+    net.evaluateGrad(samples, dLa, dPh);
+    std::vector<Real> g;
+    net.flattenGradients(g);
+    return g;
+  };
+  const auto ref = gradsWithTile(-1);  // monolithic full-batch reference
+  ASSERT_FALSE(ref.empty());
+  for (int tile : {1, 32, 256, static_cast<int>(samples.size()), 0}) {
+    const auto got = gradsWithTile(tile);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(ref[i], got[i]) << "tile " << tile << " grad " << i;
+  }
+}
+
+TEST(EvaluateGrad, EmptyBatchLeavesGradientsZero) {
+  // Ranks that received no samples call the same training step; both the
+  // tiled and the monolithic engines must accept the empty batch.
+  const std::vector<Bits128> none;
+  const std::vector<Real> zero;
+  for (int tile : {-1, 0, 8}) {
+    QiankunNet net(smallConfig(8, 2, 2));
+    exec::ExecutionPolicy ex;
+    ex.gradTileRows = tile;
+    net.setEvalPolicy(ex);
+    EXPECT_NO_THROW(net.evaluateGrad(none, zero, zero)) << "tile " << tile;
+    std::vector<Real> g;
+    net.flattenGradients(g);
+    for (std::size_t i = 0; i < g.size(); ++i)
+      EXPECT_EQ(g[i], 0.0) << "tile " << tile << " grad " << i;
+  }
+}
+
+TEST(EvaluateGrad, RejectsMismatchedSeedLengths) {
+  QiankunNet net(smallConfig(8, 2, 2));
+  const auto samples = [&] {
+    auto s = numberSector(8, 2, 2);
+    s.resize(3);
+    return s;
+  }();
+  const std::vector<Real> two = {0.1, 0.2}, three = {0.1, 0.2, 0.3};
+  EXPECT_THROW(net.evaluateGrad(samples, two, three), std::invalid_argument);
+  EXPECT_THROW(net.evaluateGrad(samples, three, two), std::invalid_argument);
+}
+
+TEST(EvaluateGrad, DecodePolicyDoesNotLeakIntoTiledGradients) {
+  // evaluateGrad always re-runs the recording full forward per tile; the
+  // inference engine selected for evaluate()/psi() must not perturb it,
+  // even with an inference evaluate interleaved (the VMC loop's shape).
+  NNQS_SKIP_IF_BLAS();
+  const int n = 10, na = 2, nb = 2;
+  const auto samples = [&] {
+    auto s = numberSector(n, na, nb);
+    s.resize(11);
+    return s;
+  }();
+  const std::vector<Real> dLa = {0.7, -1.1, 0.4, 0.3, -0.2, 0.9, 0.1, -0.8, 0.5, 1.2, -0.3};
+  const std::vector<Real> dPh = {0.2, 0.9, -0.5, 1.3, 0.8, -0.6, 0.4, -1.0, 0.7, -0.1, 0.6};
+  auto gradsUnder = [&](DecodePolicy policy) {
+    QiankunNet net(smallConfig(n, na, nb, 77));
+    exec::ExecutionPolicy ex;
+    ex.decode = policy;
+    ex.gradTileRows = 3;  // ragged: 3, 3, 3, 2
+    net.setEvalPolicy(ex);
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, nn::GradMode::kInference);
+    net.evaluateGrad(samples, dLa, dPh);
+    std::vector<Real> g;
+    net.flattenGradients(g);
+    return g;
+  };
+  const auto ref = gradsUnder(DecodePolicy::kFullForward);
+  const auto got = gradsUnder(DecodePolicy::kKvCache);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(ref[i], got[i]) << i;
+}
+
+TEST(EvaluateGrad, WarmStepsReuseTheTapeArena) {
+  // After the first tiled step has grown the tape to its high water, further
+  // same-shape steps must not allocate: no primary-block growth, no side
+  // chunks, same high water (the zero-allocation warm-step contract).
+  const int n = 10, na = 2, nb = 2;
+  const auto samples = [&] {
+    auto s = numberSector(n, na, nb);
+    s.resize(12);
+    return s;
+  }();
+  std::vector<Real> dLa(samples.size(), 0.3), dPh(samples.size(), -0.2);
+  QiankunNet net(smallConfig(n, na, nb, 5));
+  exec::ExecutionPolicy ex;
+  ex.gradTileRows = 4;
+  net.setEvalPolicy(ex);
+  net.evaluateGrad(samples, dLa, dPh);
+  const nn::Workspace::Stats cold = net.gradTapeStats();  // copy
+  for (int step = 0; step < 3; ++step) net.evaluateGrad(samples, dLa, dPh);
+  const nn::Workspace::Stats& warm = net.gradTapeStats();
+  EXPECT_EQ(warm.grows, cold.grows);
+  EXPECT_EQ(warm.overflows, cold.overflows);
+  EXPECT_EQ(warm.highWater, cold.highWater);
+  EXPECT_EQ(warm.capacity, cold.capacity);
+}
+
+TEST(EvaluateGrad, StaleBackwardNamesTheModuleAndTheInvalidator) {
+  // The typed stale-tape error must say *which* module refused and *what*
+  // invalidated its recording (checkpoint.hpp typed-error style), so a
+  // misuse report is actionable without a debugger.
+  const int n = 8, na = 2, nb = 2;
+  const auto samples = [&] {
+    auto s = numberSector(n, na, nb);
+    s.resize(3);
+    return s;
+  }();
+  const std::vector<Real> dLa = {0.1, 0.2, 0.3}, dPh = {0.4, 0.5, 0.6};
+  QiankunNet net(smallConfig(n, na, nb));
+  std::vector<Real> la, ph;
+  auto expectBackwardError = [&](const char* expectReason) {
+    try {
+      net.backward(dLa, dPh);
+      FAIL() << "expected StaleTapeError (" << expectReason << ")";
+    } catch (const nn::StaleTapeError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("QiankunNet"), std::string::npos) << what;
+      EXPECT_NE(what.find(expectReason), std::string::npos) << what;
+    }
+  };
+  // Never recorded.
+  expectBackwardError(nn::stale::kNeverRecorded);
+  // Recorded, then invalidated by an inference forward.
+  net.evaluate(samples, la, ph, nn::GradMode::kRecordTape);
+  net.evaluate(samples, la, ph, nn::GradMode::kInference);
+  expectBackwardError(nn::stale::kInferenceForward);
+  // Recorded, then invalidated by a tape-recording (evaluateGrad) pass.
+  net.evaluate(samples, la, ph, nn::GradMode::kRecordTape);
+  net.evaluateGrad(samples, dLa, dPh);
+  expectBackwardError(nn::stale::kTapeForward);
+  // Recorded, consumed by one backward; the second names the consumption.
+  net.evaluate(samples, la, ph, nn::GradMode::kRecordTape);
+  EXPECT_NO_THROW(net.backward(dLa, dPh));
+  expectBackwardError("already consumed by a previous backward");
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(EvaluateGrad, DeprecatedBoolAndTwoArgOverloadsStillWork) {
+  // One-release compatibility shims: the bool-cache evaluate and the
+  // two-argument setEvalPolicy must keep behaving exactly like their
+  // replacements until they are removed.
+  NNQS_SKIP_IF_BLAS();
+  const int n = 10, na = 2, nb = 2;
+  const auto samples = [&] {
+    auto s = numberSector(n, na, nb);
+    s.resize(5);
+    return s;
+  }();
+  const std::vector<Real> dLa = {0.7, -1.1, 0.4, 0.3, -0.2};
+  const std::vector<Real> dPh = {0.2, 0.9, -0.5, 1.3, 0.8};
+  QiankunNet neu(smallConfig(n, na, nb, 9));
+  QiankunNet old(smallConfig(n, na, nb, 9));
+  neu.setEvalPolicy(
+      execFor(DecodePolicy::kKvCache, nn::kernels::KernelPolicy::kAuto, 2));
+  old.setEvalPolicy(execFor(DecodePolicy::kKvCache), /*tileRows=*/2);
+  std::vector<Real> laN, phN, laO, phO;
+  neu.evaluate(samples, laN, phN, nn::GradMode::kInference);
+  old.evaluate(samples, laO, phO, /*cache=*/false);
+  ASSERT_EQ(laN.size(), laO.size());
+  for (std::size_t i = 0; i < laN.size(); ++i) {
+    EXPECT_EQ(laN[i], laO[i]) << i;
+    EXPECT_EQ(phN[i], phO[i]) << i;
+  }
+  neu.evaluate(samples, laN, phN, nn::GradMode::kRecordTape);
+  old.evaluate(samples, laO, phO, /*cache=*/true);
+  neu.backward(dLa, dPh);
+  old.backward(dLa, dPh);
+  std::vector<Real> gN, gO;
+  neu.flattenGradients(gN);
+  old.flattenGradients(gO);
+  ASSERT_EQ(gN.size(), gO.size());
+  for (std::size_t i = 0; i < gN.size(); ++i) EXPECT_EQ(gN[i], gO[i]) << i;
+}
+#pragma GCC diagnostic pop

@@ -52,7 +52,7 @@ TEST(GradCheck, Linear) {
   Tensor w({2, 3});
   w.randn(rng, 1.0);
   auto loss = [&] {
-    const Tensor y = lin.forward(x, false);
+    const Tensor y = lin.forward(x, GradMode::kInference);
     Real s = 0;
     for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
     return s;
@@ -60,7 +60,7 @@ TEST(GradCheck, Linear) {
   std::vector<Parameter*> params;
   lin.collectParameters(params);
   gradcheckParams(params, loss, [&] {
-    lin.forward(x, true);
+    lin.forward(x, GradMode::kRecordTape);
     lin.backward(w);
   }, 1e-6, 6);
 }
@@ -75,7 +75,7 @@ TEST(GradCheck, LayerNorm) {
   Tensor w({3, 6});
   w.randn(rng, 1.0);
   auto loss = [&] {
-    const Tensor y = ln.forward(x, false);
+    const Tensor y = ln.forward(x, GradMode::kInference);
     Real s = 0;
     for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
     return s;
@@ -83,7 +83,7 @@ TEST(GradCheck, LayerNorm) {
   std::vector<Parameter*> params;
   ln.collectParameters(params);
   gradcheckParams(params, loss, [&] {
-    ln.forward(x, true);
+    ln.forward(x, GradMode::kRecordTape);
     ln.backward(w);
   }, 1e-5, 4);
 }
@@ -95,7 +95,7 @@ TEST(GradCheck, AttentionAndDecoderStack) {
   Tensor w({2 * 4, 4});
   w.randn(rng, 1.0);
   auto loss = [&] {
-    const Tensor y = net.forward(tokens, 4, false);
+    const Tensor y = net.forward(tokens, 4, GradMode::kInference);
     Real s = 0;
     for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
     return s;
@@ -103,7 +103,7 @@ TEST(GradCheck, AttentionAndDecoderStack) {
   std::vector<Parameter*> params;
   net.collectParameters(params);
   gradcheckParams(params, loss, [&] {
-    net.forward(tokens, 4, true);
+    net.forward(tokens, 4, GradMode::kRecordTape);
     net.backward(w);
   }, 2e-5, 2);
 }
@@ -116,7 +116,7 @@ TEST(GradCheck, PhaseMlp) {
   Tensor w({3, 1});
   w.randn(rng, 1.0);
   auto loss = [&] {
-    const Tensor y = mlp.forward(x, false);
+    const Tensor y = mlp.forward(x, GradMode::kInference);
     Real s = 0;
     for (std::size_t i = 0; i < y.data.size(); ++i) s += w.data[i] * y.data[i];
     return s;
@@ -124,7 +124,7 @@ TEST(GradCheck, PhaseMlp) {
   std::vector<Parameter*> params;
   mlp.collectParameters(params);
   gradcheckParams(params, loss, [&] {
-    mlp.forward(x, true);
+    mlp.forward(x, GradMode::kRecordTape);
     mlp.backward(w);
   }, 1e-6, 3);
 }
@@ -149,7 +149,7 @@ TEST(GradCheck, QiankunNetVmcLoss) {
   const std::vector<Real> cA = {0.7, -1.1, 0.4}, cP = {0.2, 0.9, -0.5};
   auto loss = [&] {
     std::vector<Real> la, ph;
-    net.evaluate(samples, la, ph, false);
+    net.evaluate(samples, la, ph, GradMode::kInference);
     Real s = 0;
     for (std::size_t i = 0; i < samples.size(); ++i)
       s += cA[i] * la[i] + cP[i] * ph[i];
@@ -157,7 +157,43 @@ TEST(GradCheck, QiankunNetVmcLoss) {
   };
   gradcheckParams(net.parameters(), loss, [&] {
     std::vector<Real> la, ph;
-    net.evaluate(samples, la, ph, true);
+    net.evaluate(samples, la, ph, GradMode::kRecordTape);
     net.backward(cA, cP);
+  }, 5e-5, 2);
+}
+
+TEST(GradCheck, QiankunNetVmcLossTiledRecompute) {
+  // The same VMC loss, but the analytic gradients come from the
+  // recompute-in-tiles training step (evaluateGrad, tile of 2 on batch 3 —
+  // a ragged last tile), checked against finite differences of the
+  // inference evaluate: the tiled path must describe the same function.
+  nqs::QiankunNetConfig cfg;
+  cfg.nQubits = 8;
+  cfg.nAlpha = 2;
+  cfg.nBeta = 2;
+  cfg.dModel = 8;
+  cfg.nHeads = 2;
+  cfg.nDecoders = 1;
+  cfg.phaseHidden = 12;
+  cfg.phaseHiddenLayers = 1;
+  cfg.seed = 77;
+  nqs::QiankunNet net(cfg);
+  exec::ExecutionPolicy ex;
+  ex.gradTileRows = 2;
+  net.setEvalPolicy(ex);
+  const std::vector<Bits128> samples = {fromBitString("00001111"),
+                                        fromBitString("00111100"),
+                                        fromBitString("11000011")};
+  const std::vector<Real> cA = {0.7, -1.1, 0.4}, cP = {0.2, 0.9, -0.5};
+  auto loss = [&] {
+    std::vector<Real> la, ph;
+    net.evaluate(samples, la, ph, GradMode::kInference);
+    Real s = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      s += cA[i] * la[i] + cP[i] * ph[i];
+    return s;
+  };
+  gradcheckParams(net.parameters(), loss, [&] {
+    net.evaluateGrad(samples, cA, cP);
   }, 5e-5, 2);
 }

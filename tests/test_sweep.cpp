@@ -111,7 +111,7 @@ TEST(Sweep, FusedLogAmpMatchesSeparateEvaluate) {
       const SampleSet s = sweepCopy(net, opts);
       ASSERT_EQ(s.logAmp.size(), s.nUnique());
       std::vector<Real> la, ph;
-      net.evaluate(s.samples, la, ph, /*cache=*/false);
+      net.evaluate(s.samples, la, ph, nn::GradMode::kInference);
       for (std::size_t i = 0; i < s.nUnique(); ++i)
         EXPECT_EQ(s.logAmp[i], la[i])
             << "tileRows " << tileRows << " decode " << static_cast<int>(decode)
